@@ -1,0 +1,125 @@
+"""Experiment T2+F7 - Table 2 and Figure 7: effect of input tree shape.
+
+The paper builds five documents of near-constant size (~3M elements) whose
+heights range from 2 to 6 with near-uniform per-level fan-outs (Table 2),
+and sorts each with 4 MB of memory (Figure 7):
+
+* height 2 (a flat file): NEXSORT is *worse* than merge sort, because the
+  authors "have not implemented the optimization that allows NEXSORT to
+  degenerate into external merge sort";
+* past a critical height (4 in the paper), NEXSORT "significantly
+  improves due to the decreased maximum fan-out";
+* between critical levels, improvement is small or slightly negative
+  ("increased tree height does not necessarily translate into smaller
+  subtree sorts").
+
+Scaled analogue: ~4k elements per shape.  We run NEXSORT both without the
+graceful-degeneration optimization (matching the paper's implementation)
+and with it (the Section 3.2 extension the paper describes but did not
+build).
+"""
+
+from repro.bench import (
+    ascii_chart,
+    bench_scale,
+    record_table,
+    run_merge_sort,
+    run_nexsort,
+)
+from repro.generators import (
+    level_fanout_element_count,
+    scaled_table2_shapes,
+)
+from repro.generators import level_fanout_events
+
+MEMORY_BLOCKS = 24
+
+
+def _sweep():
+    target = int(4000 * bench_scale())
+    shapes = scaled_table2_shapes(target)
+    rows = []
+    for height in sorted(shapes):
+        fanouts = shapes[height]
+
+        def events(fanouts=fanouts):
+            return level_fanout_events(fanouts, seed=7, pad_bytes=24)
+
+        nexsort_metrics = run_nexsort(events, memory_blocks=MEMORY_BLOCKS)
+        flatopt_metrics = run_nexsort(
+            events, memory_blocks=MEMORY_BLOCKS, flat_optimization=True
+        )
+        merge_metrics = run_merge_sort(events, memory_blocks=MEMORY_BLOCKS)
+        rows.append(
+            (height, fanouts, nexsort_metrics, flatopt_metrics, merge_metrics)
+        )
+    return rows
+
+
+def test_fig7_effect_of_tree_shape(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    shape_table = []
+    time_table = []
+    for height, fanouts, nexsort_metrics, flatopt_metrics, merge_metrics in rows:
+        shape_table.append(
+            [
+                height,
+                ", ".join(str(f) for f in fanouts),
+                level_fanout_element_count(fanouts),
+            ]
+        )
+        time_table.append(
+            [
+                height,
+                nexsort_metrics.simulated_seconds,
+                flatopt_metrics.simulated_seconds,
+                merge_metrics.simulated_seconds,
+                nexsort_metrics.detail["max_fanout"],
+                nexsort_metrics.detail["x"],
+            ]
+        )
+
+    record_table(
+        "Table 2 - input document shapes (scaled)",
+        ["Height", "Fan-out for each level", "Size (elements)"],
+        shape_table,
+        notes=["paper used ~3M elements; scaled to the same shape family"],
+    )
+    record_table(
+        "Figure 7 - effect of tree shape",
+        [
+            "height",
+            "NEXSORT (s)",
+            "NEXSORT+flat-opt (s)",
+            "merge sort (s)",
+            "max fan-out",
+            "subtree sorts",
+        ],
+        time_table,
+        chart=ascii_chart(
+            [row[0] for row in time_table],
+            {
+                "NeXSort": [row[1] for row in time_table],
+                "Merge Sort": [row[3] for row in time_table],
+            },
+            y_label="simulated sort time (s) vs tree height",
+        ),
+        notes=[
+            "paper: NEXSORT worse at height 2 (no degeneration "
+            "optimization), significantly better past the critical "
+            "height as max fan-out drops",
+        ],
+    )
+
+    by_height = {row[0]: row for row in time_table}
+    # Height 2 is a flat file: plain NEXSORT loses to merge sort.
+    assert by_height[2][1] > by_height[2][3]
+    # The flat-optimization narrows the gap at height 2.
+    assert by_height[2][2] < by_height[2][1]
+    # Past the critical height, NEXSORT wins.
+    assert by_height[5][1] < by_height[5][3]
+    assert by_height[6][1] < by_height[6][3]
+    # And the improvement tracks the decreased fan-out: height 6 NEXSORT
+    # beats height 2 NEXSORT by a wide margin at constant size.
+    assert by_height[6][1] < 0.5 * by_height[2][1]

@@ -1,0 +1,13 @@
+"""Benchmark-suite plumbing: print recorded result tables at the end."""
+
+from repro.bench import drain_reports
+
+
+def pytest_terminal_summary(terminalreporter):
+    reports = drain_reports()
+    if not reports:
+        return
+    terminalreporter.section("paper reproduction results")
+    for report in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(report.render())

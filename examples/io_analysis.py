@@ -1,0 +1,86 @@
+"""Measured I/O against the paper's Section 4 analysis.
+
+Generates a document, sorts it with NEXSORT and with external merge sort,
+and lines the measured block I/Os up against the Theorem 4.4 lower bound,
+the Theorem 4.5 NEXSORT bound, and the merge-sort pass model.
+
+Run with:  python examples/io_analysis.py
+"""
+
+from repro import BlockDevice, Document, RunStore, SortSpec, ByAttribute
+from repro import external_merge_sort, nexsort
+from repro.analysis import (
+    ModelGeometry,
+    bounds_within_constant_factor,
+    log2_flat_outcomes,
+    log2_sorting_outcomes,
+    merge_sort_passes,
+    nexsort_upper_bound_ios,
+    sorting_lower_bound_ios,
+)
+from repro.generators import level_fanout_events
+
+
+def main() -> None:
+    spec = SortSpec(default=ByAttribute("name"))
+
+    device = BlockDevice(block_size=512)
+    store = RunStore(device)
+    document = Document.from_events(
+        store, level_fanout_events([13, 13, 13], seed=1, pad_bytes=24)
+    )
+    memory_blocks = 24
+    geometry = ModelGeometry.from_document(document, memory_blocks)
+    print(f"document: {document}")
+    print(f"model geometry: N={geometry.N} B={geometry.B} "
+          f"M={geometry.M} k={geometry.k}\n")
+
+    tree = document.to_element()
+    print("outcome counting (Lemmas 4.1-4.2):")
+    print(f"  log2 legal sorted orders (XML):  "
+          f"{log2_sorting_outcomes(tree):.0f}")
+    print(f"  log2 orders of a flat file:      "
+          f"{log2_flat_outcomes(geometry.N):.0f}")
+
+    lower = sorting_lower_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k
+    )
+    upper = nexsort_upper_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k, 2 * geometry.B
+    )
+    print("\nbounds (constants 1):")
+    print(f"  Theorem 4.4 lower bound: {lower:8.0f} I/Os")
+    print(f"  Theorem 4.5 upper bound: {upper:8.0f} I/Os")
+    print(f"  constant-factor condition (k or M >= B^a): "
+          f"{bounds_within_constant_factor(geometry.N, geometry.B, geometry.M, geometry.k)}")
+
+    _sorted_doc, report = nexsort(document, spec, memory_blocks=memory_blocks)
+    print("\nNEXSORT measured:")
+    print(f"  total I/Os:     {report.total_ios} "
+          f"({report.total_ios / upper:.1f}x the Thm 4.5 bound)")
+    print(f"  subtree sorts:  {report.x} "
+          f"({report.internal_sorts} internal, "
+          f"{report.external_sorts} external)")
+    print(f"  simulated time: {report.simulated_seconds:.2f} s")
+
+    device2 = BlockDevice(block_size=512)
+    store2 = RunStore(device2)
+    document2 = Document.from_events(
+        store2, level_fanout_events([13, 13, 13], seed=1, pad_bytes=24)
+    )
+    _out, merge_report = external_merge_sort(
+        document2, spec, memory_blocks=memory_blocks
+    )
+    model_passes = merge_sort_passes(geometry.N, geometry.B, geometry.M)
+    print("\nexternal merge sort measured:")
+    print(f"  total I/Os:     {merge_report.total_ios}")
+    print(f"  passes:         {merge_report.total_passes} "
+          f"(pass model predicts {model_passes})")
+    print(f"  simulated time: {merge_report.simulated_seconds:.2f} s")
+
+    faster = report.simulated_seconds < merge_report.simulated_seconds
+    print(f"\nNEXSORT faster on this hierarchical input: {faster}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Example 1.1 / Figure 1: merging two XML documents.
+
+The personnel department's document (D1) and the payroll department's
+document (D2) describe the same company.  Sorting both under the same
+criterion lets a single-pass structural merge combine matching employees -
+the XML analogue of sort-merge join.  The naive nested-loop merge gives
+the same answer with a far worse I/O pattern.
+
+Run with:  python examples/merge_documents.py
+"""
+
+from repro import BlockDevice, Document, RunStore, nexsort
+from repro.generators import (
+    figure1_d1,
+    figure1_d2,
+    figure1_merged,
+    figure1_spec,
+)
+from repro.merge import nested_loop_merge, structural_merge
+
+
+def main() -> None:
+    device = BlockDevice(block_size=4096)
+    store = RunStore(device)
+
+    d1 = Document.from_element(store, figure1_d1())
+    d2 = Document.from_element(store, figure1_d2())
+    spec = figure1_spec()  # regions/branches by name, employees by ID
+
+    print("D1 (personnel):")
+    print(d1.to_string(indent="  "))
+    print("D2 (payroll):")
+    print(d2.to_string(indent="  "))
+
+    # Step 1: sort both documents down to the employee level (level 3) -
+    # below that "no overlap of information is possible", so Figure 1
+    # keeps name/phone/salary/bonus in document order.
+    before = device.stats.snapshot()
+    sorted_d1, _ = nexsort(d1, spec, memory_blocks=8, depth_limit=3)
+    sorted_d2, _ = nexsort(d2, spec, memory_blocks=8, depth_limit=3)
+
+    # Step 2: merge in a single pass over both sorted documents.
+    merged, merge_report = structural_merge(
+        sorted_d1, sorted_d2, spec, depth_limit=3
+    )
+    pipeline = device.stats.since(before)
+
+    print("merged document (sort + single-pass merge):")
+    print(merged.to_string(indent="  "))
+    matches = merged.to_element() == figure1_merged()
+    print(f"matches the paper's Figure 1 result: {matches}\n")
+
+    # The naive alternative: nested-loop merge of the unsorted inputs.
+    before = device.stats.snapshot()
+    naive, naive_report = nested_loop_merge(d1, d2, spec)
+    nested = device.stats.since(before)
+
+    same = (
+        naive.to_element().unordered_canonical()
+        == merged.to_element().unordered_canonical()
+    )
+    print(f"nested-loop merge gives the same content: {same}")
+    print(f"  sort+merge pipeline: {pipeline.total_ios:4d} block I/Os "
+          f"({merge_report.elements_merged} elements merged)")
+    print(f"  nested-loop merge:   {nested.total_ios:4d} block I/Os "
+          f"({naive_report.right_rescans} rescans of D2 regions)")
+    print("\nOn documents this tiny the gap is small; run "
+          "benchmarks/bench_merge.py to watch it diverge with size.")
+
+
+if __name__ == "__main__":
+    main()

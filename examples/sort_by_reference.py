@@ -1,0 +1,61 @@
+"""Ordering through IDREFs - the paper's future work, implemented.
+
+The paper (§3.2) notes that its single-pass key evaluation "does not work
+... if the ordering expression references data other than e's descendents
+and ancestors (e.g., an XPath expression that follows IDREFs).  We plan to
+investigate such ordering expressions as future work."
+
+This example sorts employees by *their manager's name*, where the manager
+is reachable only through an IDREF.  The resolution is an external
+semi-join (two extra passes over the document plus sorts of the small
+reference streams), after which ordinary NEXSORT takes over.
+
+Run with:  python examples/sort_by_reference.py
+"""
+
+from repro import BlockDevice, ByAttribute, Document, RunStore, SortSpec
+from repro.core import ByIdRef, nexsort_with_idrefs
+
+XML = """
+<org name="acme">
+  <managers name="managers">
+    <person id="m1" name="Walker"/>
+    <person id="m2" name="Adams"/>
+    <person id="m3" name="Nguyen"/>
+  </managers>
+  <employees name="employees">
+    <employee badge="1" managerRef="m3"/>
+    <employee badge="2" managerRef="m1"/>
+    <employee badge="3" managerRef="m2"/>
+    <employee badge="4" managerRef="m1"/>
+  </employees>
+</org>
+"""
+
+
+def main() -> None:
+    device = BlockDevice(block_size=4096)
+    store = RunStore(device)
+    document = Document.from_string(store, XML)
+
+    spec = SortSpec(
+        default=ByAttribute("name", missing_uses_tag=True),
+        rules={
+            # Sort employees by the NAME of the person their managerRef
+            # points at - data far outside each employee's subtree.
+            "employee": ByIdRef("managerRef", id_attribute="id"),
+            "person": ByAttribute("name"),
+        },
+    )
+
+    result, report = nexsort_with_idrefs(document, spec, memory_blocks=8)
+
+    print("sorted by manager name (Adams < Nguyen < Walker):")
+    print(result.to_string(indent="  "))
+    print(f"total block I/Os (resolution passes included): "
+          f"{device.stats.total_ios}")
+    print(f"NEXSORT subtree sorts: {report.x}")
+
+
+if __name__ == "__main__":
+    main()

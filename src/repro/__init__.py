@@ -1,0 +1,137 @@
+"""NEXSORT: Sorting XML in External Memory - a full reproduction.
+
+Reproduces Silberstein & Yang, "NEXSORT: Sorting XML in External Memory"
+(ICDE 2004): the NEXSORT algorithm with all of its Section 3.2 extensions,
+the external merge sort and internal recursive sort baselines, the
+structural merge application, the I/O lower bound and cost analysis of
+Section 4, and the full experimental evaluation of Section 5 - all on a
+simulated block device with exact I/O accounting.
+
+Quickstart::
+
+    from repro import (
+        BlockDevice, RunStore, Document, SortSpec, nexsort
+    )
+
+    device = BlockDevice(block_size=4096)
+    store = RunStore(device)
+    doc = Document.from_string(store, "<company>...</company>")
+    spec = SortSpec.by_attribute("name", employee="ID")
+    sorted_doc, report = nexsort(doc, spec, memory_blocks=16)
+    print(sorted_doc.to_string(indent="  "))
+    print(report.total_ios, report.simulated_seconds)
+"""
+
+from .baselines import (
+    ExternalMergeSorter,
+    MergeSortReport,
+    external_merge_sort,
+    is_fully_sorted,
+    key_path_table,
+    sort_element,
+)
+from .core import (
+    NexSorter,
+    NexsortOptions,
+    NexsortReport,
+    nexsort,
+)
+from .errors import (
+    CodecError,
+    DeviceError,
+    MemoryBudgetExceeded,
+    MergeError,
+    ReproError,
+    RunError,
+    SortSpecError,
+    StackError,
+    XMLSyntaxError,
+)
+from .io import (
+    BlockDevice,
+    CostModel,
+    ExternalStack,
+    IOStats,
+    MemoryBudget,
+    RunStore,
+)
+from .keys import (
+    ByAttribute,
+    ByAttributes,
+    ByChildPath,
+    ByTag,
+    ByText,
+    DocumentOrder,
+    KeyEvaluator,
+    KeyRule,
+    SortSpec,
+)
+from .merge import (
+    BatchReport,
+    MergeReport,
+    NestedLoopReport,
+    apply_batch,
+    nested_loop_merge,
+    structural_merge,
+)
+from .xml import (
+    CompactionConfig,
+    Document,
+    Element,
+    NameDictionary,
+    element_to_string,
+    events_to_string,
+    parse_events,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchReport",
+    "BlockDevice",
+    "ByAttribute",
+    "ByAttributes",
+    "ByChildPath",
+    "ByTag",
+    "ByText",
+    "CodecError",
+    "CompactionConfig",
+    "CostModel",
+    "DeviceError",
+    "Document",
+    "DocumentOrder",
+    "Element",
+    "ExternalMergeSorter",
+    "ExternalStack",
+    "IOStats",
+    "KeyEvaluator",
+    "KeyRule",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "MergeError",
+    "MergeReport",
+    "MergeSortReport",
+    "NameDictionary",
+    "NestedLoopReport",
+    "NexSorter",
+    "NexsortOptions",
+    "NexsortReport",
+    "ReproError",
+    "RunError",
+    "RunStore",
+    "SortSpec",
+    "SortSpecError",
+    "StackError",
+    "XMLSyntaxError",
+    "apply_batch",
+    "element_to_string",
+    "events_to_string",
+    "external_merge_sort",
+    "is_fully_sorted",
+    "key_path_table",
+    "nested_loop_merge",
+    "nexsort",
+    "parse_events",
+    "sort_element",
+    "structural_merge",
+]

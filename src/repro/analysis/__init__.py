@@ -1,0 +1,69 @@
+"""Theory: outcome counting (Lemmas 4.1-4.2) and I/O bounds (Thms 4.4-4.5)."""
+
+from .advisor import (
+    DocumentProfile,
+    Recommendation,
+    profile_document,
+    recommend,
+)
+from .bounds import (
+    bounds_within_constant_factor,
+    flat_sorting_lower_bound_ios,
+    merge_sort_ios,
+    merge_sort_passes,
+    nexsort_over_lower_bound_ratio,
+    nexsort_upper_bound_ios,
+    permutation_lower_bound_ios,
+    sorting_lower_bound_ios,
+    xml_permutation_conjecture_ios,
+)
+from .cost_model import (
+    ModelGeometry,
+    lower_bound_seconds,
+    measured_over_bound,
+    predicted_merge_sort_seconds,
+    predicted_nexsort_seconds,
+    predicted_seconds_from_ios,
+)
+from .outcomes import (
+    adversarial_fanouts,
+    adversarial_tree,
+    fanouts_of,
+    log2_factorial,
+    log2_flat_outcomes,
+    log2_max_outcomes,
+    log2_outcomes_from_fanouts,
+    log2_sorting_outcomes,
+    rebalance_increases_outcomes,
+)
+
+__all__ = [
+    "DocumentProfile",
+    "ModelGeometry",
+    "Recommendation",
+    "adversarial_fanouts",
+    "profile_document",
+    "recommend",
+    "adversarial_tree",
+    "bounds_within_constant_factor",
+    "fanouts_of",
+    "flat_sorting_lower_bound_ios",
+    "log2_factorial",
+    "log2_flat_outcomes",
+    "log2_max_outcomes",
+    "log2_outcomes_from_fanouts",
+    "log2_sorting_outcomes",
+    "lower_bound_seconds",
+    "measured_over_bound",
+    "merge_sort_ios",
+    "merge_sort_passes",
+    "nexsort_over_lower_bound_ratio",
+    "nexsort_upper_bound_ios",
+    "permutation_lower_bound_ios",
+    "predicted_merge_sort_seconds",
+    "predicted_nexsort_seconds",
+    "predicted_seconds_from_ios",
+    "rebalance_increases_outcomes",
+    "sorting_lower_bound_ios",
+    "xml_permutation_conjecture_ios",
+]

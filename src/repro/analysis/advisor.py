@@ -1,0 +1,178 @@
+"""Workload profiling and algorithm selection.
+
+The paper's evaluation establishes *when* each algorithm wins: NEXSORT on
+hierarchical documents (Figures 5-7), external merge sort on flat ones
+(Figure 7 at height 2), with the sort threshold best near twice the block
+size.  This module packages those findings as a profiler and an advisor,
+so a downstream user can ask "which sorter, with which knobs, for this
+document?" and get the paper's answer together with the predicted costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xml.document import Document
+from .bounds import (
+    merge_sort_ios,
+    merge_sort_passes,
+    nexsort_upper_bound_ios,
+    sorting_lower_bound_ios,
+)
+from .cost_model import ModelGeometry
+
+
+@dataclass
+class DocumentProfile:
+    """Structural statistics of one document."""
+
+    element_count: int
+    block_count: int
+    height: int
+    max_fanout: int
+    fanout_p50: float
+    fanout_p95: float
+    internal_elements: int
+    average_element_bytes: float
+
+    @property
+    def flatness(self) -> float:
+        """Fraction of all elements that are children of the root's level.
+
+        1.0 means a two-level (flat) document; deeply nested documents
+        approach ``max_fanout / N``.
+        """
+        if self.element_count <= 1:
+            return 0.0
+        return self.max_fanout / (self.element_count - 1)
+
+    @property
+    def is_nearly_flat(self) -> bool:
+        """The Figure 7 regime where NEXSORT degenerates."""
+        return self.height <= 2 or self.flatness > 0.5
+
+
+def profile_document(document: Document) -> DocumentProfile:
+    """Measure a stored document (one counted scan)."""
+    fanouts: list[int] = []
+    stack: list[int] = []
+    from ..xml.tokens import EndTag, StartTag
+
+    for event in document.iter_events("profile_scan"):
+        if isinstance(event, StartTag):
+            if stack:
+                stack[-1] += 1
+            stack.append(0)
+        elif isinstance(event, EndTag):
+            fanouts.append(stack.pop())
+    internal = [fanout for fanout in fanouts if fanout > 0]
+    ordered = sorted(fanouts)
+
+    def percentile(values: list[int], fraction: float) -> float:
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(fraction * len(values)))
+        return float(values[index])
+
+    return DocumentProfile(
+        element_count=document.element_count,
+        block_count=document.block_count,
+        height=document.height,
+        max_fanout=document.max_fanout,
+        fanout_p50=percentile(ordered, 0.50),
+        fanout_p95=percentile(ordered, 0.95),
+        internal_elements=len(internal),
+        average_element_bytes=(
+            document.payload_bytes / max(1, document.element_count)
+        ),
+    )
+
+
+@dataclass
+class Recommendation:
+    """The advisor's verdict for one document + memory budget."""
+
+    algorithm: str  # 'nexsort' or 'merge_sort'
+    threshold_bytes: int | None
+    flat_optimization: bool
+    predicted_nexsort_ios: float
+    predicted_merge_sort_ios: float
+    lower_bound_ios: float
+    merge_sort_passes: int
+    rationale: list[str] = field(default_factory=list)
+
+
+def recommend(
+    document: Document,
+    memory_blocks: int,
+    block_size: int | None = None,
+) -> Recommendation:
+    """Pick the sorter and knobs the paper's evaluation would pick."""
+    block = block_size or document.device.block_size
+    geometry = ModelGeometry.from_document(document, memory_blocks)
+    profile = profile_document(document)
+
+    threshold = 2 * block  # the paper's "roughly twice the block size"
+    t_elements = max(1, round(threshold / max(1, profile.average_element_bytes)))
+    nexsort_ios = nexsort_upper_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k, t_elements
+    )
+    merge_ios = merge_sort_ios(geometry.N, geometry.B, geometry.M)
+    lower = sorting_lower_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k
+    )
+    passes = merge_sort_passes(geometry.N, geometry.B, geometry.M)
+
+    rationale: list[str] = []
+    if profile.is_nearly_flat:
+        rationale.append(
+            f"document is nearly flat (height {profile.height}, "
+            f"flatness {profile.flatness:.2f}): the Figure 7 regime "
+            "where plain NEXSORT wastes its staging pass"
+        )
+        if passes <= 2:
+            rationale.append(
+                f"merge sort completes in {passes} pass(es) at this "
+                "memory size"
+            )
+            algorithm = "merge_sort"
+            flat_optimization = False
+        else:
+            rationale.append(
+                "memory is tight; NEXSORT with graceful degeneration "
+                "forms initial runs like merge sort without the "
+                "staging pass"
+            )
+            algorithm = "nexsort"
+            flat_optimization = True
+    else:
+        rationale.append(
+            f"hierarchical document (height {profile.height}, max "
+            f"fan-out {profile.max_fanout}): NEXSORT's bound "
+            f"{nexsort_ios:.0f} I/Os beats merge sort's "
+            f"{merge_ios:.0f}"
+            if nexsort_ios < merge_ios
+            else f"bounds are close ({nexsort_ios:.0f} vs "
+            f"{merge_ios:.0f} I/Os); NEXSORT additionally enables "
+            "single-pass structural merge"
+        )
+        algorithm = "nexsort"
+        flat_optimization = profile.flatness > 0.25
+        if flat_optimization:
+            rationale.append(
+                "moderate flatness: enabling graceful degeneration as "
+                "insurance"
+            )
+    rationale.append(
+        f"threshold {threshold} bytes (2x block), the paper's setting"
+    )
+    return Recommendation(
+        algorithm=algorithm,
+        threshold_bytes=threshold if algorithm == "nexsort" else None,
+        flat_optimization=flat_optimization,
+        predicted_nexsort_ios=nexsort_ios,
+        predicted_merge_sort_ios=merge_ios,
+        lower_bound_ios=lower,
+        merge_sort_passes=passes,
+        rationale=rationale,
+    )

@@ -1,0 +1,97 @@
+"""Predicted simulated times, bridging the bounds to the benchmarks.
+
+The bounds in :mod:`repro.analysis.bounds` count I/Os; the experiments
+report simulated seconds.  This module converts either way using the same
+:class:`~repro.io.stats.CostModel` the device charges with, and offers the
+per-experiment predictors the LB benchmark prints next to measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..io.stats import CostModel, StatsSnapshot
+from .bounds import (
+    merge_sort_ios,
+    nexsort_upper_bound_ios,
+    sorting_lower_bound_ios,
+)
+
+
+@dataclass(frozen=True)
+class ModelGeometry:
+    """One experiment's external-memory geometry, in model units.
+
+    Attributes:
+        N: elements in the document.
+        B: elements per block (document bytes / block size, element-wise).
+        M: elements fitting in memory (``memory_blocks * B``).
+        k: maximum fan-out.
+    """
+
+    N: int
+    B: int
+    M: int
+    k: int
+
+    @classmethod
+    def from_document(cls, document, memory_blocks: int) -> "ModelGeometry":
+        """Derive the geometry from a stored document."""
+        per_block = max(
+            1, round(document.element_count / max(1, document.block_count))
+        )
+        return cls(
+            N=document.element_count,
+            B=per_block,
+            M=memory_blocks * per_block,
+            k=max(1, document.max_fanout),
+        )
+
+
+def predicted_seconds_from_ios(
+    ios: float, cost_model: CostModel | None = None, random_fraction: float = 0.1
+) -> float:
+    """Simulated seconds for an I/O count under a mixed access pattern."""
+    model = cost_model or CostModel()
+    random_ios = ios * random_fraction
+    sequential = ios - random_ios
+    return model.io_seconds(round(sequential), round(random_ios))
+
+
+def predicted_nexsort_seconds(
+    geometry: ModelGeometry,
+    threshold_elements: int | None = None,
+    cost_model: CostModel | None = None,
+) -> float:
+    """Theorem 4.5 turned into seconds (constants 1)."""
+    ios = nexsort_upper_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k, threshold_elements
+    )
+    return predicted_seconds_from_ios(ios, cost_model)
+
+
+def predicted_merge_sort_seconds(
+    geometry: ModelGeometry, cost_model: CostModel | None = None
+) -> float:
+    """The baseline's pass-count cost turned into seconds."""
+    ios = merge_sort_ios(geometry.N, geometry.B, geometry.M)
+    return predicted_seconds_from_ios(ios, cost_model)
+
+
+def lower_bound_seconds(
+    geometry: ModelGeometry, cost_model: CostModel | None = None
+) -> float:
+    """Theorem 4.4 turned into seconds (constants 1)."""
+    ios = sorting_lower_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k
+    )
+    return predicted_seconds_from_ios(ios, cost_model)
+
+
+def measured_over_bound(
+    stats: StatsSnapshot, bound_ios: float
+) -> float:
+    """Measured I/Os divided by a bound - the observed constant factor."""
+    if bound_ios <= 0:
+        return float("inf")
+    return stats.total_ios / bound_ios

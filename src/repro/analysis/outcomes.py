@@ -1,0 +1,124 @@
+"""Counting the possible outcomes of sorting an XML document.
+
+Lemmas 4.1 and 4.2 of the paper: any legal reordering must preserve every
+parent-child relationship, so the number of possible sorting outcomes is
+the product of the factorials of all fan-outs - far below the flat-file
+``N!``.  The adversarial shape (at most one element with neither 0 nor k
+children) maximizes that product at ``(k!)^floor((N-1)/k) * ((N-1) mod k)!``.
+
+All counting is done in log-space (``lgamma``), since the real numbers are
+astronomically large.
+"""
+
+from __future__ import annotations
+
+from math import lgamma, log
+from typing import Iterable
+
+from ..errors import ReproError
+from ..xml.model import Element
+
+_LOG2 = log(2.0)
+
+
+def log2_factorial(n: int) -> float:
+    """log2(n!) via the log-gamma function."""
+    if n < 0:
+        raise ReproError(f"factorial of negative {n}")
+    return lgamma(n + 1) / _LOG2
+
+
+def log2_outcomes_from_fanouts(fanouts: Iterable[int]) -> float:
+    """log2 of the number of sorting outcomes given all fan-outs.
+
+    "It is easy to see the total number of possible outcomes is the product
+    of factorials of all the fan-outs in the document tree" (Lemma 4.2's
+    proof).
+    """
+    return sum(log2_factorial(fanout) for fanout in fanouts)
+
+
+def fanouts_of(element: Element) -> list[int]:
+    """Fan-out of every element in the tree (document order)."""
+    return [len(node.children) for node in element.iter()]
+
+
+def log2_sorting_outcomes(element: Element) -> float:
+    """log2 of the number of legal sorted orders of this document."""
+    return log2_outcomes_from_fanouts(fanouts_of(element))
+
+
+def log2_flat_outcomes(element_count: int) -> float:
+    """log2(N!) - what a flat file of the same size would allow."""
+    return log2_factorial(element_count)
+
+
+def adversarial_fanouts(element_count: int, max_fanout: int) -> list[int]:
+    """The fan-outs of the Lemma 4.1 worst-case document.
+
+    ``floor((N-1)/k)`` elements have exactly ``k`` children and at most one
+    has ``(N-1) mod k``; everything else is a leaf.  Leaves (fan-out 0)
+    contribute factor 1 and are omitted from the returned list.
+    """
+    if element_count < 1:
+        raise ReproError(f"need at least one element, got {element_count}")
+    if max_fanout < 1:
+        raise ReproError(f"max fan-out must be >= 1, got {max_fanout}")
+    edges = element_count - 1
+    full, remainder = divmod(edges, max_fanout)
+    fanouts = [max_fanout] * full
+    if remainder:
+        fanouts.append(remainder)
+    return fanouts
+
+
+def log2_max_outcomes(element_count: int, max_fanout: int) -> float:
+    """Lemma 4.2: log2((k!)^floor((N-1)/k) * ((N-1) mod k)!)."""
+    return log2_outcomes_from_fanouts(
+        adversarial_fanouts(element_count, max_fanout)
+    )
+
+
+def adversarial_tree(element_count: int, max_fanout: int) -> Element:
+    """Build a concrete document realizing the Lemma 4.1 shape.
+
+    A chain of internal nodes each with ``k`` children (one of which
+    continues the chain), stopping when the element budget runs out - so at
+    most one element has neither 0 nor ``k`` children.
+    """
+    if element_count < 1:
+        raise ReproError("need at least one element")
+    root = Element("n0", {"name": "0"})
+    remaining = element_count - 1
+    current = root
+    index = 1
+    while remaining > 0:
+        take = min(max_fanout, remaining)
+        children = []
+        for _ in range(take):
+            children.append(Element("n", {"name": str(index)}))
+            index += 1
+        current.children = children
+        remaining -= take
+        current = children[0]
+    return root
+
+
+def rebalance_increases_outcomes(
+    fanouts: list[int], max_fanout: int
+) -> float:
+    """Lemma 4.1's exchange argument as a computable quantity.
+
+    Given two fan-outs ``0 < x <= y < k``, moving one child from x to y
+    multiplies the outcome count by ``(y+1)/x > 1``.  Returns the log2
+    gain of applying one such move to the two smallest qualifying
+    fan-outs, or 0.0 when no move applies (the document is already in the
+    Lemma 4.1 shape).
+    """
+    qualifying = sorted(
+        fanout for fanout in fanouts if 0 < fanout < max_fanout
+    )
+    if len(qualifying) < 2:
+        return 0.0
+    x, y = qualifying[0], qualifying[-1]
+    return (log(y + 1) - log(x)) / _LOG2

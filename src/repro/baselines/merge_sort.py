@@ -1,0 +1,183 @@
+"""External merge sort of key-path records - the paper's baseline.
+
+This is the second "popular algorithm" of Section 1: convert the document
+to its key-path representation (Table 1), sort the records with the
+classic external merge sort (run formation under the memory budget, then
+``(M/B - 1)``-way merge passes), and decode the sorted records back into a
+document.  Its I/O complexity carries the flat-file ``log_{M/B}(N/B)``
+factor, which is what NEXSORT beats.
+
+Like the paper's implementation, the baseline supports the Section 3.2
+compaction techniques (name dictionaries, end-tag elimination) but only
+start-computable ordering criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+
+from ..errors import SortSpecError
+from ..io.budget import MemoryBudget
+from ..io.stats import StatsSnapshot
+from ..keys import KeyEvaluator, SortSpec
+from ..xml.codec import TokenCodec
+from ..xml.document import Document
+from .keypath import (
+    decode_record,
+    encode_record,
+    records_from_annotated_events,
+    tokens_from_sorted_records,
+)
+from .merging import merge_to_stream
+
+#: Memory blocks not available for run formation: one block each for the
+#: input scan buffer and the run output buffer.
+_RESERVED_BLOCKS = 2
+
+
+@dataclass
+class MergeSortReport:
+    """What one external merge sort run did."""
+
+    element_count: int = 0
+    input_blocks: int = 0
+    memory_blocks: int = 0
+    fan_in: int = 0
+    initial_runs: int = 0
+    materialized_merge_passes: int = 0
+    final_merge_width: int = 0
+    stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+
+    @property
+    def total_passes(self) -> int:
+        """Passes over the data: formation + merges (final one included)."""
+        final = 1 if self.final_merge_width > 1 else 0
+        return 1 + self.materialized_merge_passes + final
+
+    @property
+    def total_ios(self) -> int:
+        return self.stats.total_ios
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.elapsed_seconds()
+
+
+class ExternalMergeSorter:
+    """Sorts documents via their key-path representation.
+
+    Args:
+        spec: the ordering criterion; must be start-computable.
+        memory_blocks: the model parameter ``M`` (in blocks).
+    """
+
+    def __init__(self, spec: SortSpec, memory_blocks: int):
+        if not spec.start_computable:
+            raise SortSpecError(
+                "external merge sort needs start-computable keys: a "
+                "child's key path embeds its ancestors' keys while those "
+                "ancestors are still open (see DESIGN.md); use NEXSORT "
+                "for subtree-evaluated criteria"
+            )
+        if memory_blocks < _RESERVED_BLOCKS + 1:
+            raise SortSpecError(
+                f"external merge sort needs at least "
+                f"{_RESERVED_BLOCKS + 1} memory blocks"
+            )
+        self.spec = spec
+        self.memory_blocks = memory_blocks
+
+    def sort(self, document: Document) -> tuple[Document, MergeSortReport]:
+        """Sort ``document``; returns (sorted document, report)."""
+        store = document.store
+        device = store.device
+        names = (
+            document.compaction.names if document.compaction else None
+        )
+        budget = MemoryBudget(self.memory_blocks)
+        buffers = budget.reserve(_RESERVED_BLOCKS, "io-buffers")
+        formation = budget.reserve_rest("run-formation")
+        capacity_bytes = formation.blocks * device.block_size
+        fan_in = max(2, self.memory_blocks - 1)
+
+        report = MergeSortReport(
+            element_count=document.element_count,
+            input_blocks=document.block_count,
+            memory_blocks=self.memory_blocks,
+            fan_in=fan_in,
+        )
+        before = device.stats.snapshot()
+
+        # Pass 1: scan the input, form sorted initial runs.
+        evaluator = KeyEvaluator(self.spec)
+        annotated = evaluator.annotate(document.iter_events("input_scan"))
+        records = records_from_annotated_events(annotated)
+        initial_runs = []
+        batch: list[tuple[tuple, bytes]] = []
+        batch_bytes = 0
+        for record in records:
+            encoded = encode_record(record, names)
+            batch.append((record.sort_key(), encoded))
+            batch_bytes += len(encoded)
+            device.stats.record_tokens(1)
+            if batch_bytes >= capacity_bytes:
+                initial_runs.append(self._flush_run(store, batch))
+                batch = []
+                batch_bytes = 0
+        if batch:
+            initial_runs.append(self._flush_run(store, batch))
+        report.initial_runs = len(initial_runs)
+
+        # Merge passes, streaming the final merge into the decoder.
+        def key_of(encoded: bytes) -> tuple:
+            return decode_record(encoded, names).sort_key()
+
+        stream, passes, width = merge_to_stream(
+            store, initial_runs, key_of, fan_in
+        )
+        report.materialized_merge_passes = passes
+        report.final_merge_width = width
+
+        # Decode sorted records into the output document.
+        emit_ends = not (
+            document.compaction is not None
+            and document.compaction.eliminate_end_tags
+        )
+        codec = TokenCodec(names)
+        writer = store.create_writer("output")
+        decoded = (decode_record(record, names) for record in stream)
+        for token in tokens_from_sorted_records(
+            decoded, emit_end_tags=emit_ends
+        ):
+            writer.write_record(codec.encode(token))
+            device.stats.record_tokens(1)
+        handle = writer.finish()
+
+        report.stats = device.stats.since(before)
+        buffers.release()
+        formation.release()
+        output = Document(
+            store, handle, document.stats, document.compaction
+        )
+        return output, report
+
+    @staticmethod
+    def _flush_run(store, batch: list[tuple[tuple, bytes]]):
+        batch.sort(key=lambda pair: pair[0])
+        count = len(batch)
+        if count > 1:
+            store.device.stats.record_comparisons(
+                count * max(1, ceil(log2(count)))
+            )
+        writer = store.create_writer("run_write")
+        for _key, encoded in batch:
+            writer.write_record(encoded)
+        return writer.finish()
+
+
+def external_merge_sort(
+    document: Document, spec: SortSpec, memory_blocks: int
+) -> tuple[Document, MergeSortReport]:
+    """Convenience wrapper: sort ``document`` with the baseline."""
+    return ExternalMergeSorter(spec, memory_blocks).sort(document)

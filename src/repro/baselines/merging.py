@@ -1,0 +1,157 @@
+"""Generic multi-pass, multi-way merging of sorted runs.
+
+Used by the external merge sort baseline (merging key-path runs) and by
+NEXSORT's graceful-degeneration mode (merging the incomplete sorted runs of
+one element, paper Section 3.2).  Records are opaque bytes; ordering comes
+from a caller-supplied key function over decoded records.
+
+The fan-in of one pass is limited by the number of memory blocks available:
+each input run needs one buffer block and the output needs one, so a budget
+of ``m`` blocks supports an ``(m - 1)``-way merge - the classic bound that
+produces the ``log_{M/B}`` factors in all of the paper's cost expressions.
+
+CPU accounting: a ``w``-way merge step charges ``ceil(log2 w)`` comparisons
+per record moved (the tournament/heap bound), recorded on the device's
+stats so simulated times include comparison work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import ceil, log2
+from typing import Callable, Iterable, Iterator
+
+from ..errors import RunError
+from ..io.runs import RunHandle, RunStore
+
+
+def merge_pass(
+    store: RunStore,
+    runs: list[RunHandle],
+    key_of: Callable[[bytes], object],
+    read_category: str = "merge_read",
+) -> Iterator[bytes]:
+    """Stream the records of ``runs`` merged into one sorted sequence.
+
+    The caller guarantees the fan-in fits its memory budget.  Consumed runs
+    are freed as they drain.
+    """
+    if not runs:
+        return
+    device = store.device
+    comparisons_per_record = max(1, ceil(log2(len(runs)))) if len(
+        runs
+    ) > 1 else 0
+    readers = [
+        store.open_reader(run, category=read_category) for run in runs
+    ]
+    heap: list[tuple[object, int, bytes]] = []
+    for index, reader in enumerate(readers):
+        record = reader.read_record()
+        if record is not None:
+            heap.append((key_of(record), index, record))
+    heapq.heapify(heap)
+    while heap:
+        key, index, record = heapq.heappop(heap)
+        if comparisons_per_record:
+            device.stats.record_comparisons(comparisons_per_record)
+        yield record
+        nxt = readers[index].read_record()
+        if nxt is not None:
+            heapq.heappush(heap, (key_of(nxt), index, nxt))
+        else:
+            store.free(runs[index])
+    device.stats.record_tokens(sum(run.record_count for run in runs))
+
+
+def merge_to_single_run(
+    store: RunStore,
+    runs: list[RunHandle],
+    key_of: Callable[[bytes], object],
+    fan_in: int,
+    read_category: str = "merge_read",
+    write_category: str = "merge_write",
+) -> tuple[RunHandle, int]:
+    """Repeatedly merge until one run remains; returns (run, passes)."""
+    if fan_in < 2:
+        raise RunError(f"fan-in must be at least 2, got {fan_in}")
+    if not runs:
+        raise RunError("nothing to merge")
+    passes = 0
+    current = list(runs)
+    while len(current) > 1:
+        passes += 1
+        merged: list[RunHandle] = []
+        for group_start in range(0, len(current), fan_in):
+            group = current[group_start : group_start + fan_in]
+            if len(group) == 1:
+                merged.append(group[0])
+                continue
+            writer = store.create_writer(write_category)
+            for record in merge_pass(store, group, key_of, read_category):
+                writer.write_record(record)
+            merged.append(writer.finish())
+        current = merged
+    return current[0], passes
+
+
+def merge_to_stream(
+    store: RunStore,
+    runs: list[RunHandle],
+    key_of: Callable[[bytes], object],
+    fan_in: int,
+    read_category: str = "merge_read",
+    write_category: str = "merge_write",
+) -> tuple[Iterator[bytes], int, int]:
+    """Merge passes until <= fan_in runs remain, then stream the final merge.
+
+    Saves the materialization of the last pass: external merge sort pipes
+    its final merge straight into the output decoder, which is how the
+    textbook pass count ``1 + ceil(log_{fan_in}(initial_runs))`` arises.
+    Returns (record iterator, materialized passes, final merge width).
+    """
+    if fan_in < 2:
+        raise RunError(f"fan-in must be at least 2, got {fan_in}")
+    passes = 0
+    current = list(runs)
+    while len(current) > fan_in:
+        passes += 1
+        merged: list[RunHandle] = []
+        for group_start in range(0, len(current), fan_in):
+            group = current[group_start : group_start + fan_in]
+            if len(group) == 1:
+                merged.append(group[0])
+                continue
+            writer = store.create_writer(write_category)
+            for record in merge_pass(store, group, key_of, read_category):
+                writer.write_record(record)
+            merged.append(writer.finish())
+        current = merged
+    width = len(current)
+    if width == 1:
+        stream = iter(store.open_reader(current[0], category=read_category))
+        return stream, passes, width
+    return merge_pass(store, current, key_of, read_category), passes, width
+
+
+def write_sorted_run(
+    store: RunStore,
+    records: Iterable[bytes],
+    key_of: Callable[[bytes], object],
+    write_category: str = "merge_write",
+) -> RunHandle:
+    """Sort a batch of records in memory and write it as one run.
+
+    Charges ``n * ceil(log2 n)`` comparisons, the standard in-memory sort
+    bound, to the device's CPU counters.
+    """
+    batch = list(records)
+    batch.sort(key=key_of)
+    count = len(batch)
+    if count > 1:
+        store.device.stats.record_comparisons(count * max(1, ceil(log2(count))))
+    store.device.stats.record_tokens(count)
+    writer = store.create_writer(write_category)
+    for record in batch:
+        writer.write_record(record)
+    return writer.finish()

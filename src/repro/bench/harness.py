@@ -1,0 +1,134 @@
+"""Experiment runner shared by every benchmark.
+
+One experiment = load a generated document onto a fresh simulated device,
+run one sorter (or merger) configuration, and collect the metrics the
+paper reports: simulated sort time, total I/Os, pass counts / subtree
+sorts, and the per-category breakdown.
+
+The geometry defaults mirror the paper's setup scaled down by the block
+size (the paper: 64 KB blocks, ~150-byte elements, 3-32 MB of memory; here
+512-byte blocks, ~45-byte elements, 16-96 blocks of memory - the same
+``N/B``, ``M/B``, ``k/B`` regimes).  ``REPRO_BENCH_SCALE=large`` doubles
+workload sizes for longer, smoother curves.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..baselines.merge_sort import external_merge_sort
+from ..core.nexsort import nexsort
+from ..io.device import BlockDevice
+from ..io.runs import RunStore
+from ..keys import ByAttribute, SortSpec
+from ..xml.compact import CompactionConfig
+from ..xml.document import Document
+from ..xml.tokens import Token
+
+#: Default block size for benchmark devices.
+BENCH_BLOCK_SIZE = 512
+
+#: The standard benchmark ordering criterion.
+BENCH_SPEC = SortSpec(default=ByAttribute("name"))
+
+
+def bench_scale() -> float:
+    """Workload multiplier from the REPRO_BENCH_SCALE env var."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return {"small": 1.0, "medium": 2.0, "large": 4.0}.get(scale, 1.0)
+
+
+@dataclass
+class SortMetrics:
+    """What one sort run measured."""
+
+    algorithm: str
+    element_count: int
+    input_blocks: int
+    memory_blocks: int
+    simulated_seconds: float
+    total_ios: int
+    detail: dict
+
+    @property
+    def ios_per_block(self) -> float:
+        return self.total_ios / max(1, self.input_blocks)
+
+
+def load_document(
+    events: Iterable[Token],
+    block_size: int = BENCH_BLOCK_SIZE,
+    compaction: CompactionConfig | None = None,
+) -> Document:
+    """Put a generated event stream on a fresh device."""
+    device = BlockDevice(block_size=block_size)
+    store = RunStore(device)
+    return Document.from_events(store, events, compaction=compaction)
+
+
+def run_nexsort(
+    events_factory: Callable[[], Iterable[Token]],
+    memory_blocks: int,
+    spec: SortSpec = BENCH_SPEC,
+    block_size: int = BENCH_BLOCK_SIZE,
+    compaction: CompactionConfig | None = None,
+    **options,
+) -> SortMetrics:
+    """One NEXSORT experiment on a fresh device."""
+    document = load_document(events_factory(), block_size, compaction)
+    _output, report = nexsort(
+        document, spec, memory_blocks=memory_blocks, **options
+    )
+    return SortMetrics(
+        algorithm="nexsort",
+        element_count=document.element_count,
+        input_blocks=document.block_count,
+        memory_blocks=memory_blocks,
+        simulated_seconds=report.simulated_seconds,
+        total_ios=report.total_ios,
+        detail={
+            "x": report.x,
+            "internal_sorts": report.internal_sorts,
+            "external_sorts": report.external_sorts,
+            "flat_partial_runs": report.flat_partial_runs,
+            "data_stack_page_outs": report.data_stack_page_outs,
+            "breakdown": report.io_breakdown(),
+            "max_fanout": report.max_fanout,
+            "threshold_bytes": report.threshold_bytes,
+        },
+    )
+
+
+def run_merge_sort(
+    events_factory: Callable[[], Iterable[Token]],
+    memory_blocks: int,
+    spec: SortSpec = BENCH_SPEC,
+    block_size: int = BENCH_BLOCK_SIZE,
+    compaction: CompactionConfig | None = None,
+) -> SortMetrics:
+    """One external merge sort experiment on a fresh device."""
+    document = load_document(events_factory(), block_size, compaction)
+    _output, report = external_merge_sort(
+        document, spec, memory_blocks=memory_blocks
+    )
+    return SortMetrics(
+        algorithm="merge_sort",
+        element_count=document.element_count,
+        input_blocks=document.block_count,
+        memory_blocks=memory_blocks,
+        simulated_seconds=report.simulated_seconds,
+        total_ios=report.total_ios,
+        detail={
+            "initial_runs": report.initial_runs,
+            "passes": report.total_passes,
+        },
+    )
+
+
+def slowdown(baseline: SortMetrics, other: SortMetrics) -> float:
+    """other / baseline simulated time, as the paper's percentages."""
+    if baseline.simulated_seconds == 0:
+        return float("inf")
+    return other.simulated_seconds / baseline.simulated_seconds

@@ -1,0 +1,80 @@
+"""ASCII rendering of benchmark series, for figure-shaped results.
+
+The paper's Figures 5-7 are line charts; the bench suite reproduces their
+*series* as tables and, via :func:`ascii_chart`, as terminal plots so the
+curve shapes (the reproduction target) are visible at a glance in the
+``pytest benchmarks/`` output.
+"""
+
+from __future__ import annotations
+
+#: Glyphs assigned to series, in order.
+_MARKERS = "*o+x#@"
+
+
+def ascii_chart(
+    xs: list,
+    series: dict[str, list[float]],
+    width: int = 64,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x positions.
+
+    X positions are spread evenly (category axis, like the paper's
+    sweeps); y is linearly scaled from zero to the maximum value.
+    """
+    if not xs or not series:
+        return "(no data)"
+    peak = max(max(values) for values in series.values() if values)
+    if peak <= 0:
+        peak = 1.0
+    columns = [
+        round(index * (width - 1) / max(1, len(xs) - 1))
+        for index in range(len(xs))
+    ]
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        previous: tuple[int, int] | None = None
+        for column, value in zip(columns, values):
+            row = height - 1 - round(value / peak * (height - 1))
+            row = min(height - 1, max(0, row))
+            if previous is not None:
+                _draw_segment(grid, previous, (column, row))
+            grid[row][column] = marker
+            previous = (column, row)
+
+    lines = []
+    top_label = f"{peak:.3g}"
+    lines.append(f"{top_label:>8} |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{0:>8} |" + "".join(grid[-1]))
+    lines.append(" " * 8 + " +" + "-" * width)
+    x_axis = [" "] * width
+    for column, x in zip(columns, xs):
+        label = str(x)
+        start = min(column, width - len(label))
+        for offset, char in enumerate(label):
+            x_axis[start + offset] = char
+    lines.append(" " * 10 + "".join(x_axis))
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"{' ' * 10}{legend}")
+    if y_label:
+        lines.insert(0, f"{' ' * 10}[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start: tuple[int, int], end: tuple[int, int]) -> None:
+    """Light interpolation dots between consecutive points."""
+    (x0, y0), (x1, y1) = start, end
+    steps = max(abs(x1 - x0), abs(y1 - y0))
+    for step in range(1, steps):
+        x = round(x0 + (x1 - x0) * step / steps)
+        y = round(y0 + (y1 - y0) * step / steps)
+        if grid[y][x] == " ":
+            grid[y][x] = "."

@@ -1,0 +1,84 @@
+"""Result tables for the benchmark suite.
+
+Each benchmark records one table (the analogue of a paper table or the
+series behind a paper figure) through :func:`record_table`; the
+``benchmarks/conftest.py`` terminal-summary hook prints everything at the
+end of the run, so ``pytest benchmarks/ --benchmark-only`` shows the
+reproduced numbers alongside pytest-benchmark's wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BenchReport:
+    """One rendered experiment table plus commentary."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    notes: list[str] = field(default_factory=list)
+    chart: str | None = None
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            header.ljust(width)
+            for header, width in zip(self.headers, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    cell.ljust(width) for cell, width in zip(row, widths)
+                )
+            )
+        if self.chart:
+            lines.append("")
+            lines.append(self.chart)
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+
+#: Global registry the conftest summary hook drains.
+REPORTS: list[BenchReport] = []
+
+
+def record_table(
+    title: str,
+    headers: list[str],
+    rows: list[list[object]],
+    notes: list[str] | None = None,
+    chart: str | None = None,
+) -> BenchReport:
+    """Register a result table for end-of-run printing; returns it."""
+    report = BenchReport(
+        title=title,
+        headers=list(headers),
+        rows=[[_fmt(cell) for cell in row] for row in rows],
+        notes=list(notes or []),
+        chart=chart,
+    )
+    REPORTS.append(report)
+    return report
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def drain_reports() -> list[BenchReport]:
+    """Return and clear all recorded reports."""
+    reports = list(REPORTS)
+    REPORTS.clear()
+    return reports

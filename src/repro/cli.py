@@ -1,0 +1,394 @@
+"""Command-line interface: sort, merge, validate, and analyze XML files.
+
+Usage (also via ``python -m repro``):
+
+    repro sort personnel.xml -o sorted.xml --by name --tag-attr employee=ID
+    repro merge d1.xml d2.xml -o merged.xml --by name --tag-attr employee=ID
+    repro table1 personnel.xml --by name --tag-attr employee=ID
+    repro validate doc.xml --dtd schema.dtd
+    repro analyze doc.xml --memory 24
+
+Files are ordinary XML text; they are staged on a simulated block device
+(or a file-backed one with ``--scratch``) and every command can print the
+I/O accounting the paper's evaluation is built on (``--stats``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ModelGeometry,
+    merge_sort_passes,
+    nexsort_upper_bound_ios,
+    sorting_lower_bound_ios,
+)
+from .baselines import external_merge_sort, key_path_table, xsort
+from .core import nexsort
+from .errors import ReproError
+from .io import BlockDevice, FileBackedBlockDevice, RunStore
+from .keys import ByAttribute, SortSpec
+from .merge import merge_preserving_order, structural_merge
+from .xml import CompactionConfig, Document
+from .xml.dtd import DTD
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NEXSORT: sorting XML in external memory "
+        "(ICDE 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, with_spec=True) -> None:
+        p.add_argument(
+            "--memory", type=int, default=24,
+            help="internal memory budget in blocks (default 24)",
+        )
+        p.add_argument(
+            "--block-size", type=int, default=4096,
+            help="device block size in bytes (default 4096)",
+        )
+        p.add_argument(
+            "--scratch", metavar="PATH",
+            help="back the device with a real file at PATH",
+        )
+        p.add_argument(
+            "--stats", action="store_true",
+            help="print the I/O accounting report",
+        )
+        if with_spec:
+            p.add_argument(
+                "--by", default="name", metavar="ATTR",
+                help="default ordering attribute (default: name)",
+            )
+            p.add_argument(
+                "--tag-attr", action="append", default=[],
+                metavar="TAG=ATTR",
+                help="per-tag ordering attribute, e.g. employee=ID "
+                "(repeatable)",
+            )
+            p.add_argument(
+                "--depth-limit", type=int, default=None,
+                help="sort only down to this level (root = 1)",
+            )
+            p.add_argument(
+                "--spec", default=None, metavar="CLAUSES",
+                help="full ordering spec, overriding --by/--tag-attr; "
+                "e.g. '*=@name, employee=@ID, note=text()'",
+            )
+
+    sort_cmd = sub.add_parser("sort", help="sort a document")
+    sort_cmd.add_argument("input")
+    sort_cmd.add_argument("-o", "--output", help="write result here")
+    sort_cmd.add_argument(
+        "--algorithm",
+        choices=["nexsort", "mergesort", "xsort"],
+        default="nexsort",
+    )
+    sort_cmd.add_argument(
+        "--threshold", type=int, default=None,
+        help="NEXSORT sort threshold in bytes (default: 2 blocks)",
+    )
+    sort_cmd.add_argument(
+        "--flat-opt", action="store_true",
+        help="enable graceful degeneration into external merge sort",
+    )
+    sort_cmd.add_argument(
+        "--compact", action="store_true",
+        help="store with name dictionary + end-tag elimination",
+    )
+    sort_cmd.add_argument(
+        "--target", default="",
+        help="xsort only: '/'-separated tag path whose child lists to sort",
+    )
+    add_common(sort_cmd)
+
+    merge_cmd = sub.add_parser(
+        "merge", help="sort two documents and merge them in one pass"
+    )
+    merge_cmd.add_argument("left")
+    merge_cmd.add_argument("right")
+    merge_cmd.add_argument("-o", "--output")
+    merge_cmd.add_argument(
+        "--preserve-order", action="store_true",
+        help="keep the left document's child ordering in the result",
+    )
+    add_common(merge_cmd)
+
+    dedup_cmd = sub.add_parser(
+        "dedup",
+        help="sort a document and remove duplicate sibling subtrees",
+    )
+    dedup_cmd.add_argument("input")
+    dedup_cmd.add_argument("-o", "--output")
+    add_common(dedup_cmd)
+
+    table_cmd = sub.add_parser(
+        "table1", help="print the key-path representation (paper Table 1)"
+    )
+    table_cmd.add_argument("input")
+    add_common(table_cmd)
+
+    validate_cmd = sub.add_parser(
+        "validate", help="validate a document against a DTD"
+    )
+    validate_cmd.add_argument("input")
+    validate_cmd.add_argument("--dtd", required=True)
+    add_common(validate_cmd, with_spec=False)
+
+    analyze_cmd = sub.add_parser(
+        "analyze",
+        help="print the document's external-memory geometry and the "
+        "paper's bounds",
+    )
+    analyze_cmd.add_argument("input")
+    add_common(analyze_cmd, with_spec=False)
+
+    return parser
+
+
+def _make_spec(args) -> SortSpec:
+    if getattr(args, "spec", None):
+        return SortSpec.parse(args.spec)
+    rules = {}
+    for mapping in args.tag_attr:
+        if "=" not in mapping:
+            raise ReproError(
+                f"--tag-attr needs TAG=ATTR, got {mapping!r}"
+            )
+        tag, attr = mapping.split("=", 1)
+        rules[tag] = ByAttribute(attr, missing_uses_tag=True)
+    return SortSpec(
+        default=ByAttribute(args.by, missing_uses_tag=True), rules=rules
+    )
+
+
+def _make_device(args):
+    if args.scratch:
+        return FileBackedBlockDevice(
+            args.scratch, block_size=args.block_size
+        )
+    return BlockDevice(block_size=args.block_size)
+
+
+def _load(store, path: str, compaction=None) -> Document:
+    # Incremental: the file never needs to fit in a Python string.
+    return Document.from_file(store, path, compaction)
+
+
+def _emit(document: Document, output: str | None) -> None:
+    text = document.to_string(indent="  ")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text)
+
+
+def _print_stats(label: str, stats_obj, out=sys.stdout) -> None:
+    print(f"[{label}]", file=out)
+    print(f"  total block I/Os:    {stats_obj.total_ios}", file=out)
+    print(
+        f"  simulated seconds:   {stats_obj.simulated_seconds:.4f}",
+        file=out,
+    )
+
+
+def cmd_sort(args) -> int:
+    device = _make_device(args)
+    try:
+        store = RunStore(device)
+        spec = _make_spec(args)
+        compaction = CompactionConfig() if args.compact else None
+        document = _load(store, args.input, compaction)
+        if args.algorithm == "nexsort":
+            result, report = nexsort(
+                document,
+                spec,
+                memory_blocks=args.memory,
+                threshold_bytes=args.threshold,
+                depth_limit=args.depth_limit,
+                flat_optimization=args.flat_opt,
+            )
+        elif args.algorithm == "mergesort":
+            result, report = external_merge_sort(
+                document, spec, memory_blocks=args.memory
+            )
+        else:
+            result, report = xsort(
+                document, spec, args.target, memory_blocks=args.memory
+            )
+        _emit(result, args.output)
+        if args.stats:
+            _print_stats(args.algorithm, report, out=sys.stderr)
+            if args.algorithm == "nexsort":
+                print(
+                    f"  subtree sorts (x):   {report.x}", file=sys.stderr
+                )
+                print(
+                    f"  breakdown:           {report.io_breakdown()}",
+                    file=sys.stderr,
+                )
+        return 0
+    finally:
+        if isinstance(device, FileBackedBlockDevice):
+            device.close()
+
+
+def cmd_merge(args) -> int:
+    device = _make_device(args)
+    try:
+        store = RunStore(device)
+        spec = _make_spec(args)
+        left = _load(store, args.left)
+        right = _load(store, args.right)
+        if args.preserve_order:
+            merged, report = merge_preserving_order(
+                left,
+                right,
+                spec,
+                memory_blocks=args.memory,
+                depth_limit=args.depth_limit,
+            )
+        else:
+            sorted_left, _ = nexsort(
+                left, spec, memory_blocks=args.memory,
+                depth_limit=args.depth_limit,
+            )
+            sorted_right, _ = nexsort(
+                right, spec, memory_blocks=args.memory,
+                depth_limit=args.depth_limit,
+            )
+            merged, report = structural_merge(
+                sorted_left, sorted_right, spec,
+                depth_limit=args.depth_limit,
+            )
+        _emit(merged, args.output)
+        if args.stats:
+            _print_stats("merge", report, out=sys.stderr)
+        return 0
+    finally:
+        if isinstance(device, FileBackedBlockDevice):
+            device.close()
+
+
+def cmd_dedup(args) -> int:
+    from .merge import deduplicate
+
+    device = _make_device(args)
+    try:
+        store = RunStore(device)
+        spec = _make_spec(args)
+        document = _load(store, args.input)
+        sorted_document, _sort_report = nexsort(
+            document,
+            spec,
+            memory_blocks=args.memory,
+            depth_limit=args.depth_limit,
+        )
+        result, report = deduplicate(sorted_document, spec)
+        _emit(result, args.output)
+        if args.stats:
+            _print_stats("dedup", report, out=sys.stderr)
+            print(
+                f"  duplicate subtrees removed: "
+                f"{report.duplicate_subtrees_removed}",
+                file=sys.stderr,
+            )
+        return 0
+    finally:
+        if isinstance(device, FileBackedBlockDevice):
+            device.close()
+
+
+def cmd_table1(args) -> int:
+    device = _make_device(args)
+    store = RunStore(device)
+    spec = _make_spec(args)
+    document = _load(store, args.input)
+    rows = key_path_table(document, spec)
+    width = max(len(path) for path, _content in rows)
+    print(f"{'Key path'.ljust(width)}  Element content")
+    for path, content in rows:
+        print(f"{path.ljust(width)}  {content}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    with open(args.dtd, "r", encoding="utf-8") as handle:
+        dtd = DTD.parse(handle.read())
+    device = _make_device(args)
+    store = RunStore(device)
+    document = _load(store, args.input)
+    violations = dtd.validate(document.to_element())
+    if not violations:
+        print("valid")
+        return 0
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    print(f"{len(violations)} violation(s)", file=sys.stderr)
+    return 1
+
+
+def cmd_analyze(args) -> int:
+    from .analysis import recommend
+
+    device = _make_device(args)
+    store = RunStore(device)
+    document = _load(store, args.input)
+    geometry = ModelGeometry.from_document(document, args.memory)
+    lower = sorting_lower_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k
+    )
+    upper = nexsort_upper_bound_ios(
+        geometry.N, geometry.B, geometry.M, geometry.k, 2 * geometry.B
+    )
+    passes = merge_sort_passes(geometry.N, geometry.B, geometry.M)
+    print(f"elements (N):          {geometry.N}")
+    print(f"elements/block (B):    {geometry.B}")
+    print(f"memory elements (M):   {geometry.M} ({args.memory} blocks)")
+    print(f"max fan-out (k):       {geometry.k}")
+    print(f"height:                {document.height}")
+    print(f"document blocks:       {document.block_count}")
+    print(f"Thm 4.4 lower bound:   {lower:.0f} I/Os")
+    print(f"Thm 4.5 NEXSORT bound: {upper:.0f} I/Os")
+    print(f"merge sort passes:     {passes}")
+    verdict = recommend(document, args.memory)
+    print(f"\nrecommended algorithm: {verdict.algorithm}")
+    if verdict.threshold_bytes is not None:
+        print(f"  threshold:           {verdict.threshold_bytes} bytes")
+    if verdict.flat_optimization:
+        print("  graceful degeneration: on")
+    for line in verdict.rationale:
+        print(f"  - {line}")
+    return 0
+
+
+_COMMANDS = {
+    "sort": cmd_sort,
+    "merge": cmd_merge,
+    "dedup": cmd_dedup,
+    "table1": cmd_table1,
+    "validate": cmd_validate,
+    "analyze": cmd_analyze,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""NEXSORT core: the paper's primary contribution."""
+
+from .idref import (
+    ByIdRef,
+    nexsort_with_idrefs,
+    resolve_idref_keys,
+    sortable_atom_string,
+)
+from .nexsort import NexSorter, NexsortOptions, nexsort
+from .output import output_phase
+from .report import NexsortReport, SubtreeSortInfo
+from .subtree import SubtreeResult, SubtreeSorter
+
+__all__ = [
+    "ByIdRef",
+    "NexSorter",
+    "nexsort_with_idrefs",
+    "resolve_idref_keys",
+    "sortable_atom_string",
+    "NexsortOptions",
+    "NexsortReport",
+    "SubtreeResult",
+    "SubtreeSorter",
+    "SubtreeSortInfo",
+    "nexsort",
+    "output_phase",
+]

@@ -1,0 +1,257 @@
+"""Graceful degeneration into external merge sort (paper Section 3.2).
+
+Plain NEXSORT wastes its first pass on flat documents: it pushes the whole
+input onto the data stack only to pop it again for one big sort.  The fix
+the paper describes: "Whenever an incomplete subtree has filled internal
+memory, we sort it in internal memory and create an *incomplete sorted
+run* ... incomplete sorted runs for the same subtree must be merged to
+produce a regular, complete sorted run.  Effectively, we have incorporated
+the first step of creating initial sorted runs for external merge sort into
+the loop."  With this optimization NEXSORT completes a flat input in the
+same number of passes as external merge sort.
+
+An incomplete (partial) run is a key-ordered sequence of *child groups*:
+each group is one complete, internally sorted child subtree of the open
+element, stored with its ``(key, position)`` header so groups from several
+partial runs can be merged by key when the element finally closes.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import Iterator
+
+from ..errors import CodecError
+from ..io.runs import RunHandle, RunStore
+from ..xml.codec import (
+    decode_key_atom,
+    encode_key_atom,
+    read_varint,
+    write_varint,
+)
+from ..xml.tokens import (
+    EndTag,
+    KeyAtom,
+    MISSING_KEY,
+    RunPointer,
+    StartTag,
+    Text,
+    Token,
+)
+from .subtree import (
+    _Node,
+    build_subtree,
+    count_units,
+    serialize_node_tree,
+    sort_node_tree,
+)
+
+
+class ChildGroup:
+    """One complete child subtree inside a partial run."""
+
+    __slots__ = ("key", "pos", "units", "real", "token_bytes")
+
+    def __init__(
+        self,
+        key: KeyAtom,
+        pos: int,
+        units: int,
+        real: int,
+        token_bytes: list[bytes],
+    ):
+        self.key = key
+        self.pos = pos
+        self.units = units
+        self.real = real
+        self.token_bytes = token_bytes
+
+    def order_key(self) -> tuple:
+        return (self.key, self.pos)
+
+
+def encode_group(group: ChildGroup) -> bytes:
+    out = bytearray()
+    encode_key_atom(out, group.key)
+    write_varint(out, group.pos)
+    write_varint(out, group.units)
+    write_varint(out, group.real)
+    write_varint(out, len(group.token_bytes))
+    for token in group.token_bytes:
+        write_varint(out, len(token))
+        out += token
+    return bytes(out)
+
+
+def decode_group(data: bytes) -> ChildGroup:
+    key, pos = decode_key_atom(data, 0)
+    position, pos = read_varint(data, pos)
+    units, pos = read_varint(data, pos)
+    real, pos = read_varint(data, pos)
+    count, pos = read_varint(data, pos)
+    tokens = []
+    for _ in range(count):
+        length, pos = read_varint(data, pos)
+        tokens.append(data[pos : pos + length])
+        pos += length
+    return ChildGroup(key, position, units, real, tokens)
+
+
+def group_sort_key(data: bytes) -> tuple:
+    """Ordering key of an encoded group (header only, cheap)."""
+    key, pos = decode_key_atom(data, 0)
+    position, _ = read_varint(data, pos)
+    return (key, position)
+
+
+def split_region(
+    tokens: list[Token], compact: bool
+) -> tuple[list[str], list[list[Token]]]:
+    """Split an open element's content region into its texts and children.
+
+    The region is everything pushed after the element's start tag while the
+    element is the deepest open one, so it consists exclusively of the
+    element's own text and *complete* child subtrees.
+    """
+    texts: list[str] = []
+    children: list[list[Token]] = []
+    depth = 0
+    current: list[Token] = []
+    if compact:
+        base_level: int | None = None
+        for token in tokens:
+            if isinstance(token, (StartTag, RunPointer)):
+                level = token.level
+                if level is None:
+                    raise CodecError("compacted token without level")
+                if base_level is None:
+                    base_level = level
+                if level == base_level:
+                    if current:
+                        children.append(current)
+                    current = [token]
+                else:
+                    current.append(token)
+            elif isinstance(token, Text):
+                # The text's level says whether it belongs to the open
+                # element (one above the child roots) or to a child.
+                owner_is_frame = (
+                    token.level is not None
+                    and base_level is not None
+                    and token.level < base_level
+                ) or not current
+                if owner_is_frame:
+                    texts.append(token.text)
+                else:
+                    current.append(token)
+            else:
+                raise CodecError(
+                    f"unexpected token in compact region: {token!r}"
+                )
+        if current:
+            children.append(current)
+    else:
+        for token in tokens:
+            if isinstance(token, StartTag):
+                depth += 1
+                current.append(token)
+            elif isinstance(token, EndTag):
+                current.append(token)
+                depth -= 1
+                if depth == 0:
+                    children.append(current)
+                    current = []
+            elif isinstance(token, RunPointer):
+                if depth == 0:
+                    children.append([token])
+                else:
+                    current.append(token)
+            elif isinstance(token, Text):
+                if depth == 0:
+                    texts.append(token.text)
+                else:
+                    current.append(token)
+        if depth != 0:
+            raise CodecError("open-element region contains an open child")
+    return texts, children
+
+
+def groups_from_region(
+    tokens: list[Token],
+    compact: bool,
+    child_level: int,
+    sort_levels: int | None,
+    codec,
+    device_stats,
+) -> tuple[list[str], list[ChildGroup]]:
+    """Sort each complete child subtree of the region into a ChildGroup.
+
+    Groups come back ordered by ``(key, position)``, ready to be written as
+    one partial run.  ``sort_levels`` applies relative to each child root
+    (depth-limited sorting composes with graceful degeneration).
+    """
+    texts, children = split_region(tokens, compact)
+    groups: list[ChildGroup] = []
+    for child_tokens in children:
+        units, real = count_units(child_tokens)
+        first = child_tokens[0]
+        key = first.key if first.key is not None else MISSING_KEY
+        pos = first.pos if first.pos is not None else 0
+        if key == MISSING_KEY and not compact:
+            last = child_tokens[-1]
+            if isinstance(last, EndTag) and last.key is not None:
+                key = last.key
+                pos = last.pos if last.pos is not None else pos
+        if isinstance(first, RunPointer):
+            encoded = [codec.encode(_strip_pointer(first, compact))]
+        else:
+            root = build_subtree(child_tokens, compact)
+            sort_node_tree(root, sort_levels, device_stats)
+            encoded = [
+                codec.encode(token)
+                for token in serialize_node_tree(root, child_level, compact)
+            ]
+        device_stats.record_tokens(len(encoded))
+        groups.append(ChildGroup(key, pos, units, real, encoded))
+    count = len(groups)
+    if count > 1:
+        groups.sort(key=ChildGroup.order_key)
+        device_stats.record_comparisons(count * max(1, ceil(log2(count))))
+    return texts, groups
+
+
+def _strip_pointer(pointer: RunPointer, compact: bool) -> RunPointer:
+    return RunPointer(
+        run_id=pointer.run_id,
+        level=pointer.level if compact else None,
+        element_count=pointer.element_count,
+        payload_bytes=pointer.payload_bytes,
+    )
+
+
+def write_partial_run(
+    store: RunStore, groups: list[ChildGroup]
+) -> RunHandle:
+    """Write one incomplete sorted run of child groups."""
+    writer = store.create_writer("partial_run")
+    for group in groups:
+        writer.write_record(encode_group(group))
+    return writer.finish()
+
+
+def iter_merged_groups(
+    store: RunStore, partial_runs: list[RunHandle], fan_in: int
+) -> Iterator[ChildGroup]:
+    """Stream the groups of several partial runs merged by (key, pos)."""
+    from ..baselines.merging import merge_to_stream
+
+    stream, _passes, _width = merge_to_stream(
+        store,
+        partial_runs,
+        group_sort_key,
+        fan_in,
+        read_category="partial_merge_read",
+        write_category="partial_merge_write",
+    )
+    for record in stream:
+        yield decode_group(record)

@@ -1,0 +1,507 @@
+"""NEXSORT - Nested Data and XML Sorting (paper Sections 3 and 3.2).
+
+The sorting phase follows Figure 4 line by line: scan the input depth-first
+with an event parser, push every unit of data onto the external-memory
+*data stack*, track element start locations on the *path stack*, and
+whenever an end tag closes a subtree whose size has reached the sort
+threshold ``t`` (or the root closes), pop the subtree, sort it
+(:mod:`repro.core.subtree`), write it as a sorted run, and push the root
+back as a single :class:`~repro.xml.tokens.RunPointer`.  The output phase
+(:mod:`repro.core.output`) then walks the resulting tree of sorted runs.
+
+Extensions from Section 3.2, all selectable via :class:`NexsortOptions`:
+
+* **depth-limited sorting** (``depth_limit=d``): subtrees rooted below
+  level ``d`` are treated as atomic; the sorting condition gains the
+  ``d_s <= d + 1`` check and subtree sorts are truncated to the top
+  ``d + 1 - d_s`` levels.
+* **graceful degeneration** (``flat_optimization=True``): when an
+  incomplete subtree fills internal memory, its complete children are
+  sorted in memory into an *incomplete sorted run*; the runs of one element
+  are merged when it closes.  Flat inputs then cost the same passes as
+  external merge sort.
+* **compaction** is inherited from how the document is stored (name
+  dictionaries, end-tag elimination); with end tags eliminated, end events
+  still trigger sorting decisions but are never pushed onto the data stack.
+* **complex ordering criteria**: subtree-evaluated keys (ByText,
+  ByChildPath) ride on end tags, evaluated in the single scanning pass by
+  :class:`~repro.keys.KeyEvaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SortSpecError
+from ..io.budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS
+from ..io.stacks import ExternalStack
+from ..keys import KeyEvaluator, SortSpec
+from ..xml.codec import read_varint, write_varint
+from ..xml.document import Document
+from ..xml.tokens import (
+    EndTag,
+    MISSING_KEY,
+    RunPointer,
+    StartTag,
+    Text,
+)
+from . import flat as flat_mod
+from .output import output_phase
+from .report import NexsortReport, SubtreeSortInfo
+from .subtree import SubtreeSorter
+
+
+@dataclass(frozen=True)
+class NexsortOptions:
+    """Tunable knobs of NEXSORT.
+
+    Attributes:
+        threshold_bytes: the sort threshold ``t`` in encoded bytes; None
+            means twice the block size, the paper's recommended setting
+            ("we set the threshold to be roughly twice the block size,
+            which works well for most inputs").
+        depth_limit: sort only down to this level (root = 1); None sorts
+            head to toe.
+        flat_optimization: enable graceful degeneration into external
+            merge sort for flat inputs.
+    """
+
+    threshold_bytes: int | None = None
+    depth_limit: int | None = None
+    flat_optimization: bool = False
+
+
+class _OpenFrame:
+    """In-memory mirror of one path-stack entry.
+
+    The external path stack carries the start locations (and is what gets
+    paged, per Lemma 4.11); the mirror holds the constant-size per-element
+    state the paper's augmented path stack also carries (Section 3.2):
+    where the element's content begins, and - in graceful-degeneration
+    mode - the incomplete runs flushed for it so far.
+    """
+
+    __slots__ = (
+        "loc",
+        "content_loc",
+        "partial_runs",
+        "flat_units",
+        "flat_real",
+    )
+
+    def __init__(self, loc: int, content_loc: int):
+        self.loc = loc
+        self.content_loc = content_loc
+        self.partial_runs: list = []
+        self.flat_units = 0
+        self.flat_real = 0
+
+
+class NexSorter:
+    """Configured NEXSORT instance.
+
+    Args:
+        spec: the ordering criterion.
+        memory_blocks: the model parameter ``M``.
+        options: threshold / depth limit / graceful degeneration.
+    """
+
+    def __init__(
+        self,
+        spec: SortSpec,
+        memory_blocks: int,
+        options: NexsortOptions | None = None,
+    ):
+        if memory_blocks < MINIMUM_NEXSORT_BLOCKS:
+            raise SortSpecError(
+                f"NEXSORT needs at least {MINIMUM_NEXSORT_BLOCKS} memory "
+                f"blocks (2 path stack, 1 data stack, 1 output-location "
+                f"stack, 2 transfer buffers); got {memory_blocks}"
+            )
+        self.spec = spec
+        self.memory_blocks = memory_blocks
+        self.options = options or NexsortOptions()
+
+    def sort(self, document: Document) -> tuple[Document, NexsortReport]:
+        """Sort ``document``; returns (sorted document, full report)."""
+        compact = (
+            document.compaction is not None
+            and document.compaction.eliminate_end_tags
+        )
+        if compact and not self.spec.start_computable:
+            raise SortSpecError(
+                "end-tag elimination requires start-computable keys: with "
+                "end tags gone there is nowhere to carry a "
+                "subtree-evaluated key (store the document without "
+                "compaction, or use an attribute/tag criterion)"
+            )
+        store = document.store
+        device = store.device
+        codec = document.codec
+        block = device.block_size
+
+        options = self.options
+        threshold = (
+            options.threshold_bytes
+            if options.threshold_bytes is not None
+            else 2 * block
+        )
+        depth_limit = options.depth_limit
+
+        budget = MemoryBudget(self.memory_blocks)
+        path_reservation = budget.reserve(2, "path-stack")
+        output_reservation = budget.reserve(1, "output-location-stack")
+        buffer_reservation = budget.reserve(2, "transfer-buffers")
+        data_reservation = budget.reserve_rest("data-stack-and-sorter")
+        data_blocks = max(1, data_reservation.blocks)
+        capacity_bytes = data_blocks * block
+        fan_in = max(2, data_blocks - 1)
+
+        report = NexsortReport(
+            element_count=document.element_count,
+            max_fanout=document.max_fanout,
+            input_blocks=document.block_count,
+            memory_blocks=self.memory_blocks,
+            block_size=block,
+            threshold_bytes=threshold,
+            depth_limit=depth_limit,
+            flat_optimization=options.flat_optimization,
+        )
+        before_all = device.stats.snapshot()
+
+        sorter = SubtreeSorter(store, codec, compact, capacity_bytes, fan_in)
+        data_stack = ExternalStack(device, data_blocks, "data_stack")
+        path_stack = ExternalStack(device, 2, "path_stack")
+        frames: list[_OpenFrame] = []
+        start_keyed = self.spec.start_computable
+
+        evaluator = KeyEvaluator(self.spec)
+        root_pointer: RunPointer | None = None
+
+        for event in evaluator.annotate(document.iter_events("input_scan")):
+            if isinstance(event, StartTag):
+                token = StartTag(
+                    event.tag,
+                    event.attrs,
+                    key=event.key if start_keyed else None,
+                    pos=event.pos,
+                    level=event.level if compact else None,
+                )
+                encoded = codec.encode(token)
+                loc = data_stack.push(encoded)
+                path_stack.push(_encode_path_entry(loc))
+                frames.append(_OpenFrame(loc, loc + len(encoded)))
+                device.stats.record_tokens(1)
+            elif isinstance(event, Text):
+                token = Text(
+                    event.text, level=len(frames) if compact else None
+                )
+                data_stack.push(codec.encode(token))
+                device.stats.record_tokens(1)
+                self._maybe_flush_partial(
+                    frames, data_stack, codec, store, device, report,
+                    compact, capacity_bytes, depth_limit,
+                )
+            elif isinstance(event, EndTag):
+                self._handle_end(
+                    event,
+                    frames,
+                    data_stack,
+                    path_stack,
+                    codec,
+                    store,
+                    device,
+                    sorter,
+                    report,
+                    compact,
+                    threshold,
+                    depth_limit,
+                    fan_in,
+                    start_keyed,
+                )
+                if frames:
+                    self._maybe_flush_partial(
+                        frames, data_stack, codec, store, device, report,
+                        compact, capacity_bytes, depth_limit,
+                    )
+            else:  # pragma: no cover - evaluator only yields these
+                raise SortSpecError(f"unexpected event {event!r}")
+
+        # The data stack now holds exactly the root pointer.
+        root_record = data_stack.pop()
+        root_pointer = codec.decode(root_record)
+        assert isinstance(root_pointer, RunPointer)
+        report.data_stack_page_ins = data_stack.page_ins
+        report.data_stack_page_outs = data_stack.page_outs
+        report.path_stack_page_ins = path_stack.page_ins
+        report.path_stack_page_outs = path_stack.page_outs
+        report.sorting_stats = device.stats.since(before_all)
+
+        # Output phase: depth-first traversal of the tree of sorted runs.
+        before_output = device.stats.snapshot()
+        handle, output_page_ins, output_page_outs = output_phase(
+            store, root_pointer
+        )
+        report.output_stack_page_ins = output_page_ins
+        report.output_stack_page_outs = output_page_outs
+        report.output_stats = device.stats.since(before_output)
+        report.stats = device.stats.since(before_all)
+
+        for reservation in (
+            path_reservation,
+            output_reservation,
+            buffer_reservation,
+            data_reservation,
+        ):
+            reservation.release()
+
+        output = Document(store, handle, document.stats, document.compaction)
+        return output, report
+
+    # -- sorting-phase internals ---------------------------------------------
+
+    def _handle_end(
+        self,
+        event: EndTag,
+        frames: list[_OpenFrame],
+        data_stack: ExternalStack,
+        path_stack: ExternalStack,
+        codec,
+        store,
+        device,
+        sorter: SubtreeSorter,
+        report: NexsortReport,
+        compact: bool,
+        threshold: int,
+        depth_limit: int | None,
+        fan_in: int,
+        start_keyed: bool,
+    ) -> None:
+        path_stack.pop()
+        frame = frames.pop()
+        d_s = len(frames) + 1
+
+        if not compact:
+            end_token = EndTag(
+                event.tag,
+                key=event.key if not start_keyed else None,
+                pos=event.pos,
+            )
+            data_stack.push(codec.encode(end_token))
+            device.stats.record_tokens(1)
+
+        if frame.partial_runs:
+            self._finish_flat_element(
+                frame, event, frames, data_stack, codec, store, device,
+                report, compact, d_s, depth_limit, fan_in,
+            )
+            return
+
+        size = data_stack.total_bytes - frame.loc
+        is_root = not frames
+        should_sort = size >= threshold
+        if depth_limit is not None and d_s > depth_limit + 1:
+            should_sort = False
+        if is_root:
+            should_sort = True
+        if not should_sort:
+            return
+
+        sort_levels = None
+        if depth_limit is not None:
+            sort_levels = max(0, depth_limit + 1 - d_s)
+        token_records = data_stack.pop_through(frame.loc)
+        tokens = [codec.decode(record) for record in token_records]
+        result = sorter.sort_tokens(tokens, size, d_s, sort_levels)
+        report.subtree_sorts.append(
+            SubtreeSortInfo(
+                units=result.units,
+                real_elements=result.real_elements,
+                payload_bytes=result.payload_bytes,
+                level=d_s,
+                internal=result.internal,
+                run_blocks=result.run.block_count,
+            )
+        )
+        pointer = RunPointer(
+            run_id=result.run.run_id,
+            key=result.root_key,
+            pos=result.root_pos,
+            level=d_s if compact else None,
+            element_count=result.real_elements,
+            payload_bytes=result.payload_bytes,
+        )
+        data_stack.push(codec.encode(pointer))
+        device.stats.record_tokens(1)
+
+    def _maybe_flush_partial(
+        self,
+        frames: list[_OpenFrame],
+        data_stack: ExternalStack,
+        codec,
+        store,
+        device,
+        report: NexsortReport,
+        compact: bool,
+        capacity_bytes: int,
+        depth_limit: int | None,
+    ) -> None:
+        """Graceful degeneration: flush the deepest open element's complete
+        children into an incomplete sorted run when memory has filled."""
+        if not self.options.flat_optimization or not frames:
+            return
+        frame = frames[-1]
+        region_bytes = data_stack.total_bytes - frame.content_loc
+        # Flush when the incomplete subtree is about to overflow the data
+        # stack's memory (one block of headroom, so the flush happens
+        # before paging starts).  Deep shapes where the fill is spread
+        # across ancestors fall back to ordinary stack paging.
+        flush_at = max(device.block_size, capacity_bytes - device.block_size)
+        if region_bytes < flush_at:
+            return
+        child_level = len(frames) + 1
+        sort_levels = None
+        if depth_limit is not None:
+            sort_levels = max(0, depth_limit + 1 - child_level)
+        records = data_stack.pop_through(frame.content_loc)
+        tokens = [codec.decode(record) for record in records]
+        texts, groups = flat_mod.groups_from_region(
+            tokens, compact, child_level, sort_levels, codec, device.stats
+        )
+        if not groups:
+            # Nothing complete to flush (one giant open child): re-push.
+            for record in records:
+                data_stack.push(record)
+            return
+        handle = flat_mod.write_partial_run(store, groups)
+        frame.partial_runs.append(handle)
+        frame.flat_units += sum(group.units for group in groups)
+        frame.flat_real += sum(group.real for group in groups)
+        report.flat_partial_runs += 1
+        # The element's own text stays on the stack for its final close.
+        for text in texts:
+            token = Text(text, level=len(frames) if compact else None)
+            data_stack.push(codec.encode(token))
+
+    def _finish_flat_element(
+        self,
+        frame: _OpenFrame,
+        event: EndTag,
+        frames: list[_OpenFrame],
+        data_stack: ExternalStack,
+        codec,
+        store,
+        device,
+        report: NexsortReport,
+        compact: bool,
+        d_s: int,
+        depth_limit: int | None,
+        fan_in: int,
+    ) -> None:
+        """Close an element that has incomplete sorted runs: sort the
+        remaining children into a final partial run, merge all of its
+        partial runs, and collapse the element to a pointer."""
+        child_level = d_s + 1
+        sort_levels = None
+        if depth_limit is not None:
+            sort_levels = max(0, depth_limit + 1 - child_level)
+        records = data_stack.pop_through(frame.loc)
+        tokens = [codec.decode(record) for record in records]
+        start_token = tokens[0]
+        assert isinstance(start_token, StartTag)
+        end_key = event.key if event.key is not None else start_token.key
+        if end_key is None:
+            end_key = MISSING_KEY
+        pos = event.pos if event.pos is not None else 0
+        region = tokens[1:]
+        if region and isinstance(region[-1], EndTag):
+            region = region[:-1]
+        texts, groups = flat_mod.groups_from_region(
+            region, compact, child_level, sort_levels, codec, device.stats
+        )
+        if groups:
+            frame.partial_runs.append(
+                flat_mod.write_partial_run(store, groups)
+            )
+            frame.flat_units += sum(group.units for group in groups)
+            frame.flat_real += sum(group.real for group in groups)
+            report.flat_partial_runs += 1
+
+        # While merging this element's partial runs, the data-stack region
+        # is empty (it was just popped), so its buffer blocks serve as
+        # merge input buffers on top of the two transfer buffers.
+        flat_fan_in = max(fan_in, self.memory_blocks - 4)
+
+        writer = store.create_writer("run_write")
+        clean_start = StartTag(
+            start_token.tag,
+            start_token.attrs,
+            level=d_s if compact else None,
+        )
+        writer.write_record(codec.encode(clean_start))
+        if texts:
+            writer.write_record(
+                codec.encode(
+                    Text("".join(texts), level=d_s if compact else None)
+                )
+            )
+        for group in flat_mod.iter_merged_groups(
+            store, frame.partial_runs, flat_fan_in
+        ):
+            for token_bytes in group.token_bytes:
+                writer.write_record(token_bytes)
+        if not compact:
+            writer.write_record(codec.encode(EndTag(start_token.tag)))
+        handle = writer.finish()
+        report.flat_final_merges += 1
+
+        units = 1 + frame.flat_units
+        real = 1 + frame.flat_real
+        report.subtree_sorts.append(
+            SubtreeSortInfo(
+                units=units,
+                real_elements=real,
+                payload_bytes=handle.payload_bytes,
+                level=d_s,
+                internal=False,
+                run_blocks=handle.block_count,
+            )
+        )
+        pointer = RunPointer(
+            run_id=handle.run_id,
+            key=end_key,
+            pos=pos,
+            level=d_s if compact else None,
+            element_count=real,
+            payload_bytes=handle.payload_bytes,
+        )
+        data_stack.push(codec.encode(pointer))
+        device.stats.record_tokens(1)
+
+
+def _encode_path_entry(location: int) -> bytes:
+    out = bytearray()
+    write_varint(out, location)
+    return bytes(out)
+
+
+def _decode_path_entry(data: bytes) -> int:
+    value, _ = read_varint(data, 0)
+    return value
+
+
+def nexsort(
+    document: Document,
+    spec: SortSpec,
+    memory_blocks: int,
+    threshold_bytes: int | None = None,
+    depth_limit: int | None = None,
+    flat_optimization: bool = False,
+) -> tuple[Document, NexsortReport]:
+    """Convenience wrapper: sort ``document`` with NEXSORT."""
+    options = NexsortOptions(
+        threshold_bytes=threshold_bytes,
+        depth_limit=depth_limit,
+        flat_optimization=flat_optimization,
+    )
+    return NexSorter(spec, memory_blocks, options).sort(document)

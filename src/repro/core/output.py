@@ -1,0 +1,94 @@
+"""NEXSORT's output phase (Figure 4, Lines 13-21).
+
+After the sorting phase, the document is a tree of sorted runs connected by
+run pointers (Figure 3).  The output phase performs a depth-first traversal
+of that tree, implemented - as in the paper - with an explicit *output
+location stack* rather than recursion, "because we wish to control I/Os
+explicitly in the rare case that the call stack grows bigger than the
+internal memory".
+
+When a pointer is encountered, the current position within the current run
+is pushed and reading jumps to the nested run; when a run ends, the saved
+position is popped and reading resumes there - re-reading the block that
+holds the resume offset, which is exactly the ``1 + p(b)`` accesses per run
+block that Lemma 4.12 counts.
+
+Non-pointer records are copied byte-for-byte into the output document (the
+tokens inside runs already carry no sorting annotations).
+"""
+
+from __future__ import annotations
+
+from ..errors import RunError
+from ..io.runs import RunHandle, RunStore
+from ..io.stacks import ExternalStack
+from ..xml.codec import (
+    TokenCodec,
+    is_pointer_record,
+    read_varint,
+    write_varint,
+)
+from ..xml.tokens import RunPointer
+
+
+def output_phase(
+    store: RunStore, root_pointer: RunPointer
+) -> tuple[RunHandle, int, int]:
+    """Expand the tree of sorted runs into the final output document.
+
+    Returns (output run handle, output-location-stack page-ins, page-outs).
+    The output-location stack uses one block of memory; nested run
+    descents deeper than that spill, which is the Lemma 4.13 cost.
+    """
+    device = store.device
+    codec = TokenCodec()  # only used to decode pointer records
+    location_stack = ExternalStack(device, 1, "output_stack")
+    writer = store.create_writer("output")
+
+    current = store.get(root_pointer.run_id)
+    reader = store.open_reader(current, category="run_read")
+    finished_runs = []
+
+    while True:
+        record = reader.read_record()
+        if record is None:
+            finished_runs.append(current)
+            if location_stack.is_empty:
+                break
+            run_id, offset = _decode_location(location_stack.pop())
+            current = store.get(run_id)
+            # Resuming mid-run re-reads the block holding the offset.
+            reader = store.open_reader(
+                current, offset=offset, category="run_read"
+            )
+            continue
+        if is_pointer_record(record):
+            pointer = codec.decode(record)
+            if not isinstance(pointer, RunPointer):  # pragma: no cover
+                raise RunError("corrupt run: bad pointer record")
+            location_stack.push(
+                _encode_location(current.run_id, reader.tell())
+            )
+            current = store.get(pointer.run_id)
+            reader = store.open_reader(current, category="run_read")
+            continue
+        writer.write_record(record)
+        device.stats.record_tokens(1)
+
+    handle = writer.finish()
+    for run in finished_runs:
+        store.free(run)
+    return handle, location_stack.page_ins, location_stack.page_outs
+
+
+def _encode_location(run_id: int, offset: int) -> bytes:
+    out = bytearray()
+    write_varint(out, run_id)
+    write_varint(out, offset)
+    return bytes(out)
+
+
+def _decode_location(data: bytes) -> tuple[int, int]:
+    run_id, pos = read_varint(data, 0)
+    offset, _ = read_varint(data, pos)
+    return run_id, offset

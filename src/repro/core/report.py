@@ -1,0 +1,111 @@
+"""Instrumentation of a NEXSORT execution.
+
+Every quantity appearing in the paper's analysis (Section 4.2) is recorded
+here so the lemmas can be checked against real executions:
+
+* the subtree sorts ``s_1 .. s_x`` (Lemmas 4.6-4.9),
+* data/path/output-location stack paging (Lemmas 4.10, 4.11, 4.13),
+* sorted-run block accesses during output (Lemma 4.12),
+* and the full per-category I/O breakdown feeding Theorem 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..io.stats import StatsSnapshot
+
+
+@dataclass(frozen=True)
+class SubtreeSortInfo:
+    """One subtree sort performed during the sorting phase.
+
+    Attributes:
+        units: the paper's ``s_i`` - the number of element units collapsed
+            by this sort (real elements plus already-collapsed pointers,
+            each counting 1).
+        real_elements: actual elements inside the resulting run, pointers
+            expanded.
+        payload_bytes: encoded bytes of the sorted subtree.
+        level: the subtree root's level ``d_s`` (root of document = 1).
+        internal: True if the subtree fit in memory and was sorted with the
+            recursive in-memory algorithm; False if it needed an external
+            key-path merge sort.
+        run_blocks: blocks taken by the resulting sorted run.
+    """
+
+    units: int
+    real_elements: int
+    payload_bytes: int
+    level: int
+    internal: bool
+    run_blocks: int
+
+
+@dataclass
+class NexsortReport:
+    """Everything one NEXSORT run did, for analysis and assertions."""
+
+    element_count: int = 0
+    max_fanout: int = 0
+    input_blocks: int = 0
+    memory_blocks: int = 0
+    block_size: int = 0
+    threshold_bytes: int = 0
+    depth_limit: int | None = None
+    flat_optimization: bool = False
+
+    subtree_sorts: list[SubtreeSortInfo] = field(default_factory=list)
+    flat_partial_runs: int = 0
+    flat_final_merges: int = 0
+
+    data_stack_page_ins: int = 0
+    data_stack_page_outs: int = 0
+    path_stack_page_ins: int = 0
+    path_stack_page_outs: int = 0
+    output_stack_page_ins: int = 0
+    output_stack_page_outs: int = 0
+
+    sorting_stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+    output_stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+    stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+
+    # -- the paper's quantities ---------------------------------------------
+
+    @property
+    def x(self) -> int:
+        """Number of subtree sorts (the paper's ``x``)."""
+        return len(self.subtree_sorts)
+
+    @property
+    def sum_si(self) -> int:
+        """Sum of subtree sort sizes (Lemma 4.6: ``N - 1 + x``)."""
+        return sum(info.units for info in self.subtree_sorts)
+
+    @property
+    def internal_sorts(self) -> int:
+        return sum(1 for info in self.subtree_sorts if info.internal)
+
+    @property
+    def external_sorts(self) -> int:
+        return sum(1 for info in self.subtree_sorts if not info.internal)
+
+    @property
+    def run_blocks_written(self) -> int:
+        """Blocks across all sorted runs (Lemma 4.8: O(N/B))."""
+        return sum(info.run_blocks for info in self.subtree_sorts)
+
+    @property
+    def total_ios(self) -> int:
+        return self.stats.total_ios
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.elapsed_seconds()
+
+    def io_breakdown(self) -> dict[str, int]:
+        """Per-category total block accesses (reads + writes)."""
+        return {
+            name: counters.total
+            for name, counters in sorted(self.stats.by_category.items())
+        }

@@ -1,0 +1,467 @@
+"""Sorting one complete subtree (Figure 4, Line 11).
+
+When NEXSORT pops a complete subtree off the data stack it must sort it and
+write the result to a sorted run.  "Depending on the actual size of the
+subtree, sorting on Line 11 may use either an internal-memory algorithm or
+an external-memory algorithm, e.g., internal-memory recursive sort or
+key-path external merge sort" (Section 3.1).  Both paths live here:
+
+* **internal** - build the node tree, recursively sort every child list by
+  ``(key, position)``, serialize depth-first into a run.
+* **external** - the subtree exceeds the sorter's memory: generate its
+  key-path records (paths relative to the subtree root), form runs of
+  memory size, merge, and decode into the run.  This is the path taken when
+  a subtree approaches the ``k * t`` size bound of Section 3.
+
+Tokens inside a finished run carry no keys or positions (they are never
+sorted again; only the RunPointer pushed back on the data stack keeps the
+root's key), which is itself a small compaction.
+
+Depth-limited sorting (Section 3.2): only the top ``sort_levels`` relative
+levels have their child lists reordered; deeper levels keep document order.
+The external path implements this by masking the keys of too-deep elements
+to MISSING so their position tie-break preserves the original order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Iterable, Iterator
+
+from ..baselines.keypath import (
+    decode_record,
+    encode_record,
+    records_from_annotated_events,
+    tokens_from_sorted_records,
+)
+from ..baselines.merging import merge_to_stream
+from ..errors import CodecError
+from ..io.runs import RunHandle, RunStore
+from ..xml.codec import TokenCodec
+from ..xml.compact import restore_end_tags
+from ..xml.tokens import (
+    EndTag,
+    MISSING_KEY,
+    RunPointer,
+    StartTag,
+    Text,
+    Token,
+)
+
+
+class _Node:
+    """One element (or collapsed pointer) in a subtree being sorted."""
+
+    __slots__ = ("start", "pointer", "texts", "children", "key", "pos")
+
+    def __init__(
+        self,
+        start: StartTag | None = None,
+        pointer: RunPointer | None = None,
+    ):
+        self.start = start
+        self.pointer = pointer
+        self.texts: list[str] = []
+        self.children: list[_Node] = []
+        token = start if start is not None else pointer
+        self.key = token.key if token.key is not None else MISSING_KEY
+        self.pos = token.pos if token.pos is not None else 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer is not None
+
+    def order_key(self) -> tuple:
+        return (self.key, self.pos)
+
+
+@dataclass(frozen=True)
+class SubtreeResult:
+    """Outcome of one subtree sort."""
+
+    run: RunHandle
+    units: int
+    real_elements: int
+    payload_bytes: int
+    root_key: tuple
+    root_pos: int
+    internal: bool
+
+
+def build_subtree(tokens: list[Token], compact: bool) -> _Node:
+    """Assemble the node tree of a popped subtree.
+
+    In plain mode the tokens are matched Start/End pairs; keys may travel
+    on either (end tags for subtree-evaluated criteria).  In compacted mode
+    there are no end tags and nesting is recovered from levels.
+    """
+    root: _Node | None = None
+    stack: list[_Node] = []
+    if compact:
+        levels: list[int] = []
+        for token in tokens:
+            if isinstance(token, Text):
+                if token.level is not None:
+                    while levels and levels[-1] > token.level:
+                        levels.pop()
+                        stack.pop()
+                if stack:
+                    stack[-1].texts.append(token.text)
+                continue
+            if isinstance(token, (StartTag, RunPointer)):
+                level = token.level
+                if level is None:
+                    raise CodecError("compacted token without level")
+                while levels and levels[-1] >= level:
+                    levels.pop()
+                    stack.pop()
+                node = (
+                    _Node(start=token)
+                    if isinstance(token, StartTag)
+                    else _Node(pointer=token)
+                )
+                if stack:
+                    stack[-1].children.append(node)
+                elif root is None:
+                    root = node
+                else:
+                    raise CodecError("subtree tokens have two roots")
+                if isinstance(token, StartTag):
+                    stack.append(node)
+                    levels.append(level)
+            else:
+                raise CodecError(f"unexpected token in compact subtree: "
+                                 f"{token!r}")
+    else:
+        for token in tokens:
+            if isinstance(token, StartTag):
+                node = _Node(start=token)
+                if stack:
+                    stack[-1].children.append(node)
+                elif root is None:
+                    root = node
+                else:
+                    raise CodecError("subtree tokens have two roots")
+                stack.append(node)
+            elif isinstance(token, Text):
+                if stack:
+                    stack[-1].texts.append(token.text)
+            elif isinstance(token, EndTag):
+                node = stack.pop()
+                if token.key is not None:
+                    node.key = token.key
+                if token.pos is not None:
+                    node.pos = token.pos
+            elif isinstance(token, RunPointer):
+                node = _Node(pointer=token)
+                if stack:
+                    stack[-1].children.append(node)
+                elif root is None:
+                    root = node
+                else:
+                    raise CodecError("subtree tokens have two roots")
+            else:  # pragma: no cover - defensive
+                raise CodecError(f"unexpected token {token!r}")
+        if stack:
+            raise CodecError("subtree tokens are unbalanced")
+    if root is None:
+        raise CodecError("subtree tokens contain no element")
+    return root
+
+
+def sort_node_tree(
+    root: _Node, sort_levels: int | None, device_stats
+) -> None:
+    """Recursively sort every child list (iteratively, stack-safe).
+
+    ``sort_levels`` limits sorting to the top levels of the subtree
+    (None = all levels); comparisons are charged to the CPU model.
+    """
+    work: list[tuple[_Node, int]] = [(root, 1)]
+    while work:
+        node, level = work.pop()
+        if sort_levels is None or level <= sort_levels:
+            n = len(node.children)
+            if n > 1:
+                node.children.sort(key=_Node.order_key)
+                device_stats.record_comparisons(n * max(1, ceil(log2(n))))
+        for child in node.children:
+            if not child.is_pointer:
+                work.append((child, level + 1))
+
+
+def serialize_node_tree(
+    root: _Node, base_level: int, compact: bool
+) -> Iterator[Token]:
+    """Emit the sorted subtree as clean run tokens (annotations stripped)."""
+    work: list[tuple[str, _Node, int]] = [("node", root, base_level)]
+    while work:
+        kind, node, level = work.pop()
+        if kind == "end":
+            yield EndTag(node.start.tag)
+            continue
+        if node.is_pointer:
+            pointer = node.pointer
+            yield RunPointer(
+                run_id=pointer.run_id,
+                level=level if compact else None,
+                element_count=pointer.element_count,
+                payload_bytes=pointer.payload_bytes,
+            )
+            continue
+        yield StartTag(
+            node.start.tag,
+            node.start.attrs,
+            level=level if compact else None,
+        )
+        if node.texts:
+            yield Text("".join(node.texts), level=level if compact else None)
+        if not compact:
+            work.append(("end", node, level))
+        for child in reversed(node.children):
+            work.append(("node", child, level + 1))
+
+
+def count_units(tokens: Iterable[Token]) -> tuple[int, int]:
+    """(units, real elements) of a token sequence.
+
+    A unit is one element as seen by *this* sort: a start tag or a pointer
+    (the paper's ``s_i`` counts collapsed subtrees as single elements).
+    Real elements expand pointers to what their runs contain.
+    """
+    units = 0
+    real = 0
+    for token in tokens:
+        if isinstance(token, StartTag):
+            units += 1
+            real += 1
+        elif isinstance(token, RunPointer):
+            units += 1
+            real += token.element_count
+    return units, real
+
+
+def annotate_starts_from_ends(tokens: list[Token]) -> list[Token]:
+    """Move keys from end tags onto the matching start tags.
+
+    The external (key-path) sorting path needs keys on starts; for
+    subtree-evaluated criteria NEXSORT's scan put them on the end tags.
+    The popped subtree is fully available here, so the fix-up is a single
+    in-memory pass.
+    """
+    fixed = list(tokens)
+    stack: list[int] = []
+    for index, token in enumerate(fixed):
+        if isinstance(token, StartTag):
+            stack.append(index)
+        elif isinstance(token, EndTag):
+            start_index = stack.pop()
+            start = fixed[start_index]
+            if start.key is None or start.pos is None:
+                fixed[start_index] = start.with_annotations(
+                    key=token.key, pos=token.pos
+                )
+    return fixed
+
+
+def mask_keys_below(tokens: list[Token], sort_levels: int) -> list[Token]:
+    """Mask keys of elements deeper than ``sort_levels`` to MISSING.
+
+    With a MISSING key, the position tie-break keeps those siblings in
+    document order - exactly depth-limited semantics under key-path sort.
+    Relative levels are computed from the token stream (root = 1).
+    """
+    masked: list[Token] = []
+    depth = 0
+    for token in tokens:
+        if isinstance(token, StartTag):
+            depth += 1
+            if depth > sort_levels:
+                token = StartTag(
+                    token.tag,
+                    token.attrs,
+                    key=MISSING_KEY,
+                    pos=token.pos,
+                    level=token.level,
+                )
+            masked.append(token)
+        elif isinstance(token, EndTag):
+            if depth > sort_levels:
+                token = EndTag(token.tag, key=MISSING_KEY, pos=token.pos)
+            masked.append(token)
+            depth -= 1
+        elif isinstance(token, RunPointer):
+            if depth + 1 > sort_levels:
+                token = RunPointer(
+                    run_id=token.run_id,
+                    key=MISSING_KEY,
+                    pos=token.pos,
+                    level=token.level,
+                    element_count=token.element_count,
+                    payload_bytes=token.payload_bytes,
+                )
+            masked.append(token)
+        else:
+            masked.append(token)
+    return masked
+
+
+class SubtreeSorter:
+    """Sorts popped subtrees into runs, choosing internal vs. external."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        codec: TokenCodec,
+        compact: bool,
+        capacity_bytes: int,
+        fan_in: int,
+    ):
+        self.store = store
+        self.codec = codec
+        self.compact = compact
+        self.capacity_bytes = capacity_bytes
+        self.fan_in = fan_in
+
+    def sort_tokens(
+        self,
+        tokens: list[Token],
+        payload_bytes: int,
+        base_level: int,
+        sort_levels: int | None,
+    ) -> SubtreeResult:
+        """Sort one complete subtree and write it as a run.
+
+        Args:
+            tokens: the subtree's tokens, in document order.
+            payload_bytes: their total encoded size (known from the stack).
+            base_level: absolute level of the subtree root (``d_s``).
+            sort_levels: how many top relative levels to sort (None = all;
+                0 = none, the subtree is written through unsorted).
+        """
+        units, real = count_units(tokens)
+        root_token = tokens[0]
+        root_key = (
+            root_token.key if root_token.key is not None else MISSING_KEY
+        )
+        root_pos = root_token.pos if root_token.pos is not None else 0
+        if root_key == MISSING_KEY and not self.compact:
+            # Subtree-evaluated criteria put the root's key on its end tag.
+            last = tokens[-1]
+            if isinstance(last, EndTag) and last.key is not None:
+                root_key = last.key
+                root_pos = last.pos if last.pos is not None else root_pos
+
+        internal = payload_bytes <= self.capacity_bytes
+        if internal:
+            run, written = self._sort_internal(
+                tokens, base_level, sort_levels
+            )
+        else:
+            run, written = self._sort_external(
+                tokens, base_level, sort_levels
+            )
+        return SubtreeResult(
+            run=run,
+            units=units,
+            real_elements=real,
+            payload_bytes=written,
+            root_key=root_key,
+            root_pos=root_pos,
+            internal=internal,
+        )
+
+    # -- internal-memory path ----------------------------------------------
+
+    def _sort_internal(
+        self,
+        tokens: list[Token],
+        base_level: int,
+        sort_levels: int | None,
+    ) -> tuple[RunHandle, int]:
+        stats = self.store.device.stats
+        root = build_subtree(tokens, self.compact)
+        sort_node_tree(root, sort_levels, stats)
+        writer = self.store.create_writer("run_write")
+        count = 0
+        for token in serialize_node_tree(root, base_level, self.compact):
+            writer.write_record(self.codec.encode(token))
+            count += 1
+        stats.record_tokens(count)
+        handle = writer.finish()
+        return handle, handle.payload_bytes
+
+    # -- external-memory (key-path) path -------------------------------------
+
+    def _sort_external(
+        self,
+        tokens: list[Token],
+        base_level: int,
+        sort_levels: int | None,
+    ) -> tuple[RunHandle, int]:
+        device = self.store.device
+        names = self.codec.names
+        prepared: Iterable[Token]
+        if self.compact:
+            prepared = list(restore_end_tags(tokens))
+        else:
+            prepared = annotate_starts_from_ends(tokens)
+        if sort_levels is not None:
+            prepared = mask_keys_below(list(prepared), sort_levels)
+
+        # Run formation under the sorter's memory capacity.
+        runs = []
+        batch: list[tuple[tuple, bytes]] = []
+        batch_bytes = 0
+        for record in records_from_annotated_events(iter(prepared)):
+            encoded = encode_record(record, names)
+            batch.append((record.sort_key(), encoded))
+            batch_bytes += len(encoded)
+            device.stats.record_tokens(1)
+            if batch_bytes >= self.capacity_bytes:
+                runs.append(self._flush_formation(batch))
+                batch = []
+                batch_bytes = 0
+        if batch:
+            runs.append(self._flush_formation(batch))
+
+        def key_of(encoded: bytes) -> tuple:
+            return decode_record(encoded, names).sort_key()
+
+        stream, _passes, _width = merge_to_stream(
+            self.store, runs, key_of, self.fan_in
+        )
+        decoded = (decode_record(record, names) for record in stream)
+        writer = self.store.create_writer("run_write")
+        count = 0
+        for token in tokens_from_sorted_records(
+            decoded, base_level=base_level, emit_end_tags=not self.compact
+        ):
+            if not self.compact:
+                # Plain-mode run tokens carry no levels.
+                if token.__class__ is StartTag:
+                    token = StartTag(token.tag, token.attrs)
+                elif token.__class__ is RunPointer:
+                    token = RunPointer(
+                        run_id=token.run_id,
+                        element_count=token.element_count,
+                        payload_bytes=token.payload_bytes,
+                    )
+            writer.write_record(self.codec.encode(token))
+            count += 1
+        device.stats.record_tokens(count)
+        handle = writer.finish()
+        return handle, handle.payload_bytes
+
+    def _flush_formation(self, batch: list[tuple[tuple, bytes]]) -> RunHandle:
+        batch.sort(key=lambda pair: pair[0])
+        count = len(batch)
+        if count > 1:
+            self.store.device.stats.record_comparisons(
+                count * max(1, ceil(log2(count)))
+            )
+        writer = self.store.create_writer("run_write")
+        for _key, encoded in batch:
+            writer.write_record(encoded)
+        return writer.finish()

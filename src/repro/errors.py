@@ -1,0 +1,64 @@
+"""Exception hierarchy for the NEXSORT reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DeviceError(ReproError):
+    """A block device was used incorrectly (bad block id, bad size...)."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A component tried to reserve more internal-memory blocks than exist.
+
+    The external-memory model gives algorithms exactly ``M`` blocks of
+    internal memory; reserving past that is a programming error in the
+    algorithm, not a runtime condition to retry.
+    """
+
+
+class StackError(ReproError):
+    """An external-memory stack was misused (pop from empty, bad offset)."""
+
+
+class RunError(ReproError):
+    """A sorted run was read or written incorrectly."""
+
+
+class XMLSyntaxError(ReproError):
+    """The input text is not well-formed XML.
+
+    Attributes:
+        position: character offset into the input where the error was found.
+        line: 1-based line number of the error.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.line >= 0:
+            return f"{base} (line {self.line}, offset {self.position})"
+        return base
+
+
+class CodecError(ReproError):
+    """A token or record could not be encoded/decoded."""
+
+
+class SortSpecError(ReproError):
+    """An ordering criterion is invalid or unsupported for the operation."""
+
+
+class MergeError(ReproError):
+    """Structural merge inputs violate the merge preconditions."""

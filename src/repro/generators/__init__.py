@@ -1,0 +1,39 @@
+"""Workload generators: the paper's two generators plus Figure 1 data."""
+
+from .auction import auction_events, auction_spec
+from .company import (
+    figure1_d1,
+    figure1_d2,
+    figure1_merged,
+    figure1_spec,
+    payroll_events,
+    personnel_events,
+)
+from .ibm_style import ibm_style_events, ibm_style_expected_elements
+from .level_fanout import (
+    DEFAULT_PAD_BYTES,
+    PAPER_TABLE2_SHAPES,
+    PAPER_TABLE2_SIZES,
+    level_fanout_element_count,
+    level_fanout_events,
+    scaled_table2_shapes,
+)
+
+__all__ = [
+    "DEFAULT_PAD_BYTES",
+    "auction_events",
+    "auction_spec",
+    "PAPER_TABLE2_SHAPES",
+    "PAPER_TABLE2_SIZES",
+    "figure1_d1",
+    "figure1_d2",
+    "figure1_merged",
+    "figure1_spec",
+    "ibm_style_events",
+    "ibm_style_expected_elements",
+    "level_fanout_element_count",
+    "level_fanout_events",
+    "payroll_events",
+    "personnel_events",
+    "scaled_table2_shapes",
+]

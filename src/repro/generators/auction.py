@@ -1,0 +1,133 @@
+"""An XMark-style auction-site workload.
+
+The paper motivates XML sorting with Internet data exchange; the classic
+realistic XML workload of that era is XMark's auction site.  This module
+generates a seeded, streaming approximation of it: a site of regions, each
+holding open auctions with seller info, item descriptions, and bid
+histories - a document that mixes wide fan-outs (auctions per region),
+deep paths (bidder personalia), text content, and skewed subtree sizes,
+unlike the uniform shapes of the paper's generators.
+
+The matching ordering criterion (:func:`auction_spec`) sorts regions by
+name, auctions by their id, bids by amount, and everything else by tag -
+a realistic "prepare for structural merge" specification.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..keys import ByAttribute, ByAttributes, SortSpec
+from ..xml.tokens import EndTag, StartTag, Text, Token
+
+_REGIONS = (
+    "africa", "asia", "australia", "europe", "namerica", "samerica"
+)
+_FIRST = ("Ada", "Grace", "Edsger", "Alan", "Barbara", "Donald", "Leslie")
+_LAST = ("Lovelace", "Hopper", "Dijkstra", "Turing", "Liskov", "Knuth")
+_WORDS = (
+    "vintage", "rare", "boxed", "signed", "mint", "restored", "antique",
+    "original", "limited", "classic",
+)
+
+
+def auction_spec() -> SortSpec:
+    """The ordering criterion the auction documents are meant for."""
+    return SortSpec(
+        default=ByAttribute("name", missing_uses_tag=True),
+        rules={
+            "open_auction": ByAttribute("id"),
+            "bid": ByAttributes(("amount", "at")),
+            "item": ByAttribute("id"),
+        },
+    )
+
+
+def auction_events(
+    auctions_per_region: int = 20,
+    max_bids: int = 8,
+    seed: int = 0,
+    regions: int = len(_REGIONS),
+) -> Iterator[Token]:
+    """Stream one auction-site document.
+
+    Element count is roughly
+    ``regions * auctions_per_region * (6 + bids)`` with bids uniform in
+    ``[0, max_bids]``; subtree sizes are skewed the way real catalogue
+    data is.
+    """
+    rng = random.Random(seed)
+    next_id = 1000
+
+    yield StartTag("site", (("name", "auctions"),))
+    for region_index in range(regions):
+        region = _REGIONS[region_index % len(_REGIONS)]
+        suffix = region_index // len(_REGIONS)
+        region_name = f"{region}{suffix}" if suffix else region
+        yield StartTag("region", (("name", region_name),))
+        for _ in range(auctions_per_region):
+            auction_id = next_id
+            next_id += rng.randint(1, 7)
+            yield StartTag(
+                "open_auction", (("id", str(auction_id)),)
+            )
+
+            yield StartTag("seller")
+            yield StartTag("person", (("name", _person(rng)),))
+            yield StartTag("emailaddress")
+            yield Text(f"seller{auction_id}@example.net")
+            yield EndTag("emailaddress")
+            yield StartTag("phone")
+            yield Text(f"+1-555-{rng.randrange(10**7):07d}")
+            yield EndTag("phone")
+            yield StartTag("address")
+            yield StartTag("city")
+            yield Text(rng.choice(_WORDS).title() + "ville")
+            yield EndTag("city")
+            yield StartTag("zipcode")
+            yield Text(f"{rng.randrange(10**5):05d}")
+            yield EndTag("zipcode")
+            yield EndTag("address")
+            yield EndTag("person")
+            yield EndTag("seller")
+
+            yield StartTag("item", (("id", f"i{auction_id}"),))
+            yield StartTag("description")
+            yield Text(
+                " ".join(
+                    rng.choice(_WORDS)
+                    for _ in range(rng.randint(8, 20))
+                )
+            )
+            yield EndTag("description")
+            yield StartTag("quantity")
+            yield Text(str(rng.randint(1, 12)))
+            yield EndTag("quantity")
+            yield StartTag("shipping")
+            yield Text(rng.choice(("ground", "air", "pickup")))
+            yield EndTag("shipping")
+            yield EndTag("item")
+
+            amount = rng.randint(5, 50)
+            for bid_index in range(rng.randint(0, max_bids)):
+                amount += rng.randint(1, 25)
+                # Zero-padded so the composite (string) key orders the
+                # bids numerically.
+                yield StartTag(
+                    "bid",
+                    (
+                        ("amount", f"{amount:06d}"),
+                        ("at", f"t{bid_index:03d}"),
+                    ),
+                )
+                yield StartTag("bidder", (("name", _person(rng)),))
+                yield EndTag("bidder")
+                yield EndTag("bid")
+            yield EndTag("open_auction")
+        yield EndTag("region")
+    yield EndTag("site")
+
+
+def _person(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"

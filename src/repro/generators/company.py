@@ -1,0 +1,181 @@
+"""The Figure 1 company documents, exact and scalable.
+
+``figure1_d1`` / ``figure1_d2`` reproduce the two documents of the paper's
+Example 1.1 verbatim (personnel and payroll).  ``figure1_merged`` is the
+expected merge result shown at the bottom of Figure 1.
+
+``personnel_events`` / ``payroll_events`` scale the same schema up for the
+merge benchmarks: a company of many regions, branches per region, and
+employees per branch, with a configurable fraction of employees present in
+both documents (matching the outerjoin semantics of the merge operator).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..keys import SortSpec
+from ..xml.model import Element
+from ..xml.tokens import EndTag, StartTag, Text, Token
+
+
+def figure1_spec() -> SortSpec:
+    """The ordering criterion of Figure 1: regions and branches by name,
+    employees by ID."""
+    return SortSpec.by_attribute("name", employee="ID")
+
+
+def figure1_d1() -> Element:
+    """D1 - the personnel department's document (top-left of Figure 1)."""
+    return Element.parse(
+        """
+        <company>
+          <region name="NE"></region>
+          <region name="AC">
+            <branch name="Durham">
+              <employee ID="454"></employee>
+              <employee ID="323">
+                <name>Smith</name>
+                <phone>5552345</phone>
+              </employee>
+            </branch>
+            <branch name="Atlanta"></branch>
+          </region>
+        </company>
+        """
+    )
+
+
+def figure1_d2() -> Element:
+    """D2 - the payroll department's document (top-right of Figure 1)."""
+    return Element.parse(
+        """
+        <company>
+          <region name="NW"></region>
+          <region name="AC">
+            <branch name="Durham">
+              <employee ID="844"></employee>
+              <employee ID="323">
+                <salary>45000</salary>
+                <bonus>5000</bonus>
+              </employee>
+            </branch>
+            <branch name="Miami"></branch>
+          </region>
+        </company>
+        """
+    )
+
+
+def figure1_merged() -> Element:
+    """The merged document at the bottom of Figure 1 (fully sorted)."""
+    return Element.parse(
+        """
+        <company>
+          <region name="AC">
+            <branch name="Atlanta"></branch>
+            <branch name="Durham">
+              <employee ID="323">
+                <name>Smith</name>
+                <phone>5552345</phone>
+                <salary>45000</salary>
+                <bonus>5000</bonus>
+              </employee>
+              <employee ID="454"></employee>
+              <employee ID="844"></employee>
+            </branch>
+            <branch name="Miami"></branch>
+          </region>
+          <region name="NE"></region>
+          <region name="NW"></region>
+        </company>
+        """
+    )
+
+
+def _company_events(
+    regions: int,
+    branches: int,
+    employees: int,
+    seed: int,
+    shared_fraction: float,
+    leaf_tags: tuple[str, str],
+    leaf_values: tuple[str, str],
+    id_salt: int,
+) -> Iterator[Token]:
+    rng = random.Random(seed)
+    region_names = [f"R{index:04d}" for index in range(regions)]
+    rng.shuffle(region_names)
+    yield StartTag("company")
+    for region_name in region_names:
+        yield StartTag("region", (("name", region_name),))
+        branch_names = [f"B{index:04d}" for index in range(branches)]
+        rng.shuffle(branch_names)
+        for branch_name in branch_names:
+            yield StartTag("branch", (("name", branch_name),))
+            # Shared employees derive from the branch identity so both
+            # documents agree on them regardless of generation order;
+            # private employees come from per-side disjoint ID ranges.
+            shared_rng = random.Random(f"shared-{region_name}-{branch_name}")
+            shared_count = int(employees * shared_fraction)
+            ids = [
+                shared_rng.randrange(10**6) for _ in range(shared_count)
+            ]
+            ids += [
+                rng.randrange(
+                    (id_salt + 1) * 10**6, (id_salt + 2) * 10**6
+                )
+                for _ in range(employees - shared_count)
+            ]
+            rng.shuffle(ids)
+            for employee_id in ids:
+                yield StartTag("employee", (("ID", str(employee_id)),))
+                for leaf_tag, leaf_value in zip(leaf_tags, leaf_values):
+                    yield StartTag(leaf_tag)
+                    yield Text(f"{leaf_value}{employee_id % 9999}")
+                    yield EndTag(leaf_tag)
+                yield EndTag("employee")
+            yield EndTag("branch")
+        yield EndTag("region")
+    yield EndTag("company")
+
+
+def personnel_events(
+    regions: int = 4,
+    branches: int = 4,
+    employees: int = 16,
+    seed: int = 1,
+    shared_fraction: float = 0.5,
+) -> Iterator[Token]:
+    """A scaled-up D1: employees with name and phone."""
+    return _company_events(
+        regions,
+        branches,
+        employees,
+        seed,
+        shared_fraction,
+        ("name", "phone"),
+        ("Emp", "555"),
+        id_salt=1,
+    )
+
+
+def payroll_events(
+    regions: int = 4,
+    branches: int = 4,
+    employees: int = 16,
+    seed: int = 2,
+    shared_fraction: float = 0.5,
+) -> Iterator[Token]:
+    """A scaled-up D2: employees with salary and bonus."""
+    return _company_events(
+        regions,
+        branches,
+        employees,
+        seed,
+        shared_fraction,
+        ("salary", "bonus"),
+        ("4", "1"),
+        id_salt=2,
+    )

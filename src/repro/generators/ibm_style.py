@@ -1,0 +1,81 @@
+"""IBM alphaWorks-style XML generator (paper Section 5).
+
+"The IBM generator allows us to specify height and maximum fan-out for the
+document to be generated.  The fan-out of each element is a random number
+between 1 and the specified maximum."  The alphaWorks tool itself is long
+gone; this module reimplements exactly that distribution, streaming and
+seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import ReproError
+from ..xml.tokens import EndTag, StartTag, Text, Token
+from .level_fanout import DEFAULT_PAD_BYTES
+
+
+def ibm_style_events(
+    height: int,
+    max_fanout: int,
+    seed: int = 0,
+    key_attribute: str = "name",
+    pad_bytes: int = DEFAULT_PAD_BYTES,
+    root_tag: str = "root",
+    tag: str = "node",
+    text_leaves: bool = False,
+) -> Iterator[Token]:
+    """Stream a random document of the given height and max fan-out.
+
+    Every element above the leaf level draws its fan-out uniformly from
+    ``[1, max_fanout]``; expected element count is roughly
+    ``((1 + max_fanout) / 2) ** (height - 1)``.
+    """
+    if height < 1:
+        raise ReproError(f"height must be >= 1, got {height}")
+    if max_fanout < 1:
+        raise ReproError(f"max_fanout must be >= 1, got {max_fanout}")
+    rng = random.Random(seed)
+    key_space = max(10, 10 * max_fanout)
+    width = len(str(key_space))
+    pad = "x" * pad_bytes
+
+    def attrs_for() -> tuple[tuple[str, str], ...]:
+        key = rng.randrange(key_space)
+        return (
+            (key_attribute, f"k{key:0{width}d}"),
+            ("pad", pad),
+        )
+
+    yield StartTag(root_tag, ((key_attribute, "root"), ("pad", pad)))
+    if height == 1:
+        yield EndTag(root_tag)
+        return
+    # Stack of remaining-children counters; index = depth - 1.
+    stack = [rng.randint(1, max_fanout)]
+    while stack:
+        if stack[-1] == 0:
+            stack.pop()
+            yield EndTag(root_tag if not stack else tag)
+            continue
+        stack[-1] -= 1
+        yield StartTag(tag, attrs_for())
+        if len(stack) < height - 1:
+            stack.append(rng.randint(1, max_fanout))
+        else:
+            if text_leaves:
+                yield Text(f"v{rng.randrange(key_space)}")
+            yield EndTag(tag)
+
+
+def ibm_style_expected_elements(height: int, max_fanout: int) -> float:
+    """Expected element count of :func:`ibm_style_events`."""
+    mean = (1 + max_fanout) / 2
+    total = 1.0
+    layer = 1.0
+    for _ in range(height - 1):
+        layer *= mean
+        total += layer
+    return total

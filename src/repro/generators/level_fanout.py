@@ -1,0 +1,141 @@
+"""The authors' custom XML generator (paper Section 5).
+
+"Our custom generator allows us to specify the exact fan-out for each
+level, giving us more precise control over the shape and the size of the
+generated document."  This is the generator behind Figure 6 (input-size
+sweep at capped fan-out) and Table 2 / Figure 7 (tree-shape sweep).
+
+Documents stream out as events - nothing is materialized - so arbitrarily
+large inputs can be written straight to the device.  Sort keys are random
+(seeded) so that sorting has real work to do, and elements carry a padding
+attribute so the average element size can be controlled (the paper used
+~150 bytes per element).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import ReproError
+from ..xml.tokens import EndTag, StartTag, Text, Token
+
+#: Default padding chosen so a typical encoded element lands near the
+#: paper's ~150-byte average when stored without compaction.
+DEFAULT_PAD_BYTES = 96
+
+
+def level_fanout_events(
+    fanouts: list[int],
+    seed: int = 0,
+    key_attribute: str = "name",
+    pad_bytes: int = DEFAULT_PAD_BYTES,
+    root_tag: str = "root",
+    tag: str = "node",
+    text_leaves: bool = False,
+) -> Iterator[Token]:
+    """Stream a document with exactly ``fanouts[i]`` children at level i+1.
+
+    ``fanouts`` lists the fan-out of every non-leaf level, root first: the
+    paper's height-4 Table 2 row is ``[144, 144, 144]``.  Element count is
+    ``1 + f1 + f1*f2 + ...`` (see :func:`level_fanout_element_count`).
+
+    Keys are drawn uniformly (with replacement) from a zero-padded numeric
+    space sized to the widest level, so duplicate keys occur and the
+    position tie-break is exercised.
+    """
+    if not fanouts:
+        raise ReproError("fanouts must list at least one level")
+    if any(f < 1 for f in fanouts):
+        raise ReproError(f"fan-outs must be positive: {fanouts}")
+    rng = random.Random(seed)
+    key_space = max(10, 10 * max(fanouts))
+    width = len(str(key_space))
+    pad = "x" * pad_bytes
+
+    def attrs_for() -> tuple[tuple[str, str], ...]:
+        key = rng.randrange(key_space)
+        return (
+            (key_attribute, f"k{key:0{width}d}"),
+            ("pad", pad),
+        )
+
+    yield StartTag(root_tag, ((key_attribute, "root"), ("pad", pad)))
+    # Iterative DFS: each stack entry is the number of children still to
+    # emit at that level.
+    stack = [fanouts[0]]
+    while stack:
+        if stack[-1] == 0:
+            stack.pop()
+            if stack:
+                yield EndTag(tag)
+            else:
+                yield EndTag(root_tag)
+            continue
+        stack[-1] -= 1
+        yield StartTag(tag, attrs_for())
+        depth = len(stack)
+        if depth < len(fanouts):
+            stack.append(fanouts[depth])
+        else:
+            if text_leaves:
+                yield Text(f"v{rng.randrange(key_space)}")
+            yield EndTag(tag)
+
+
+def level_fanout_element_count(fanouts: list[int]) -> int:
+    """Elements in a :func:`level_fanout_events` document."""
+    total = 1
+    layer = 1
+    for fanout in fanouts:
+        layer *= fanout
+        total += layer
+    return total
+
+
+#: The exact document shapes of Table 2 ("Input document shapes").
+PAPER_TABLE2_SHAPES: dict[int, list[int]] = {
+    2: [3000000],
+    3: [1733, 1733],
+    4: [144, 144, 144],
+    5: [41, 41, 42, 42],
+    6: [19, 19, 20, 20, 20],
+}
+
+#: Element counts the paper reports for those shapes.
+PAPER_TABLE2_SIZES: dict[int, int] = {
+    2: 3000001,
+    3: 3005023,
+    4: 3006865,
+    5: 3037609,
+    6: 3040001,
+}
+
+
+def scaled_table2_shapes(target_elements: int) -> dict[int, list[int]]:
+    """Table-2-style shapes scaled to roughly ``target_elements``.
+
+    For each height h in 2..6, picks near-uniform per-level fan-outs whose
+    product of layers approximates the target, mirroring how the authors
+    built Table 2 (near-uniform fan-out, near-constant size across
+    heights).
+    """
+    if target_elements < 64:
+        raise ReproError("target too small for a height-6 shape")
+    shapes: dict[int, list[int]] = {}
+    for height in range(2, 7):
+        levels = height - 1
+        base = round(target_elements ** (1.0 / levels))
+        fanouts = [max(2, base)] * levels
+        # Nudge the deepest levels up/down to land near the target, the way
+        # Table 2 uses 41,41,42,42 rather than a uniform value.
+        def count(fs: list[int]) -> int:
+            return level_fanout_element_count(fs)
+
+        for index in range(levels - 1, -1, -1):
+            while count(fanouts) < target_elements:
+                fanouts[index] += 1
+            while fanouts[index] > 2 and count(fanouts) > target_elements:
+                fanouts[index] -= 1
+        shapes[height] = fanouts
+    return shapes

@@ -1,0 +1,26 @@
+"""External-memory substrate: simulated device, budget, stacks, runs."""
+
+from .budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS, Reservation
+from .device import BlockDevice, DEFAULT_BLOCK_SIZE
+from .file_device import FileBackedBlockDevice
+from .runs import RunHandle, RunReader, RunStore, RunWriter
+from .stacks import ExternalStack
+from .stats import CategoryCounters, CostModel, IOStats, StatsSnapshot
+
+__all__ = [
+    "BlockDevice",
+    "CategoryCounters",
+    "CostModel",
+    "DEFAULT_BLOCK_SIZE",
+    "ExternalStack",
+    "FileBackedBlockDevice",
+    "IOStats",
+    "MemoryBudget",
+    "MINIMUM_NEXSORT_BLOCKS",
+    "Reservation",
+    "RunHandle",
+    "RunReader",
+    "RunStore",
+    "RunWriter",
+    "StatsSnapshot",
+]

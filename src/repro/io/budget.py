@@ -1,0 +1,104 @@
+"""Internal-memory budget for the external-memory model.
+
+The model gives an algorithm exactly ``M`` blocks of internal memory
+(Section 4 of the paper: "M: number of internal memory blocks available").
+A :class:`MemoryBudget` enforces that accounting: components *reserve* blocks
+(the path stack takes two, the data and output-location stacks one each, per
+Section 3.1), and the subtree sorter uses whatever remains.  Over-reserving
+raises :class:`~repro.errors.MemoryBudgetExceeded` - it would mean the
+algorithm is quietly using memory the model does not grant it.
+"""
+
+from __future__ import annotations
+
+from ..errors import MemoryBudgetExceeded
+
+#: Minimum memory for NEXSORT: 2 path-stack blocks, 1 data-stack block,
+#: 1 output-location block, and 2 transfer buffers (run read/write).
+MINIMUM_NEXSORT_BLOCKS = 6
+
+
+class Reservation:
+    """A claim on some number of internal-memory blocks.
+
+    Use as a context manager or call :meth:`release` explicitly.  Releasing
+    twice is a no-op.
+    """
+
+    def __init__(self, budget: "MemoryBudget", blocks: int, owner: str):
+        self._budget = budget
+        self.blocks = blocks
+        self.owner = owner
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._budget._release(self)
+
+    def __enter__(self) -> "Reservation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self._released else "held"
+        return f"Reservation({self.blocks} blocks, {self.owner!r}, {state})"
+
+
+class MemoryBudget:
+    """Tracks how the ``M`` internal-memory blocks are divided up.
+
+    Args:
+        total_blocks: the model parameter ``M``.
+    """
+
+    def __init__(self, total_blocks: int):
+        if total_blocks < 1:
+            raise MemoryBudgetExceeded(
+                f"memory budget must be positive, got {total_blocks}"
+            )
+        self.total_blocks = total_blocks
+        self._reserved = 0
+        self._owners: dict[str, int] = {}
+
+    @property
+    def reserved_blocks(self) -> int:
+        return self._reserved
+
+    @property
+    def available_blocks(self) -> int:
+        return self.total_blocks - self._reserved
+
+    def reserve(self, blocks: int, owner: str = "anonymous") -> Reservation:
+        """Claim ``blocks`` blocks; raises if they are not available."""
+        if blocks < 0:
+            raise MemoryBudgetExceeded(f"cannot reserve {blocks} blocks")
+        if blocks > self.available_blocks:
+            raise MemoryBudgetExceeded(
+                f"{owner} requested {blocks} blocks but only "
+                f"{self.available_blocks} of {self.total_blocks} are free "
+                f"(held: {self._owners})"
+            )
+        self._reserved += blocks
+        self._owners[owner] = self._owners.get(owner, 0) + blocks
+        return Reservation(self, blocks, owner)
+
+    def reserve_rest(self, owner: str = "anonymous") -> Reservation:
+        """Claim every remaining free block."""
+        return self.reserve(self.available_blocks, owner)
+
+    def _release(self, reservation: Reservation) -> None:
+        self._reserved -= reservation.blocks
+        remaining = self._owners.get(reservation.owner, 0) - reservation.blocks
+        if remaining > 0:
+            self._owners[reservation.owner] = remaining
+        else:
+            self._owners.pop(reservation.owner, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryBudget(total={self.total_blocks}, "
+            f"reserved={self._reserved}, owners={self._owners})"
+        )

@@ -1,0 +1,239 @@
+"""Sorted runs on the block device.
+
+A *sorted run* is the on-disk unit NEXSORT produces for every collapsed
+subtree (Figure 3: "tree of sorted runs") and the unit external merge sort
+produces per formation/merge pass.  A run is a sequential stream of
+length-framed records packed into whole blocks; records may span block
+boundaries because runs are only ever read sequentially.
+
+Reading a run from a *mid-stream offset* - which the output phase does when
+it returns from a nested run (Figure 4, Lines 15-16) - re-reads the block
+containing that offset.  This is precisely the access pattern Lemma 4.12
+counts: a run block is read ``1 + p(b)`` times, where ``p(b)`` is the number
+of run pointers found on it.
+
+Writers and readers each use a single block of buffer memory, matching the
+transfer-buffer assumption of the I/O model.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import RunError
+from .device import BlockDevice
+
+_LEN = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class RunHandle:
+    """Identifies one run on the device.
+
+    Attributes:
+        run_id: unique id (the RunStore assigns these).
+        block_ids: device blocks holding the framed stream, in order.
+        stream_bytes: length of the framed stream (framing included).
+        payload_bytes: total record payload bytes.
+        record_count: number of records in the run.
+    """
+
+    run_id: int
+    block_ids: tuple[int, ...]
+    stream_bytes: int
+    payload_bytes: int
+    record_count: int
+
+    @property
+    def block_count(self) -> int:
+        return len(self.block_ids)
+
+
+class RunStore:
+    """Creates, registers, and opens runs on one device."""
+
+    def __init__(self, device: BlockDevice):
+        self.device = device
+        self._runs: dict[int, RunHandle] = {}
+        self._next_id = 0
+
+    def create_writer(self, category: str = "run_write") -> "RunWriter":
+        return RunWriter(self, category)
+
+    def get(self, run_id: int) -> RunHandle:
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise RunError(f"unknown run id {run_id}") from None
+
+    def open_reader(
+        self,
+        run: RunHandle | int,
+        offset: int = 0,
+        category: str = "run_read",
+    ) -> "RunReader":
+        handle = self.get(run) if isinstance(run, int) else run
+        return RunReader(self.device, handle, offset, category)
+
+    def free(self, run: RunHandle | int) -> None:
+        """Release a consumed run's blocks (bookkeeping, no counted I/O)."""
+        handle = self.get(run) if isinstance(run, int) else run
+        self.device.free_blocks(handle.block_ids)
+        self._runs.pop(handle.run_id, None)
+
+    def total_run_blocks(self) -> int:
+        """Blocks held by all live runs (used to check Lemma 4.8)."""
+        return sum(h.block_count for h in self._runs.values())
+
+    def _register(
+        self,
+        block_ids: list[int],
+        stream_bytes: int,
+        payload_bytes: int,
+        record_count: int,
+    ) -> RunHandle:
+        run_id = self._next_id
+        self._next_id += 1
+        handle = RunHandle(
+            run_id=run_id,
+            block_ids=tuple(block_ids),
+            stream_bytes=stream_bytes,
+            payload_bytes=payload_bytes,
+            record_count=record_count,
+        )
+        self._runs[run_id] = handle
+        return handle
+
+
+class RunWriter:
+    """Appends records to a new run using one block of buffer memory."""
+
+    def __init__(self, store: RunStore, category: str):
+        self._store = store
+        self._device = store.device
+        self._category = category
+        self._buffer = bytearray()
+        self._block_ids: list[int] = []
+        self._stream_bytes = 0
+        self._payload_bytes = 0
+        self._record_count = 0
+        self._finished = False
+
+    def write_record(self, payload: bytes) -> None:
+        if self._finished:
+            raise RunError("write to a finished run")
+        self._buffer += _LEN.pack(len(payload))
+        self._buffer += payload
+        self._stream_bytes += _LEN.size + len(payload)
+        self._payload_bytes += len(payload)
+        self._record_count += 1
+        size = self._device.block_size
+        while len(self._buffer) >= size:
+            self._flush_block(self._buffer[:size])
+            del self._buffer[:size]
+
+    def write_records(self, payloads: Iterable[bytes]) -> None:
+        for payload in payloads:
+            self.write_record(payload)
+
+    def finish(self) -> RunHandle:
+        """Flush the tail block and register the run."""
+        if self._finished:
+            raise RunError("run already finished")
+        self._finished = True
+        if self._buffer:
+            self._flush_block(bytes(self._buffer))
+            self._buffer.clear()
+        return self._store._register(
+            self._block_ids,
+            self._stream_bytes,
+            self._payload_bytes,
+            self._record_count,
+        )
+
+    @property
+    def stream_bytes(self) -> int:
+        """Framed bytes written so far; ``tell()`` for the record stream."""
+        return self._stream_bytes
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    def _flush_block(self, data: bytes) -> None:
+        block_id = self._device.allocate(1, pool=self._category)
+        self._device.write_block(block_id, data, self._category)
+        self._block_ids.append(block_id)
+
+
+class RunReader:
+    """Sequential reader over a run, resumable at any record boundary."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        handle: RunHandle,
+        offset: int = 0,
+        category: str = "run_read",
+    ):
+        if offset < 0 or offset > handle.stream_bytes:
+            raise RunError(
+                f"offset {offset} outside run of {handle.stream_bytes} bytes"
+            )
+        self._device = device
+        self._handle = handle
+        self._category = category
+        self._pos = offset
+        self._block_index = -1
+        self._block: bytes = b""
+
+    @property
+    def handle(self) -> RunHandle:
+        return self._handle
+
+    def tell(self) -> int:
+        """Framed-stream offset of the next record."""
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._handle.stream_bytes
+
+    def read_record(self) -> bytes | None:
+        """Return the next record payload, or None at end of run."""
+        if self.exhausted:
+            return None
+        header = self._read_bytes(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        return self._read_bytes(length)
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            record = self.read_record()
+            if record is None:
+                return
+            yield record
+
+    def _read_bytes(self, count: int) -> bytes:
+        if self._pos + count > self._handle.stream_bytes:
+            raise RunError(
+                f"truncated run {self._handle.run_id}: wanted {count} bytes "
+                f"at offset {self._pos}"
+            )
+        size = self._device.block_size
+        parts = []
+        remaining = count
+        while remaining:
+            index, intra = divmod(self._pos, size)
+            if index != self._block_index:
+                self._block = self._device.read_block(
+                    self._handle.block_ids[index], self._category
+                )
+                self._block_index = index
+            take = min(remaining, size - intra)
+            parts.append(self._block[intra : intra + take])
+            self._pos += take
+            remaining -= take
+        return b"".join(parts)

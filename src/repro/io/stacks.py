@@ -1,0 +1,295 @@
+"""External-memory stacks with no-prefetch paging (paper Section 3.1).
+
+NEXSORT uses three stacks that can outgrow internal memory: the *data stack*
+(elements awaiting sorting), the *path stack* (start locations of the current
+element's ancestors), and the *output location stack* (resume points during
+the output phase).  The paper implements them "as external-memory data
+structures, capable of paging blocks in and out of internal memory as
+needed", under a **no-prefetch** policy: a spilled block is only paged back
+in when something on it must be popped.
+
+:class:`ExternalStack` implements exactly that.  Records are opaque byte
+strings.  The stack keeps its newest records in an internal-memory buffer of
+a fixed number of blocks; when the buffer overflows, the *oldest* buffered
+records are packed into blocks and written to the device (a page-out).  Pops
+that reach below the buffered region page the most recent spilled segment
+back in (a page-in).  Every page-in/out is counted on the device under the
+stack's accounting category, so Lemmas 4.10, 4.11, and 4.13 can be checked
+against real counters.
+
+Stack *locations* are measured in payload bytes pushed (framing overhead
+excluded), which is the measure NEXSORT's size test on Line 9 of Figure 4
+uses to decide whether a subtree has reached the sort threshold.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StackError
+from .device import BlockDevice
+
+_COUNT = struct.Struct("<H")
+_LEN = struct.Struct("<I")
+
+
+class _PackedSegment:
+    """One spilled block holding several whole records."""
+
+    __slots__ = ("block_id", "record_count", "payload_bytes")
+
+    def __init__(self, block_id: int, record_count: int, payload_bytes: int):
+        self.block_id = block_id
+        self.record_count = record_count
+        self.payload_bytes = payload_bytes
+
+    blocks = 1
+
+
+class _BigSegment:
+    """One oversized record spilled across several dedicated blocks."""
+
+    __slots__ = ("block_ids", "payload_bytes")
+
+    def __init__(self, block_ids: list[int], payload_bytes: int):
+        self.block_ids = block_ids
+        self.payload_bytes = payload_bytes
+
+    record_count = 1
+
+    @property
+    def blocks(self) -> int:
+        return len(self.block_ids)
+
+
+class ExternalStack:
+    """A spillable LIFO stack of byte-string records.
+
+    Args:
+        device: the block device used for paging.
+        buffer_blocks: internal-memory blocks this stack may use; the caller
+            is responsible for having reserved them from the
+            :class:`~repro.io.budget.MemoryBudget`.
+        category: accounting category for page-ins (reads) and page-outs
+            (writes) on the device.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        buffer_blocks: int = 1,
+        category: str = "stack",
+    ):
+        if buffer_blocks < 1:
+            raise StackError("a stack needs at least one buffer block")
+        self._device = device
+        self._category = category
+        self._capacity_bytes = buffer_blocks * device.block_size
+        # Records currently held in internal memory, oldest first.
+        self._memory: list[bytes] = []
+        self._memory_bytes = 0
+        # Spilled segments, oldest first.  Invariant: every spilled record is
+        # older than every record in ``_memory``.
+        self._segments: list[_PackedSegment | _BigSegment] = []
+        self._spilled_bytes = 0
+        self._record_count = 0
+        self._page_ins = 0
+        self._page_outs = 0
+
+    # -- observers --------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Current stack top location, in payload bytes."""
+        return self._spilled_bytes + self._memory_bytes
+
+    @property
+    def in_memory_bytes(self) -> int:
+        return self._memory_bytes
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self._spilled_bytes
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def page_ins(self) -> int:
+        return self._page_ins
+
+    @property
+    def page_outs(self) -> int:
+        return self._page_outs
+
+    @property
+    def is_empty(self) -> bool:
+        return self._record_count == 0
+
+    @property
+    def memory_is_full(self) -> bool:
+        """True when another push is likely to force a page-out."""
+        return self._memory_bytes >= self._capacity_bytes
+
+    # -- mutation ----------------------------------------------------------
+
+    def push(self, record: bytes) -> int:
+        """Push a record; returns its start location (payload offset)."""
+        location = self.total_bytes
+        self._memory.append(record)
+        self._memory_bytes += len(record)
+        self._record_count += 1
+        if self._memory_bytes > self._capacity_bytes:
+            self._spill()
+        return location
+
+    def pop(self) -> bytes:
+        """Pop and return the newest record, paging in if necessary."""
+        if self._record_count == 0:
+            raise StackError("pop from empty stack")
+        if not self._memory:
+            self._page_in_last_segment()
+        record = self._memory.pop()
+        self._memory_bytes -= len(record)
+        self._record_count -= 1
+        return record
+
+    def pop_through(self, location: int) -> list[bytes]:
+        """Pop every record at or above ``location``; oldest first.
+
+        ``location`` must be the exact start location of some pushed record
+        (or the current top, yielding an empty list).  This is how NEXSORT
+        pops a complete subtree off the data stack (Figure 4, Line 10).
+        """
+        if location > self.total_bytes:
+            raise StackError(
+                f"pop_through({location}) beyond stack top "
+                f"{self.total_bytes}"
+            )
+        popped: list[bytes] = []
+        while self.total_bytes > location:
+            popped.append(self.pop())
+        if self.total_bytes != location:
+            raise StackError(
+                f"pop_through({location}) did not land on a record "
+                f"boundary (stopped at {self.total_bytes})"
+            )
+        popped.reverse()
+        return popped
+
+    # -- paging ------------------------------------------------------------
+
+    def _max_packed_record(self) -> int:
+        return self._device.block_size - _COUNT.size - _LEN.size
+
+    def _spill(self) -> None:
+        """Page out oldest buffered records until the buffer fits again."""
+        while self._memory_bytes > self._capacity_bytes and len(
+            self._memory
+        ) > 1:
+            # Never spill the newest record: the top of the stack stays hot.
+            self._spill_one_block()
+        if self._memory_bytes > self._capacity_bytes:
+            # A single record larger than the whole buffer: spill it anyway.
+            self._spill_one_block(allow_newest=True)
+
+    def _spill_one_block(self, allow_newest: bool = False) -> None:
+        limit = len(self._memory) if allow_newest else len(self._memory) - 1
+        if limit <= 0:
+            return
+        first = self._memory[0]
+        if len(first) > self._max_packed_record():
+            self._spill_big_record(first)
+            return
+        # Greedily pack the oldest records into one block.
+        chunk: list[bytes] = []
+        used = _COUNT.size
+        count = 0
+        while count < limit:
+            record = self._memory[count]
+            need = _LEN.size + len(record)
+            if used + need > self._device.block_size or len(
+                record
+            ) > self._max_packed_record():
+                break
+            chunk.append(record)
+            used += need
+            count += 1
+        if count == 0:
+            return
+        payload = sum(len(r) for r in chunk)
+        parts = [_COUNT.pack(count)]
+        for record in chunk:
+            parts.append(_LEN.pack(len(record)))
+            parts.append(record)
+        block_id = self._device.allocate(1, pool=self._category)
+        self._device.write_block(block_id, b"".join(parts), self._category)
+        self._page_outs += 1
+        self._segments.append(_PackedSegment(block_id, count, payload))
+        del self._memory[:count]
+        self._memory_bytes -= payload
+        self._spilled_bytes += payload
+
+    def _spill_big_record(self, record: bytes) -> None:
+        size = self._device.block_size
+        nblocks = -(-len(record) // size)
+        start = self._device.allocate(nblocks, pool=self._category)
+        block_ids = list(range(start, start + nblocks))
+        for index, block_id in enumerate(block_ids):
+            chunk = record[index * size : (index + 1) * size]
+            self._device.write_block(block_id, chunk, self._category)
+            self._page_outs += 1
+        self._segments.append(_BigSegment(block_ids, len(record)))
+        del self._memory[0]
+        self._memory_bytes -= len(record)
+        self._spilled_bytes += len(record)
+
+    def _page_in_last_segment(self) -> None:
+        if not self._segments:
+            raise StackError("no spilled segment to page in")
+        segment = self._segments.pop()
+        if isinstance(segment, _PackedSegment):
+            data = self._device.read_block(segment.block_id, self._category)
+            self._page_ins += 1
+            self._device.free_blocks([segment.block_id])
+            records = self._unpack_block(data, segment.record_count)
+        else:
+            chunks = []
+            for block_id in segment.block_ids:
+                chunks.append(
+                    self._device.read_block(block_id, self._category)
+                )
+                self._page_ins += 1
+            self._device.free_blocks(segment.block_ids)
+            records = [b"".join(chunks)[: segment.payload_bytes]]
+        # Paged-in records are older than everything currently buffered.
+        self._memory[:0] = records
+        self._memory_bytes += segment.payload_bytes
+        self._spilled_bytes -= segment.payload_bytes
+
+    @staticmethod
+    def _unpack_block(data: bytes, expected: int) -> list[bytes]:
+        (count,) = _COUNT.unpack_from(data, 0)
+        if count != expected:
+            raise StackError(
+                f"corrupt stack block: expected {expected} records, "
+                f"found {count}"
+            )
+        records = []
+        pos = _COUNT.size
+        for _ in range(count):
+            (length,) = _LEN.unpack_from(data, pos)
+            pos += _LEN.size
+            records.append(data[pos : pos + length])
+            pos += length
+        return records
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExternalStack({self._category!r}, records={self._record_count},"
+            f" bytes={self.total_bytes}, spilled={self._spilled_bytes})"
+        )

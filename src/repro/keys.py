@@ -1,0 +1,488 @@
+"""Ordering criteria for XML sorting.
+
+A fully sorted document orders the children of *every* non-leaf element
+under a criterion chosen per element (Figure 1: regions by ``name``,
+branches by ``name``, employees by ``ID``).  A :class:`SortSpec` carries one
+:class:`KeyRule` per tag plus a default.
+
+Rules come in two flavours, mirroring the paper:
+
+* **start-computable** (Section 3: "simple ordering criteria that can be
+  evaluated for each element using its tag name and/or attribute values") -
+  :class:`ByAttribute`, :class:`ByTag`, :class:`DocumentOrder`.  The key is
+  known the moment the start tag is scanned.
+* **subtree-evaluated** (Section 3.2, "complex ordering criteria") -
+  :class:`ByText`, :class:`ByChildPath` (e.g. order employees by
+  ``personalInfo/name/lastName``).  The key requires a single pass over the
+  element's subtree; by the time the end tag is scanned the key is ready and
+  travels on the end tag, exactly as the paper's augmented path stack does.
+
+Keys are made unique among siblings by appending the element's document
+position ("if not [unique], we can make it unique by appending it with the
+element's location in the input"), which also makes every sort stable.
+
+:class:`KeyEvaluator` is the streaming annotator NEXSORT runs during its
+scan; it implements the paper's path-stack augmentation for subtree
+expressions with one small state machine per open element that needs one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .errors import SortSpecError
+from .xml.model import Element
+from .xml.tokens import (
+    EndTag,
+    KeyAtom,
+    MISSING_KEY,
+    StartTag,
+    Text,
+    Token,
+    coerce_key,
+    string_key,
+)
+
+
+class KeyRule:
+    """Base class: how to compute one element's sort key."""
+
+    #: True when the key is known from the start tag alone.
+    start_computable = False
+
+    def key_from_start(self, start: StartTag) -> KeyAtom:
+        """Key from the start tag (start-computable rules only)."""
+        raise SortSpecError(
+            f"{type(self).__name__} cannot compute keys from a start tag"
+        )
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        """Key from a materialized element (oracle / in-memory path)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ByAttribute(KeyRule):
+    """Order by an attribute value (``order region by name``).
+
+    Args:
+        attribute: attribute name.
+        numeric_coercion: interpret numeric-looking values as numbers, so
+            ``ID="454"`` sorts numerically.
+        missing_uses_tag: elements without the attribute key by their tag
+            name instead of the MISSING atom - the convention of the
+            paper's Table 1, where ``<name>`` and ``<phone>`` contribute
+            their tags to the key path.
+    """
+
+    attribute: str
+    numeric_coercion: bool = True
+    missing_uses_tag: bool = False
+    start_computable = True
+
+    def key_from_start(self, start: StartTag) -> KeyAtom:
+        return self._atom(start.attr(self.attribute), start.tag)
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        return self._atom(element.attrs.get(self.attribute), element.tag)
+
+    def _atom(self, value: str | None, tag: str) -> KeyAtom:
+        if value is None:
+            if self.missing_uses_tag:
+                return string_key(tag)
+            return MISSING_KEY
+        return coerce_key(value) if self.numeric_coercion else string_key(
+            value
+        )
+
+
+@dataclass(frozen=True)
+class ByAttributes(KeyRule):
+    """Order by several attributes at once (a composite key).
+
+    The component values are joined into one string atom with an
+    unprintable separator, so the composite orders lexicographically by
+    attribute priority.  Useful when an element's identity spans more
+    than one attribute - e.g. the archiving application keys readings by
+    ``(name, value)`` so a changed value is a *different* element, the
+    deterministic-model convention of Buneman et al.
+    """
+
+    attributes: tuple[str, ...]
+    start_computable = True
+
+    def key_from_start(self, start: StartTag) -> KeyAtom:
+        return self._atom(
+            [start.attr(name) for name in self.attributes]
+        )
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        return self._atom(
+            [element.attrs.get(name) for name in self.attributes]
+        )
+
+    @staticmethod
+    def _atom(values: list[str | None]) -> KeyAtom:
+        if all(value is None for value in values):
+            return MISSING_KEY
+        return string_key(
+            "\x1f".join(value if value is not None else "" for value in values)
+        )
+
+
+@dataclass(frozen=True)
+class ByTag(KeyRule):
+    """Order children by their tag name."""
+
+    start_computable = True
+
+    def key_from_start(self, start: StartTag) -> KeyAtom:
+        return string_key(start.tag)
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        return string_key(element.tag)
+
+
+@dataclass(frozen=True)
+class DocumentOrder(KeyRule):
+    """Keep children in their original document order.
+
+    Every key is MISSING; the position tie-break preserves input order.
+    This is the rule behind the paper's remark that merge "can be adapted to
+    preserve the original document ordering (by recording an additional
+    sequence number ...)".
+    """
+
+    start_computable = True
+
+    def key_from_start(self, start: StartTag) -> KeyAtom:
+        return MISSING_KEY
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        return MISSING_KEY
+
+
+@dataclass(frozen=True)
+class ByText(KeyRule):
+    """Order by the element's own text content (a subtree expression)."""
+
+    numeric_coercion: bool = True
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        if not element.text:
+            return MISSING_KEY
+        return (
+            coerce_key(element.text)
+            if self.numeric_coercion
+            else string_key(element.text)
+        )
+
+
+@dataclass(frozen=True)
+class ByChildPath(KeyRule):
+    """Order by the text of a descendant reached via a child-tag path.
+
+    The paper's example: order employee elements by
+    ``personalInfo/name/lastName``.  Evaluable in a single pass over the
+    subtree with constant space, which is exactly the class of expressions
+    Section 3.2 supports.
+    """
+
+    path: str
+    numeric_coercion: bool = True
+
+    def steps(self) -> tuple[str, ...]:
+        steps = tuple(step for step in self.path.split("/") if step)
+        if not steps:
+            raise SortSpecError(f"empty child path {self.path!r}")
+        return steps
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        target = element.find_path("/".join(self.steps()))
+        if target is None or not target.text:
+            return MISSING_KEY
+        return (
+            coerce_key(target.text)
+            if self.numeric_coercion
+            else string_key(target.text)
+        )
+
+
+class SortSpec:
+    """Per-tag ordering rules with a default.
+
+    Args:
+        default: rule for tags without a specific rule.
+        rules: mapping of tag name to rule.
+    """
+
+    def __init__(
+        self,
+        default: KeyRule | None = None,
+        rules: dict[str, KeyRule] | None = None,
+    ):
+        self.default = default if default is not None else DocumentOrder()
+        self.rules = dict(rules) if rules else {}
+
+    @classmethod
+    def by_attribute(cls, attribute: str, **tag_attributes: str) -> "SortSpec":
+        """Shorthand: default ByAttribute, plus per-tag attribute overrides.
+
+        ``SortSpec.by_attribute("name", employee="ID")`` orders everything
+        by ``name`` except employees, ordered by ``ID`` - the Figure 1 spec.
+        Elements missing the attribute key by their tag, as in Table 1.
+        """
+        rules = {
+            tag: ByAttribute(attr, missing_uses_tag=True)
+            for tag, attr in tag_attributes.items()
+        }
+        return cls(
+            default=ByAttribute(attribute, missing_uses_tag=True),
+            rules=rules,
+        )
+
+    @classmethod
+    def parse(cls, text: str, missing_uses_tag: bool = True) -> "SortSpec":
+        """Build a spec from a compact clause syntax.
+
+        Comma-separated ``selector=expression`` clauses; ``*`` (or an
+        omitted selector) sets the default rule.  Expressions:
+
+        * ``@attr``                - order by an attribute
+        * ``@a+@b``                - composite attribute key
+        * ``text()``               - order by the element's text
+        * ``tag()``                - order by the tag name
+        * ``document()``           - keep document order
+        * ``path/to/elem``         - order by a descendant's text
+          (the paper's ``personalInfo/name/lastName`` example)
+
+        Example::
+
+            SortSpec.parse("*=@name, employee=@ID, note=text()")
+        """
+        default: KeyRule | None = None
+        rules: dict[str, KeyRule] = {}
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" in clause:
+                selector, expression = clause.split("=", 1)
+                selector = selector.strip()
+            else:
+                selector, expression = "*", clause
+            rule = cls._parse_rule(
+                expression.strip(), missing_uses_tag
+            )
+            if selector in ("*", ""):
+                default = rule
+            else:
+                rules[selector] = rule
+        return cls(default=default, rules=rules)
+
+    @staticmethod
+    def _parse_rule(expression: str, missing_uses_tag: bool) -> KeyRule:
+        if not expression:
+            raise SortSpecError("empty ordering expression")
+        if expression == "text()":
+            return ByText()
+        if expression == "tag()":
+            return ByTag()
+        if expression == "document()":
+            return DocumentOrder()
+        if expression.startswith("@"):
+            names = [part.strip() for part in expression.split("+")]
+            if any(not name.startswith("@") or len(name) < 2
+                   for name in names):
+                raise SortSpecError(
+                    f"bad attribute expression {expression!r}"
+                )
+            if len(names) == 1:
+                return ByAttribute(
+                    names[0][1:], missing_uses_tag=missing_uses_tag
+                )
+            return ByAttributes(tuple(name[1:] for name in names))
+        if "(" in expression or ")" in expression:
+            raise SortSpecError(
+                f"unknown ordering expression {expression!r}"
+            )
+        rule = ByChildPath(expression)
+        name_start = set(
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_:"
+        )
+        for step in rule.steps():
+            if step[0] not in name_start:
+                raise SortSpecError(
+                    f"bad child-path step {step!r} in {expression!r}"
+                )
+        return rule
+
+    def rule_for(self, tag: str) -> KeyRule:
+        return self.rules.get(tag, self.default)
+
+    @property
+    def start_computable(self) -> bool:
+        """True when every rule is evaluable from start tags alone."""
+        rules = [self.default, *self.rules.values()]
+        return all(rule.start_computable for rule in rules)
+
+    def key_of_element(self, element: Element) -> KeyAtom:
+        return self.rule_for(element.tag).key_of_element(element)
+
+    def element_order(self, children: Iterable[Element]) -> list[Element]:
+        """Children sorted under this spec (stable)."""
+        return sorted(children, key=self.key_of_element)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SortSpec(default={self.default!r}, rules={self.rules!r})"
+
+
+class _PathMatchState:
+    """Single-pass evaluator for one open element's ByChildPath rule."""
+
+    __slots__ = ("steps", "progress", "capturing", "value", "numeric")
+
+    def __init__(self, rule: ByChildPath):
+        self.steps = rule.steps()
+        self.progress = 0
+        self.capturing = False
+        self.value: str | None = None
+        self.numeric = rule.numeric_coercion
+
+    def enter(self, tag: str, relative_depth: int) -> bool:
+        """A descendant opened at 1-based depth below the rule's element.
+
+        Returns True if this element advanced the match (so ``leave`` must
+        be called when it closes).
+        """
+        if self.value is not None:
+            return False
+        if relative_depth != self.progress + 1:
+            return False
+        if self.steps[self.progress] != tag:
+            return False
+        self.progress += 1
+        self.capturing = self.progress == len(self.steps)
+        return True
+
+    def leave(self) -> None:
+        self.progress -= 1
+        self.capturing = False
+
+    def text(self, content: str) -> None:
+        if self.capturing and self.value is None:
+            self.value = content
+
+    def key(self) -> KeyAtom:
+        if self.value is None:
+            return MISSING_KEY
+        return coerce_key(self.value) if self.numeric else string_key(
+            self.value
+        )
+
+
+class _Frame:
+    """Per-open-element state during streaming key evaluation."""
+
+    __slots__ = (
+        "tag",
+        "pos",
+        "rule",
+        "start",
+        "own_text",
+        "matcher",
+        "advanced",
+    )
+
+    def __init__(self, tag: str, pos: int, rule: KeyRule, start: StartTag):
+        self.tag = tag
+        self.pos = pos
+        self.rule = rule
+        self.start = start
+        self.own_text: list[str] = []
+        self.matcher = (
+            _PathMatchState(rule) if isinstance(rule, ByChildPath) else None
+        )
+        # Which ancestor matchers this element advanced (to undo on close).
+        self.advanced: list[_PathMatchState] = []
+
+
+class KeyEvaluator:
+    """Streams events, attaching positions and sort keys.
+
+    Start tags always receive ``pos`` (preorder index) and ``level``; when
+    the spec is start-computable they also receive ``key``.  End tags
+    receive ``pos`` and, for subtree-evaluated specs, the element's ``key``
+    (evaluated by the single pass, per Section 3.2).
+    """
+
+    def __init__(self, spec: SortSpec):
+        self.spec = spec
+        self._start_computable = spec.start_computable
+
+    def annotate(self, events: Iterable[Token]) -> Iterator[Token]:
+        frames: list[_Frame] = []
+        next_pos = 0
+        for event in events:
+            if isinstance(event, StartTag):
+                pos = next_pos
+                next_pos += 1
+                frame = _Frame(
+                    event.tag, pos, self.spec.rule_for(event.tag), event
+                )
+                # Advance ancestor ByChildPath matchers.
+                for depth_below, ancestor in enumerate(
+                    reversed(frames), start=1
+                ):
+                    matcher = ancestor.matcher
+                    if matcher is not None and matcher.enter(
+                        event.tag, depth_below
+                    ):
+                        frame.advanced.append(matcher)
+                frames.append(frame)
+                key = None
+                if self._start_computable:
+                    key = frame.rule.key_from_start(event)
+                yield event.with_annotations(
+                    key=key, pos=pos, level=len(frames)
+                )
+            elif isinstance(event, Text):
+                if frames:
+                    frames[-1].own_text.append(event.text)
+                    for frame in frames:
+                        if frame.matcher is not None:
+                            frame.matcher.text(event.text)
+                yield event
+            elif isinstance(event, EndTag):
+                frame = frames.pop()
+                for matcher in frame.advanced:
+                    matcher.leave()
+                key = None
+                if not self._start_computable:
+                    key = self._end_key(frame)
+                yield EndTag(event.tag, key=key, pos=frame.pos)
+            else:
+                raise SortSpecError(
+                    f"unexpected token during key evaluation: {event!r}"
+                )
+
+    def _end_key(self, frame: _Frame) -> KeyAtom:
+        rule = frame.rule
+        if rule.start_computable:
+            # Mixed spec: this rule could have keyed the start, but the
+            # spec as a whole is end-keyed, so the key travels on the end.
+            return rule.key_from_start(frame.start)
+        if isinstance(rule, ByChildPath):
+            assert frame.matcher is not None
+            return frame.matcher.key()
+        if isinstance(rule, ByText):
+            text = "".join(frame.own_text)
+            if not text:
+                return MISSING_KEY
+            return (
+                coerce_key(text)
+                if rule.numeric_coercion
+                else string_key(text)
+            )
+        raise SortSpecError(f"rule {rule!r} cannot be evaluated at end tag")

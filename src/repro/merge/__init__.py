@@ -1,0 +1,41 @@
+"""Merging sorted XML documents: the application NEXSORT enables."""
+
+from .archive import VERSIONS_ATTRIBUTE, XMLArchive
+from .dedup import DedupReport, deduplicate
+from .kway import KWayMerger, KWayMergeReport, kway_merge
+from .batch import BatchApplier, BatchReport, apply_batch
+from .nested_loop import (
+    NestedLoopMerger,
+    NestedLoopReport,
+    nested_loop_merge,
+)
+from .order_preserving import (
+    OrderPreservingReport,
+    annotate_sequence_numbers,
+    merge_preserving_order,
+    strip_sequence_numbers,
+)
+from .structural import MergeReport, StructuralMerger, structural_merge
+
+__all__ = [
+    "BatchApplier",
+    "BatchReport",
+    "DedupReport",
+    "KWayMergeReport",
+    "KWayMerger",
+    "deduplicate",
+    "kway_merge",
+    "MergeReport",
+    "NestedLoopMerger",
+    "NestedLoopReport",
+    "OrderPreservingReport",
+    "StructuralMerger",
+    "VERSIONS_ATTRIBUTE",
+    "XMLArchive",
+    "annotate_sequence_numbers",
+    "apply_batch",
+    "merge_preserving_order",
+    "nested_loop_merge",
+    "strip_sequence_numbers",
+    "structural_merge",
+]

@@ -1,0 +1,132 @@
+"""Duplicate elimination over sorted documents (related work, Section 2).
+
+The NF2 line of work the paper cites (Kuspert/Saake/Wegner, "Duplicate
+detection and deletion in the extended NF2 data model") is the classical
+consumer of nested sorting: once a document is fully sorted, identical
+siblings sit next to each other and one streaming pass removes them -
+exactly how sort-based duplicate elimination works on flat files.
+
+:func:`deduplicate` performs that pass bottom-up: duplicates are detected
+per child list after the list's own subtrees have been deduplicated, so
+two parents that differ only by *internal* duplicates still collapse.
+Equality is exact (tag, attributes, text, and the deduplicated children,
+order-sensitively); the sort key is compared first as a cheap filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..errors import MergeError
+from ..io.stats import StatsSnapshot
+from ..keys import KeyEvaluator, SortSpec
+from ..xml.document import Document
+from ..xml.tokens import EndTag, MISSING_KEY, StartTag, Text, Token
+
+
+@dataclass
+class DedupReport:
+    """What one duplicate-elimination pass did."""
+
+    duplicate_subtrees_removed: int = 0
+    elements_removed: int = 0
+    stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+
+    @property
+    def total_ios(self) -> int:
+        return self.stats.total_ios
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.elapsed_seconds()
+
+
+class _Frame:
+    """One open element: its head tokens and deduplicated children."""
+
+    __slots__ = ("head", "texts", "children")
+
+    def __init__(self, head: StartTag):
+        self.head = head
+        self.texts: list[str] = []
+        # Each child: (key, canonical form string, token list, elements).
+        self.children: list[tuple] = []
+
+
+def deduplicate(
+    document: Document, spec: SortSpec
+) -> tuple[Document, DedupReport]:
+    """Remove adjacent identical sibling subtrees at every level.
+
+    The document should already be sorted under ``spec`` so that all
+    duplicates are adjacent (the function works on unsorted input too,
+    but then only removes duplicates that happen to touch - the same
+    contract as flat sort-based DISTINCT).
+    """
+    device = document.device
+    report = DedupReport()
+    before = device.stats.snapshot()
+
+    evaluator = KeyEvaluator(spec)
+    stack: list[_Frame] = []
+    root_output: list[Token] | None = None
+
+    def close_frame(frame: _Frame, key) -> tuple:
+        """Assemble one element's deduplicated token list + identity."""
+        tokens: list[Token] = [StartTag(frame.head.tag, frame.head.attrs)]
+        text = "".join(frame.texts)
+        if text:
+            tokens.append(Text(text))
+        elements = 1
+        parts = []
+        previous_form: str | None = None
+        for child_key, form, child_tokens, child_elements in frame.children:
+            if form == previous_form:
+                report.duplicate_subtrees_removed += 1
+                report.elements_removed += child_elements
+                continue
+            previous_form = form
+            tokens.extend(child_tokens)
+            elements += child_elements
+            parts.append(form)
+        tokens.append(EndTag(frame.head.tag))
+        attrs = ";".join(
+            f"{name}\x1f{value}"
+            for name, value in sorted(frame.head.attrs)
+        )
+        form = (
+            f"\x02{frame.head.tag}\x1e{attrs}\x1e{text}\x1e"
+            + "".join(parts)
+            + "\x03"
+        )
+        actual_key = key if key is not None else MISSING_KEY
+        return actual_key, form, tokens, elements
+
+    for event in evaluator.annotate(document.iter_events("dedup_scan")):
+        if isinstance(event, StartTag):
+            stack.append(_Frame(event))
+        elif isinstance(event, Text):
+            if stack:
+                stack[-1].texts.append(event.text)
+        elif isinstance(event, EndTag):
+            frame = stack.pop()
+            key = (
+                frame.head.key
+                if frame.head.key is not None
+                else event.key
+            )
+            closed = close_frame(frame, key)
+            if stack:
+                stack[-1].children.append(closed)
+            else:
+                root_output = closed[2]
+    if root_output is None:
+        raise MergeError("document produced no root element")
+
+    result = Document.from_events(
+        document.store,
+        iter(root_output),
+        compaction=document.compaction,
+        category="dedup_output",
+    )
+    report.stats = device.stats.since(before)
+    return result, report

@@ -1,0 +1,208 @@
+"""K-way structural merge: combine many sorted documents in one pass.
+
+The paper's merge operates on two documents; the natural generalization -
+useful for the archiving and batch-update applications when many inputs
+accumulate - merges any number of sorted documents simultaneously, still
+reading every input block exactly once.  Semantics extend the two-way
+merge: at each level, the child sequences advance together in key order;
+children sharing a key (and tag) across several inputs merge recursively,
+with attributes folded left-to-right (earlier inputs win conflicts) and
+the first non-empty text surviving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import MergeError
+from ..io.stats import StatsSnapshot
+from ..keys import KeyEvaluator, SortSpec
+from ..xml.document import Document
+from ..xml.tokens import EndTag, MISSING_KEY, StartTag, Text, Token
+from .structural import _Cursor, _default_attribute_merger
+
+
+@dataclass
+class KWayMergeReport:
+    """What one k-way merge did."""
+
+    input_count: int = 0
+    input_blocks: int = 0
+    output_blocks: int = 0
+    elements_merged: int = 0
+    stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+
+    @property
+    def total_ios(self) -> int:
+        return self.stats.total_ios
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.elapsed_seconds()
+
+
+def _key_of(token: StartTag) -> tuple:
+    return token.key if token.key is not None else MISSING_KEY
+
+
+class KWayMerger:
+    """Single-pass merge of any number of sorted documents."""
+
+    def __init__(
+        self,
+        spec: SortSpec,
+        depth_limit: int | None = None,
+        attribute_merger=None,
+    ):
+        if not spec.start_computable:
+            raise MergeError(
+                "structural merge matches elements at their start tags, "
+                "so the ordering criterion must be start-computable"
+            )
+        self.spec = spec
+        self.depth_limit = depth_limit
+        self.attribute_merger = attribute_merger or _default_attribute_merger
+
+    def merge(
+        self, documents: list[Document]
+    ) -> tuple[Document, KWayMergeReport]:
+        if not documents:
+            raise MergeError("nothing to merge")
+        store = documents[0].store
+        if any(doc.store is not store for doc in documents):
+            raise MergeError("documents must live on the same device")
+        device = store.device
+        report = KWayMergeReport(
+            input_count=len(documents),
+            input_blocks=sum(doc.block_count for doc in documents),
+        )
+        before = device.stats.snapshot()
+
+        cursors = []
+        for index, doc in enumerate(documents):
+            evaluator = KeyEvaluator(self.spec)
+            cursors.append(
+                _Cursor(
+                    evaluator.annotate(
+                        doc.iter_events(f"merge_scan_{index}")
+                    )
+                )
+            )
+        roots = [cursor.peek() for cursor in cursors]
+        if not all(isinstance(root, StartTag) for root in roots):
+            raise MergeError("every document needs a root element")
+        tags = {root.tag for root in roots}
+        if len(tags) != 1:
+            raise MergeError(f"root tags differ: {sorted(tags)}")
+
+        events = self._merge_group(cursors, report, 1)
+        merged = Document.from_events(
+            store,
+            events,
+            compaction=documents[0].compaction,
+            category="merge_output",
+        )
+        report.output_blocks = merged.block_count
+        report.stats = device.stats.since(before)
+        return merged, report
+
+    def _merge_group(
+        self, cursors: list[_Cursor], report: KWayMergeReport, level: int
+    ) -> Iterator[Token]:
+        starts = [cursor.next() for cursor in cursors]
+        assert all(isinstance(start, StartTag) for start in starts)
+        report.elements_merged += 1
+
+        attrs = starts[0].attrs
+        for other in starts[1:]:
+            attrs = self.attribute_merger(attrs, other.attrs)
+        yield StartTag(starts[0].tag, attrs)
+
+        texts = [self._collect_text(cursor) for cursor in cursors]
+        text = next((t for t in texts if t), "")
+        if text:
+            yield Text(text)
+
+        if self.depth_limit is not None and level > self.depth_limit:
+            for cursor in cursors:
+                while isinstance(cursor.peek(), StartTag):
+                    yield from self._copy_subtree(cursor)
+            for cursor, start in zip(cursors, starts):
+                self._expect_end(cursor, start.tag)
+            yield EndTag(starts[0].tag)
+            return
+
+        while True:
+            # Cursors whose next child exists, with that child's key.
+            heads = []
+            for cursor in cursors:
+                head = cursor.peek()
+                if isinstance(head, StartTag):
+                    heads.append((cursor, head))
+            if not heads:
+                break
+            minimum = min(_key_of(head) for _cursor, head in heads)
+            at_minimum = [
+                (cursor, head)
+                for cursor, head in heads
+                if _key_of(head) == minimum
+            ]
+            # Group by tag; the first tag in input order goes first.
+            lead_tag = at_minimum[0][1].tag
+            group = [
+                cursor
+                for cursor, head in at_minimum
+                if head.tag == lead_tag
+            ]
+            if len(group) == 1:
+                yield from self._copy_subtree(group[0])
+            else:
+                yield from self._merge_group(group, report, level + 1)
+
+        for cursor, start in zip(cursors, starts):
+            self._expect_end(cursor, start.tag)
+        yield EndTag(starts[0].tag)
+
+    @staticmethod
+    def _collect_text(cursor: _Cursor) -> str:
+        parts = []
+        while isinstance(cursor.peek(), Text):
+            parts.append(cursor.next().text)
+        return "".join(parts)
+
+    @staticmethod
+    def _copy_subtree(cursor: _Cursor) -> Iterator[Token]:
+        depth = 0
+        while True:
+            token = cursor.next()
+            if token is None:
+                raise MergeError("unexpected end of input while copying")
+            if isinstance(token, StartTag):
+                depth += 1
+                yield StartTag(token.tag, token.attrs)
+            elif isinstance(token, Text):
+                yield Text(token.text)
+            elif isinstance(token, EndTag):
+                depth -= 1
+                yield EndTag(token.tag)
+                if depth == 0:
+                    return
+
+    @staticmethod
+    def _expect_end(cursor: _Cursor, tag: str) -> None:
+        token = cursor.next()
+        if not isinstance(token, EndTag) or token.tag != tag:
+            raise MergeError(
+                f"expected </{tag}>, found {token!r}; are all inputs "
+                f"sorted under the same criterion?"
+            )
+
+
+def kway_merge(
+    documents: list[Document],
+    spec: SortSpec,
+    depth_limit: int | None = None,
+) -> tuple[Document, KWayMergeReport]:
+    """Convenience wrapper: merge many sorted documents in one pass."""
+    return KWayMerger(spec, depth_limit).merge(documents)

@@ -1,0 +1,311 @@
+"""Nested-loop merge - the naive baseline of Example 1.1.
+
+"A naive approach corresponds to the nested-loop join method.  For each
+employee element, we find the matching element in the other document by
+traversing through the matching region and branch elements ... when dealing
+with large XML documents, this approach performs poorly because it
+generates element access patterns that do not at all correspond to the
+natural depth-first element ordering of disk-resident XML documents.  For
+example, looking for a particular branch in a region requires scanning half
+of the region subtree on average, unless there is an additional index."
+
+This module implements exactly that access pattern against the simulated
+device: the left document is streamed once; for every left child, the right
+parent's children region is re-scanned from its beginning until a key match
+is found (every block touched is a counted read).  Unmatched right children
+are appended by one more scan per region.  The resulting I/O count blows up
+with document size, which is what the MRG benchmark demonstrates against
+sort + single-pass structural merge.
+
+Inputs do NOT need to be sorted.  Only plain-stored (non-compacted)
+documents are supported - the naive algorithm predates any clever encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import MergeError
+from ..io.stats import StatsSnapshot
+from ..keys import SortSpec
+from ..xml.codec import TokenCodec
+from ..xml.document import Document
+from ..xml.tokens import EndTag, MISSING_KEY, StartTag, Text, Token
+
+
+@dataclass
+class NestedLoopReport:
+    """What one nested-loop merge did."""
+
+    left_blocks: int = 0
+    right_blocks: int = 0
+    right_rescans: int = 0
+    stats: StatsSnapshot = field(default_factory=StatsSnapshot)
+
+    @property
+    def total_ios(self) -> int:
+        return self.stats.total_ios
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.elapsed_seconds()
+
+
+@dataclass(frozen=True)
+class _RightChild:
+    """Location of one child subtree inside the right document's run."""
+
+    key: tuple
+    tag: str
+    attrs: tuple
+    start_offset: int
+    content_offset: int
+    end_offset: int
+
+
+class NestedLoopMerger:
+    """The naive merge, with its honest random-access I/O pattern."""
+
+    def __init__(self, spec: SortSpec):
+        if not spec.start_computable:
+            raise MergeError(
+                "nested-loop merge matches elements at start tags; the "
+                "criterion must be start-computable"
+            )
+        self.spec = spec
+
+    def merge(
+        self, left: Document, right: Document
+    ) -> tuple[Document, NestedLoopReport]:
+        if left.store is not right.store:
+            raise MergeError("documents must live on the same device")
+        if (
+            left.compaction is not None
+            and left.compaction.eliminate_end_tags
+        ) or (
+            right.compaction is not None
+            and right.compaction.eliminate_end_tags
+        ):
+            raise MergeError(
+                "nested-loop merge supports plain-stored documents only"
+            )
+        device = left.device
+        report = NestedLoopReport(
+            left_blocks=left.block_count, right_blocks=right.block_count
+        )
+        before = device.stats.snapshot()
+        self._right = right
+        self._codec = TokenCodec(
+            right.compaction.names if right.compaction else None
+        )
+        self._report = report
+
+        left_events = left.iter_events("nested_left")
+        root_left = next(left_events)
+        if not isinstance(root_left, StartTag):
+            raise MergeError("left document must begin with a root element")
+        root_right, right_content = self._read_right_root()
+        if root_left.tag != root_right.tag:
+            raise MergeError(
+                f"root tags differ: <{root_left.tag}> vs <{root_right.tag}>"
+            )
+
+        events = self._merge_region(
+            root_left,
+            left_events,
+            root_right,
+            right_content,
+            right.handle.stream_bytes,
+        )
+        merged = Document.from_events(
+            left.store,
+            events,
+            compaction=left.compaction,
+            category="merge_output",
+        )
+        report.stats = device.stats.since(before)
+        return merged, report
+
+    # -- right-document access (offset-addressed, every read counted) -----
+
+    def _read_right_root(self) -> tuple[StartTag, int]:
+        reader = self._right.store.open_reader(
+            self._right.handle, category="nested_right"
+        )
+        record = reader.read_record()
+        token = self._codec.decode(record)
+        if not isinstance(token, StartTag):
+            raise MergeError("right document must begin with a root element")
+        return token, reader.tell()
+
+    def _scan_right_children(
+        self, content_offset: int, end_offset: int
+    ) -> Iterator[_RightChild]:
+        """Scan one right region's children, yielding their locations.
+
+        Every scan opens a fresh reader at the region start: this is the
+        "scanning half of the region subtree on average" cost.
+        """
+        self._report.right_rescans += 1
+        reader = self._right.store.open_reader(
+            self._right.handle,
+            offset=content_offset,
+            category="nested_right",
+        )
+        depth = 0
+        child_start = -1
+        child_content = -1
+        child_token: StartTag | None = None
+        while reader.tell() < end_offset:
+            offset = reader.tell()
+            record = reader.read_record()
+            if record is None:
+                break
+            token = self._codec.decode(record)
+            if isinstance(token, StartTag):
+                depth += 1
+                if depth == 1:
+                    child_start = offset
+                    child_token = token
+                    child_content = reader.tell()
+            elif isinstance(token, EndTag):
+                depth -= 1
+                if depth == 0:
+                    assert child_token is not None
+                    rule = self.spec.rule_for(child_token.tag)
+                    yield _RightChild(
+                        key=rule.key_from_start(child_token),
+                        tag=child_token.tag,
+                        attrs=child_token.attrs,
+                        start_offset=child_start,
+                        content_offset=child_content,
+                        end_offset=reader.tell(),
+                    )
+
+    def _read_right_text(
+        self, content_offset: int, end_offset: int
+    ) -> str:
+        """The right element's own leading text (reads are counted)."""
+        reader = self._right.store.open_reader(
+            self._right.handle,
+            offset=content_offset,
+            category="nested_right",
+        )
+        parts: list[str] = []
+        while reader.tell() < end_offset:
+            record = reader.read_record()
+            if record is None:
+                break
+            token = self._codec.decode(record)
+            if isinstance(token, Text):
+                parts.append(token.text)
+            else:
+                break
+        return "".join(parts)
+
+    def _copy_right_subtree(
+        self, start_offset: int, end_offset: int
+    ) -> Iterator[Token]:
+        reader = self._right.store.open_reader(
+            self._right.handle,
+            offset=start_offset,
+            category="nested_right",
+        )
+        while reader.tell() < end_offset:
+            record = reader.read_record()
+            if record is None:
+                break
+            yield self._codec.decode(record)
+
+    # -- the nested loops ------------------------------------------------
+
+    def _merge_region(
+        self,
+        start_left: StartTag,
+        left_events: Iterator[Token],
+        start_right: StartTag,
+        right_content: int,
+        right_end: int,
+    ) -> Iterator[Token]:
+        attrs = dict(start_left.attrs)
+        for name, value in start_right.attrs:
+            attrs.setdefault(name, value)
+        yield StartTag(start_left.tag, tuple(attrs.items()))
+
+        matched_offsets: set[int] = set()
+        pending_text: list[str] = []
+        right_text = self._read_right_text(right_content, right_end)
+        emitted_text = False
+
+        while True:
+            event = next(left_events)
+            if isinstance(event, Text):
+                pending_text.append(event.text)
+                continue
+            if isinstance(event, EndTag):
+                break
+            assert isinstance(event, StartTag)
+            if not emitted_text:
+                text = "".join(pending_text) or right_text
+                if text:
+                    yield Text(text)
+                emitted_text = True
+                pending_text.clear()
+            # Nested loop: scan the right region for this child's key.
+            rule = self.spec.rule_for(event.tag)
+            key = rule.key_from_start(event)
+            match: _RightChild | None = None
+            if key != MISSING_KEY:
+                for candidate in self._scan_right_children(
+                    right_content, right_end
+                ):
+                    if (
+                        candidate.key == key
+                        and candidate.tag == event.tag
+                        and candidate.start_offset not in matched_offsets
+                    ):
+                        match = candidate
+                        break
+            if match is None:
+                yield event
+                yield from self._copy_left_subtree(left_events)
+            else:
+                matched_offsets.add(match.start_offset)
+                yield from self._merge_region(
+                    event,
+                    left_events,
+                    StartTag(match.tag, match.attrs),
+                    match.content_offset,
+                    match.end_offset,
+                )
+        if not emitted_text:
+            text = "".join(pending_text) or right_text
+            if text:
+                yield Text(text)
+
+        # One more scan for right-only children.
+        for candidate in self._scan_right_children(right_content, right_end):
+            if candidate.start_offset not in matched_offsets:
+                yield from self._copy_right_subtree(
+                    candidate.start_offset, candidate.end_offset
+                )
+        yield EndTag(start_left.tag)
+
+    @staticmethod
+    def _copy_left_subtree(left_events: Iterator[Token]) -> Iterator[Token]:
+        depth = 1
+        while depth:
+            event = next(left_events)
+            if isinstance(event, StartTag):
+                depth += 1
+            elif isinstance(event, EndTag):
+                depth -= 1
+            yield event
+
+
+def nested_loop_merge(
+    left: Document, right: Document, spec: SortSpec
+) -> tuple[Document, NestedLoopReport]:
+    """Convenience wrapper: naive merge of two (unsorted) documents."""
+    return NestedLoopMerger(spec).merge(left, right)

@@ -1,0 +1,296 @@
+"""Binary encoding of tokens and key atoms.
+
+Everything that crosses the simulated-device boundary (data-stack spill
+blocks, sorted runs, stored documents) is encoded with this codec, so that
+byte counts - and therefore block counts, the paper's primary metric - are
+honest.
+
+Two dialects exist:
+
+* **plain** - tag and attribute names stored as UTF-8 strings.
+* **dictionary-coded** - names replaced by varint ids into a shared
+  :class:`~repro.xml.compact.NameDictionary` (paper Section 3.2: "each
+  unique string can be converted to an integer before sorting and back
+  during output").
+
+End-tag elimination (the other compaction of Section 3.2) happens at the
+stream level, not here: a compacted stream simply contains no
+:class:`~repro.xml.tokens.EndTag` records and start tags carry levels.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from ..errors import CodecError
+from .tokens import (
+    EndTag,
+    KEY_MISSING,
+    KEY_NUMBER,
+    KEY_STRING,
+    RunPointer,
+    StartTag,
+    Text,
+    Token,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .compact import NameDictionary
+
+_DOUBLE = struct.Struct("<d")
+
+_TYPE_START = 1
+_TYPE_TEXT = 2
+_TYPE_END = 3
+_TYPE_POINTER = 4
+
+# Flag bits shared by start/end/pointer encodings.
+_FLAG_KEY = 1
+_FLAG_POS = 2
+_FLAG_LEVEL = 4
+
+
+def is_pointer_record(data: bytes) -> bool:
+    """True if an encoded token record is a RunPointer (cheap peek)."""
+    return bool(data) and data[0] == _TYPE_POINTER
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise CodecError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_string(out: bytearray, value: str) -> None:
+    encoded = value.encode("utf-8")
+    write_varint(out, len(encoded))
+    out += encoded
+
+
+def _read_string(data: bytes, pos: int) -> tuple[str, int]:
+    length, pos = read_varint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise CodecError("truncated string")
+    return data[pos:end].decode("utf-8"), end
+
+
+def encode_key_atom(out: bytearray, atom: tuple) -> None:
+    """Append one key atom (kind byte + payload)."""
+    kind, value = atom
+    out.append(kind)
+    if kind == KEY_MISSING:
+        return
+    if kind == KEY_NUMBER:
+        out += _DOUBLE.pack(value)
+        return
+    if kind == KEY_STRING:
+        _write_string(out, value)
+        return
+    raise CodecError(f"unknown key atom kind {kind}")
+
+
+def decode_key_atom(data: bytes, pos: int) -> tuple[tuple, int]:
+    """Read one key atom; returns (atom, new_pos)."""
+    if pos >= len(data):
+        raise CodecError("truncated key atom")
+    kind = data[pos]
+    pos += 1
+    if kind == KEY_MISSING:
+        return (KEY_MISSING, 0.0), pos
+    if kind == KEY_NUMBER:
+        end = pos + _DOUBLE.size
+        if end > len(data):
+            raise CodecError("truncated number atom")
+        return (KEY_NUMBER, _DOUBLE.unpack(data[pos:end])[0]), end
+    if kind == KEY_STRING:
+        value, pos = _read_string(data, pos)
+        return (KEY_STRING, value), pos
+    raise CodecError(f"unknown key atom kind {kind}")
+
+
+class TokenCodec:
+    """Encodes and decodes tokens, optionally via a name dictionary."""
+
+    def __init__(self, names: "NameDictionary | None" = None):
+        self.names = names
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, token: Token) -> bytes:
+        out = bytearray()
+        if isinstance(token, StartTag):
+            self._encode_start(out, token)
+        elif isinstance(token, Text):
+            out.append(_TYPE_TEXT)
+            out.append(_FLAG_LEVEL if token.level is not None else 0)
+            _write_string(out, token.text)
+            if token.level is not None:
+                write_varint(out, token.level)
+        elif isinstance(token, EndTag):
+            self._encode_end(out, token)
+        elif isinstance(token, RunPointer):
+            self._encode_pointer(out, token)
+        else:
+            raise CodecError(f"cannot encode {token!r}")
+        return bytes(out)
+
+    def encoded_size(self, token: Token) -> int:
+        """Size of ``encode(token)`` (used for threshold arithmetic)."""
+        return len(self.encode(token))
+
+    def _flags(self, token) -> int:
+        flags = 0
+        if token.key is not None:
+            flags |= _FLAG_KEY
+        if token.pos is not None:
+            flags |= _FLAG_POS
+        if getattr(token, "level", None) is not None:
+            flags |= _FLAG_LEVEL
+        return flags
+
+    def _write_name(self, out: bytearray, name: str) -> None:
+        if self.names is None:
+            _write_string(out, name)
+        else:
+            write_varint(out, self.names.intern(name))
+
+    def _read_name(self, data: bytes, pos: int) -> tuple[str, int]:
+        if self.names is None:
+            return _read_string(data, pos)
+        name_id, pos = read_varint(data, pos)
+        return self.names.lookup(name_id), pos
+
+    def _encode_annotations(self, out: bytearray, token, flags: int) -> None:
+        if flags & _FLAG_KEY:
+            encode_key_atom(out, token.key)
+        if flags & _FLAG_POS:
+            write_varint(out, token.pos)
+        if flags & _FLAG_LEVEL:
+            write_varint(out, token.level)
+
+    def _encode_start(self, out: bytearray, token: StartTag) -> None:
+        out.append(_TYPE_START)
+        flags = self._flags(token)
+        out.append(flags)
+        self._write_name(out, token.tag)
+        write_varint(out, len(token.attrs))
+        for name, value in token.attrs:
+            self._write_name(out, name)
+            _write_string(out, value)
+        self._encode_annotations(out, token, flags)
+
+    def _encode_end(self, out: bytearray, token: EndTag) -> None:
+        out.append(_TYPE_END)
+        flags = self._flags(token)
+        out.append(flags)
+        self._write_name(out, token.tag)
+        self._encode_annotations(out, token, flags)
+
+    def _encode_pointer(self, out: bytearray, token: RunPointer) -> None:
+        out.append(_TYPE_POINTER)
+        flags = self._flags(token)
+        out.append(flags)
+        write_varint(out, token.run_id)
+        write_varint(out, token.element_count)
+        write_varint(out, token.payload_bytes)
+        self._encode_annotations(out, token, flags)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, data: bytes) -> Token:
+        if not data:
+            raise CodecError("empty token record")
+        token_type = data[0]
+        if token_type in (
+            _TYPE_START,
+            _TYPE_TEXT,
+            _TYPE_END,
+            _TYPE_POINTER,
+        ) and len(data) < 2:
+            raise CodecError("truncated token record")
+        if token_type == _TYPE_TEXT:
+            flags = data[1]
+            text, pos = _read_string(data, 2)
+            level = None
+            if flags & _FLAG_LEVEL:
+                level, pos = read_varint(data, pos)
+            return Text(text, level=level)
+        if token_type == _TYPE_START:
+            return self._decode_start(data)
+        if token_type == _TYPE_END:
+            return self._decode_end(data)
+        if token_type == _TYPE_POINTER:
+            return self._decode_pointer(data)
+        raise CodecError(f"unknown token type byte {token_type}")
+
+    def _decode_annotations(
+        self, data: bytes, pos: int, flags: int
+    ) -> tuple[tuple | None, int | None, int | None, int]:
+        key = position = level = None
+        if flags & _FLAG_KEY:
+            key, pos = decode_key_atom(data, pos)
+        if flags & _FLAG_POS:
+            position, pos = read_varint(data, pos)
+        if flags & _FLAG_LEVEL:
+            level, pos = read_varint(data, pos)
+        return key, position, level, pos
+
+    def _decode_start(self, data: bytes) -> StartTag:
+        flags = data[1]
+        tag, pos = self._read_name(data, 2)
+        attr_count, pos = read_varint(data, pos)
+        attrs = []
+        for _ in range(attr_count):
+            name, pos = self._read_name(data, pos)
+            value, pos = _read_string(data, pos)
+            attrs.append((name, value))
+        key, position, level, pos = self._decode_annotations(data, pos, flags)
+        return StartTag(
+            tag=tag, attrs=tuple(attrs), key=key, pos=position, level=level
+        )
+
+    def _decode_end(self, data: bytes) -> EndTag:
+        flags = data[1]
+        tag, pos = self._read_name(data, 2)
+        key, position, _, pos = self._decode_annotations(data, pos, flags)
+        return EndTag(tag=tag, key=key, pos=position)
+
+    def _decode_pointer(self, data: bytes) -> RunPointer:
+        flags = data[1]
+        run_id, pos = read_varint(data, 2)
+        element_count, pos = read_varint(data, pos)
+        payload_bytes, pos = read_varint(data, pos)
+        key, position, level, pos = self._decode_annotations(data, pos, flags)
+        return RunPointer(
+            run_id=run_id,
+            key=key,
+            pos=position,
+            level=level,
+            element_count=element_count,
+            payload_bytes=payload_bytes,
+        )

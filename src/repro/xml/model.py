@@ -1,0 +1,224 @@
+"""An in-memory element tree (DOM-like), used as the small-scale substrate.
+
+The paper's first "popular algorithm" is an internal-memory recursive sort
+over a DOM representation; NEXSORT itself builds small trees when sorting a
+popped subtree that fits in memory.  :class:`Element` is that tree.
+
+Text model: character data is owned by the enclosing element and
+concatenated in document order (``<name>Smith</name>`` has
+``text == "Smith"``).  Mixed content interleavings between children are
+normalized to a single text field; the paper's data model (elements either
+contain children or a value) never exercises interleavings, and the
+normalization is documented here for anyone who feeds richer documents in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..errors import XMLSyntaxError
+from .parser import parse_events
+from .tokens import EndTag, StartTag, Text, Token
+
+
+class Element:
+    """One XML element: tag, attributes, text, and child elements."""
+
+    __slots__ = ("tag", "attrs", "text", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: dict[str, str] | Iterable[tuple[str, str]] | None = None,
+        text: str = "",
+        children: list["Element"] | None = None,
+    ):
+        self.tag = tag
+        self.attrs: dict[str, str] = dict(attrs) if attrs else {}
+        self.text = text
+        self.children: list[Element] = children if children is not None else []
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[Token]) -> "Element":
+        """Build a tree from a Start/Text/End event stream."""
+        root: Element | None = None
+        stack: list[Element] = []
+        for event in events:
+            if isinstance(event, StartTag):
+                node = cls(event.tag, event.attrs)
+                if stack:
+                    stack[-1].children.append(node)
+                elif root is None:
+                    root = node
+                else:
+                    raise XMLSyntaxError("multiple root elements in stream")
+                stack.append(node)
+            elif isinstance(event, Text):
+                if not stack:
+                    raise XMLSyntaxError("text outside the root element")
+                stack[-1].text += event.text
+            elif isinstance(event, EndTag):
+                if not stack:
+                    raise XMLSyntaxError("unmatched end tag in stream")
+                stack.pop()
+            else:
+                raise XMLSyntaxError(
+                    f"unexpected token in event stream: {event!r}"
+                )
+        if stack or root is None:
+            raise XMLSyntaxError("event stream ended with open elements")
+        return root
+
+    @classmethod
+    def parse(cls, text: str) -> "Element":
+        """Parse an XML string into a tree."""
+        return cls.from_events(parse_events(text))
+
+    # -- streaming -------------------------------------------------------
+
+    def to_events(self) -> Iterator[Token]:
+        """Yield this subtree as a Start/Text/End event stream.
+
+        Iterative, so chain documents deeper than the recursion limit
+        serialize fine.
+        """
+        work: list[tuple[str, Element]] = [("open", self)]
+        while work:
+            action, node = work.pop()
+            if action == "close":
+                yield EndTag(node.tag)
+                continue
+            yield StartTag(node.tag, tuple(node.attrs.items()))
+            if node.text:
+                yield Text(node.text)
+            work.append(("close", node))
+            for child in reversed(node.children):
+                work.append(("open", child))
+
+    # -- navigation ------------------------------------------------------
+
+    def find(self, tag: str) -> "Element | None":
+        """First child with the given tag, or None."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        return [child for child in self.children if child.tag == tag]
+
+    def find_path(self, path: str) -> "Element | None":
+        """Descend through a '/'-separated child-tag path."""
+        node: Element | None = self
+        for step in path.split("/"):
+            if node is None:
+                return None
+            node = node.find(step)
+        return node
+
+    def iter(self) -> Iterator["Element"]:
+        """Preorder traversal of this subtree (self first); iterative."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    # -- measurements ------------------------------------------------------
+
+    def element_count(self) -> int:
+        """Number of elements in this subtree (the paper's ``N``)."""
+        return sum(1 for _ in self.iter())
+
+    def height(self) -> int:
+        """Levels in this subtree; a leaf has height 1 (root = level 1)."""
+        stack: list[tuple[Element, int]] = [(self, 1)]
+        best = 1
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return best
+
+    def max_fanout(self) -> int:
+        """Maximum number of children of any element (the paper's ``k``)."""
+        return max((len(node.children) for node in self.iter()), default=0)
+
+    # -- comparisons -------------------------------------------------------
+
+    def canonical(self) -> str:
+        """Order-insensitive-attrs, order-sensitive-children canonical form.
+
+        Two trees are the same *document* iff their canonicals are equal;
+        sorting changes the canonical (child order changes) but not the
+        :meth:`unordered_canonical`.  The form is a flat string so that
+        comparing two arbitrarily deep documents never recurses.
+        """
+        return self._fold(ordered=True)
+
+    def unordered_canonical(self) -> str:
+        """Canonical form ignoring sibling order at every level.
+
+        Any legal sort of a document preserves this value: it captures
+        exactly the parent-child relationships and content.
+        """
+        return self._fold(ordered=False)
+
+    def _fold(self, ordered: bool) -> str:
+        """Bottom-up canonicalization, iterative for deep documents."""
+        order = list(self.iter())
+        results: dict[int, str] = {}
+        for node in reversed(order):
+            child_forms = [results[id(child)] for child in node.children]
+            if not ordered:
+                child_forms.sort()
+            attrs = ";".join(
+                f"{name}\x1f{value}"
+                for name, value in sorted(node.attrs.items())
+            )
+            results[id(node)] = (
+                f"\x02{node.tag}\x1e{attrs}\x1e{node.text}\x1e"
+                + "".join(child_forms)
+                + "\x03"
+            )
+        return results[id(self)]
+
+    def is_sorted_by(
+        self, child_key: Callable[["Element"], tuple], depth_limit: int | None = None
+    ) -> bool:
+        """True if every child list is non-decreasing under ``child_key``.
+
+        Args:
+            child_key: ordering function over elements.
+            depth_limit: if set, only levels 1..depth_limit are required to
+                be sorted (paper Section 3.2, depth-limited sorting).
+        """
+        stack: list[tuple[Element, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if depth_limit is not None and level > depth_limit:
+                continue
+            keys = [child_key(child) for child in node.children]
+            if any(a > b for a, b in zip(keys, keys[1:])):
+                return False
+            for child in node.children:
+                stack.append((child, level + 1))
+        return True
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Element({self.tag!r}, attrs={self.attrs!r}, "
+            f"children={len(self.children)})"
+        )

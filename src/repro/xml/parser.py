@@ -1,0 +1,252 @@
+"""A hand-written, event-based (SAX-style) XML tokenizer.
+
+The paper's scanning loop "can be implemented using a simple event-based XML
+parser (e.g., SAX)" (Section 3.1).  This module is that parser: it walks the
+input text once and yields :class:`~repro.xml.tokens.StartTag`,
+:class:`~repro.xml.tokens.Text`, and :class:`~repro.xml.tokens.EndTag`
+events in document order, with strict well-formedness checking (tag
+balance, attribute syntax, single root).
+
+Supported XML subset: elements, attributes (single- or double-quoted),
+character data with the five predefined entities plus numeric character
+references, CDATA sections, comments, processing instructions, and a
+DOCTYPE prologue (comments/PIs/DOCTYPE are skipped).  Namespace prefixes
+are treated as part of the name, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import XMLSyntaxError
+from .tokens import EndTag, StartTag, Text, Token
+
+def _is_name_start(char: str) -> bool:
+    """XML name start characters: letters (any script), '_', ':'."""
+    return char.isalpha() or char in "_:"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_:-."
+
+_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+class _Scanner:
+    """Character-level cursor with error reporting."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XMLSyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return XMLSyntaxError(message, position=self.pos, line=line)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        text = self.text
+        pos = self.pos
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        self.pos = pos
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_until(self, terminator: str) -> str:
+        index = self.text.find(terminator, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct, missing {terminator!r}")
+        chunk = self.text[self.pos : index]
+        self.pos = index + len(terminator)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        text = self.text
+        if start >= len(text) or not _is_name_start(text[start]):
+            raise self.error("expected a name")
+        pos = start + 1
+        while pos < len(text) and _is_name_char(text[pos]):
+            pos += 1
+        self.pos = pos
+        return text[start:pos]
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    if "&" not in raw:
+        return raw
+    parts = []
+    pos = 0
+    while True:
+        amp = raw.find("&", pos)
+        if amp < 0:
+            parts.append(raw[pos:])
+            break
+        parts.append(raw[pos:amp])
+        semi = raw.find(";", amp)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference")
+        entity = raw[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            parts.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            parts.append(chr(int(entity[1:])))
+        elif entity in _ENTITIES:
+            parts.append(_ENTITIES[entity])
+        else:
+            raise scanner.error(f"unknown entity &{entity};")
+        pos = semi + 1
+    return "".join(parts)
+
+
+def _parse_attributes(scanner: _Scanner) -> tuple[tuple[str, str], ...]:
+    attrs: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/", ""):
+            return tuple(attrs)
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote)
+        if name in seen:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        seen.add(name)
+        attrs.append((name, _decode_entities(raw, scanner)))
+
+
+def parse_events(
+    text: str, strip_whitespace: bool = True
+) -> Iterator[Token]:
+    """Yield Start/Text/End events for a well-formed XML document.
+
+    Args:
+        text: the document text.
+        strip_whitespace: drop text nodes that are entirely whitespace
+            (indentation); other text is yielded verbatim.
+
+    Raises:
+        XMLSyntaxError: on any well-formedness violation.
+    """
+    scanner = _Scanner(text)
+    open_tags: list[str] = []
+    seen_root = False
+
+    while not scanner.at_end():
+        if scanner.peek() != "<":
+            index = scanner.text.find("<", scanner.pos)
+            if index < 0:
+                raw = scanner.text[scanner.pos :]
+                scanner.pos = len(scanner.text)
+            else:
+                raw = scanner.text[scanner.pos : index]
+                scanner.pos = index
+            content = _decode_entities(raw, scanner)
+            if open_tags:
+                if not strip_whitespace or content.strip():
+                    yield Text(content)
+            elif content.strip():
+                raise scanner.error("text outside the root element")
+            continue
+
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+            continue
+        if scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            content = scanner.read_until("]]>")
+            if not open_tags:
+                raise scanner.error("CDATA outside the root element")
+            yield Text(content)
+            continue
+        if scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>")
+            continue
+        if scanner.startswith("<!DOCTYPE") or scanner.startswith("<!doctype"):
+            _skip_doctype(scanner)
+            continue
+        if scanner.startswith("</"):
+            scanner.advance(2)
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            if not open_tags:
+                raise scanner.error(f"unmatched end tag </{name}>")
+            expected = open_tags.pop()
+            if name != expected:
+                raise scanner.error(
+                    f"mismatched end tag </{name}>, expected </{expected}>"
+                )
+            yield EndTag(name)
+            continue
+
+        # A start tag.
+        scanner.advance(1)
+        if seen_root and not open_tags:
+            raise scanner.error("multiple root elements")
+        name = scanner.read_name()
+        attrs = _parse_attributes(scanner)
+        scanner.skip_whitespace()
+        if scanner.startswith("/>"):
+            scanner.advance(2)
+            seen_root = True
+            yield StartTag(name, attrs)
+            yield EndTag(name)
+            continue
+        scanner.expect(">")
+        seen_root = True
+        open_tags.append(name)
+        yield StartTag(name, attrs)
+
+    if open_tags:
+        raise scanner.error(
+            f"unexpected end of input, unclosed <{open_tags[-1]}>"
+        )
+    if not seen_root:
+        raise scanner.error("no root element")
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    # Skip "<!DOCTYPE ... >", honouring one level of [...] internal subset.
+    scanner.advance(len("<!DOCTYPE"))
+    depth = 0
+    while not scanner.at_end():
+        ch = scanner.peek()
+        scanner.advance()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return
+    raise scanner.error("unterminated DOCTYPE")

@@ -1,0 +1,114 @@
+"""Serializing event streams and element trees back to XML text."""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Iterable
+
+from ..errors import XMLSyntaxError
+from .model import Element
+from .tokens import EndTag, StartTag, Text, Token
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(
+        ">", "&gt;"
+    )
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value for double-quoted output."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+    )
+
+
+def events_to_string(
+    events: Iterable[Token], indent: str | None = None
+) -> str:
+    """Serialize a Start/Text/End event stream to XML text.
+
+    Args:
+        events: the stream; must be balanced.
+        indent: if given (e.g. ``"  "``), pretty-print with one element per
+            line; text-bearing elements stay on one line.
+    """
+    out = StringIO()
+    depth = 0
+    pending: StartTag | None = None
+    pending_text: list[str] = []
+
+    def flush_pending(self_closing_ok: bool) -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        _write_start(out, pending, depth - 1, indent)
+        pending = None
+
+    for event in events:
+        if isinstance(event, StartTag):
+            flush_pending(False)
+            if pending_text:
+                out.write(escape_text("".join(pending_text)))
+                pending_text.clear()
+            depth += 1
+            pending = event
+        elif isinstance(event, Text):
+            if pending is not None:
+                _write_start(out, pending, depth - 1, indent, newline=False)
+                pending = None
+            pending_text.append(event.text)
+        elif isinstance(event, EndTag):
+            if pending is not None:
+                # Empty element: self-close.
+                _write_start(
+                    out, pending, depth - 1, indent, self_closing=True
+                )
+                pending = None
+                depth -= 1
+                continue
+            text = "".join(pending_text)
+            pending_text.clear()
+            if text:
+                out.write(escape_text(text))
+                out.write(f"</{event.tag}>")
+                if indent is not None:
+                    out.write("\n")
+            else:
+                if indent is not None:
+                    out.write(indent * (depth - 1))
+                out.write(f"</{event.tag}>")
+                if indent is not None:
+                    out.write("\n")
+            depth -= 1
+        else:
+            raise XMLSyntaxError(f"cannot serialize token {event!r}")
+    if depth != 0 or pending is not None:
+        raise XMLSyntaxError("unbalanced event stream")
+    return out.getvalue().rstrip("\n") + ("\n" if indent is not None else "")
+
+
+def _write_start(
+    out: StringIO,
+    tag: StartTag,
+    depth: int,
+    indent: str | None,
+    self_closing: bool = False,
+    newline: bool = True,
+) -> None:
+    if indent is not None:
+        out.write(indent * depth)
+    out.write(f"<{tag.tag}")
+    for name, value in tag.attrs:
+        out.write(f' {name}="{escape_attr(value)}"')
+    out.write("/>" if self_closing else ">")
+    if indent is not None and (self_closing or newline):
+        out.write("\n")
+
+
+def element_to_string(element: Element, indent: str | None = None) -> str:
+    """Serialize an element tree to XML text."""
+    return events_to_string(element.to_events(), indent=indent)

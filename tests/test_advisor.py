@@ -1,0 +1,111 @@
+"""Tests for workload profiling and algorithm recommendation."""
+
+from repro.analysis import profile_document, recommend
+from repro.generators import level_fanout_events
+from repro.io import BlockDevice, RunStore
+from repro.xml import Document, Element
+
+from .conftest import flat_tree, random_tree
+
+
+def load(events_or_tree, block_size=256):
+    device = BlockDevice(block_size=block_size)
+    store = RunStore(device)
+    if isinstance(events_or_tree, Element):
+        return Document.from_element(store, events_or_tree)
+    return Document.from_events(store, events_or_tree)
+
+
+class TestProfile:
+    def test_counts_match_document(self):
+        doc = load(level_fanout_events([5, 4], seed=1))
+        profile = profile_document(doc)
+        assert profile.element_count == doc.element_count
+        assert profile.height == doc.height
+        assert profile.max_fanout == doc.max_fanout
+
+    def test_flatness_of_flat_document(self):
+        doc = load(flat_tree(100))
+        profile = profile_document(doc)
+        assert profile.flatness == 1.0
+        assert profile.is_nearly_flat
+
+    def test_flatness_of_deep_document(self):
+        doc = load(level_fanout_events([5, 5, 5, 5], seed=2))
+        profile = profile_document(doc)
+        assert profile.flatness < 0.05
+        assert not profile.is_nearly_flat
+
+    def test_percentiles_ordered(self):
+        doc = load(random_tree(3, depth=4, max_fanout=6))
+        profile = profile_document(doc)
+        assert profile.fanout_p50 <= profile.fanout_p95 <= profile.max_fanout
+
+    def test_average_element_bytes_positive(self):
+        doc = load(flat_tree(20))
+        assert profile_document(doc).average_element_bytes > 0
+
+
+class TestRecommendation:
+    def test_hierarchical_gets_nexsort(self):
+        doc = load(level_fanout_events([8, 8, 8], seed=3, pad_bytes=24))
+        verdict = recommend(doc, memory_blocks=24)
+        assert verdict.algorithm == "nexsort"
+        assert verdict.threshold_bytes == 2 * 256
+        assert verdict.rationale
+
+    def test_flat_with_ample_memory_gets_merge_sort(self):
+        doc = load(flat_tree(300))
+        verdict = recommend(doc, memory_blocks=64)
+        assert verdict.algorithm == "merge_sort"
+        assert verdict.merge_sort_passes <= 2
+
+    def test_flat_with_tight_memory_gets_degenerating_nexsort(self):
+        doc = load(flat_tree(2000, pad=32))
+        verdict = recommend(doc, memory_blocks=6)
+        assert verdict.algorithm == "nexsort"
+        assert verdict.flat_optimization
+
+    def test_bounds_reported(self):
+        doc = load(level_fanout_events([8, 8, 8], seed=4))
+        verdict = recommend(doc, memory_blocks=24)
+        assert verdict.lower_bound_ios > 0
+        assert (
+            verdict.predicted_nexsort_ios >= verdict.lower_bound_ios - 1e-9
+        )
+        assert verdict.predicted_merge_sort_ios > 0
+
+    def test_recommendation_actually_wins(self):
+        """Following the advice beats the alternative on both regimes."""
+        from repro.baselines import external_merge_sort
+        from repro.core import nexsort
+        from repro.keys import ByAttribute, SortSpec
+
+        spec = SortSpec(default=ByAttribute("name"))
+        for generator, memory in (
+            (lambda: level_fanout_events([11, 11, 11], seed=5,
+                                         pad_bytes=24), 24),
+            (lambda: level_fanout_events([1500], seed=5, pad_bytes=24), 64),
+        ):
+            probe = load(generator(), block_size=512)
+            verdict = recommend(probe, memory_blocks=memory)
+
+            doc = load(generator(), block_size=512)
+            _out, nreport = nexsort(
+                doc,
+                spec,
+                memory_blocks=memory,
+                flat_optimization=verdict.flat_optimization,
+            )
+            doc = load(generator(), block_size=512)
+            _out, mreport = external_merge_sort(
+                doc, spec, memory_blocks=memory
+            )
+            if verdict.algorithm == "nexsort":
+                assert (
+                    nreport.simulated_seconds < mreport.simulated_seconds
+                )
+            else:
+                assert (
+                    mreport.simulated_seconds < nreport.simulated_seconds
+                )

@@ -1,0 +1,129 @@
+"""Tests for the versioned-archive application (related work, Section 2)."""
+
+import pytest
+
+from repro.baselines import is_fully_sorted
+from repro.errors import MergeError
+from repro.io import BlockDevice, RunStore
+from repro.keys import ByText, SortSpec
+from repro.merge import XMLArchive, VERSIONS_ATTRIBUTE
+from repro.xml import Document, Element
+
+from .conftest import random_tree
+
+
+def fresh_store():
+    device = BlockDevice(block_size=256)
+    return device, RunStore(device)
+
+
+def make_doc(store, xml: str) -> Document:
+    return Document.from_element(store, Element.parse(xml))
+
+
+V1 = (
+    '<data name="root">'
+    '<station name="alpha"><reading name="r1">10</reading></station>'
+    '<station name="beta"><reading name="r1">20</reading></station>'
+    "</data>"
+)
+V2 = (
+    '<data name="root">'
+    '<station name="alpha"><reading name="r1">10</reading>'
+    '<reading name="r2">11</reading></station>'
+    '<station name="gamma"><reading name="r1">30</reading></station>'
+    "</data>"
+)
+
+
+class TestArchiving:
+    def test_versions_annotation_accumulates(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        archive.add_version(make_doc(store, V1), 1)
+        archive.add_version(make_doc(store, V2), 2)
+
+        tree = archive.document.to_element()
+        stations = {
+            s.attrs["name"]: s.attrs[VERSIONS_ATTRIBUTE]
+            for s in tree.find_all("station")
+        }
+        assert stations == {"alpha": "1,2", "beta": "1", "gamma": "2"}
+        assert tree.attrs[VERSIONS_ATTRIBUTE] == "1,2"
+
+    def test_archive_stays_sorted(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        archive.add_version(make_doc(store, V2), 1)
+        archive.add_version(make_doc(store, V1), 2)
+        assert is_fully_sorted(archive.document.to_element(), spec)
+
+    def test_snapshot_reconstructs_each_version(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        archive.add_version(make_doc(store, V1), 1)
+        archive.add_version(make_doc(store, V2), 2)
+
+        from repro.baselines import sort_element
+
+        snap1 = archive.snapshot(1).to_element()
+        snap2 = archive.snapshot(2).to_element()
+        assert snap1 == sort_element(Element.parse(V1), spec)
+        assert snap2 == sort_element(Element.parse(V2), spec)
+
+    def test_snapshot_strips_annotation(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        archive.add_version(make_doc(store, V1), 1)
+        for node in archive.snapshot(1).to_element().iter():
+            assert VERSIONS_ATTRIBUTE not in node.attrs
+
+    def test_many_versions_of_random_documents(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        trees = [
+            random_tree(seed, depth=3, max_fanout=3, key_space=6)
+            for seed in range(4)
+        ]
+        # All versions share the root key so they merge at the top.
+        for tree in trees:
+            tree.attrs["name"] = "shared-root"
+            tree.tag = "data"
+        for version, tree in enumerate(trees, start=1):
+            archive.add_version(
+                Document.from_element(store, tree), version
+            )
+        assert archive.version_ids == [1, 2, 3, 4]
+        assert is_fully_sorted(archive.document.to_element(), spec)
+
+    def test_element_versions_index(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        archive.add_version(make_doc(store, V1), 1)
+        archive.add_version(make_doc(store, V2), 2)
+        index = archive.element_versions()
+        beta_entries = [
+            versions
+            for path, versions in index.items()
+            if path[-1] == (2, "beta")
+        ]
+        assert beta_entries == [{1}]
+
+
+class TestValidation:
+    def test_duplicate_version_rejected(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        archive.add_version(make_doc(store, V1), 1)
+        with pytest.raises(MergeError):
+            archive.add_version(make_doc(store, V2), 1)
+
+    def test_unknown_snapshot_rejected(self, spec):
+        _device, store = fresh_store()
+        archive = XMLArchive(spec, memory_blocks=8)
+        with pytest.raises(MergeError):
+            archive.snapshot(1)
+
+    def test_subtree_spec_rejected(self):
+        with pytest.raises(MergeError):
+            XMLArchive(SortSpec(default=ByText()))

@@ -1,0 +1,80 @@
+"""Tests for the XMark-style auction workload generator."""
+
+from repro.baselines import is_fully_sorted, sort_element
+from repro.core import nexsort
+from repro.generators import auction_events, auction_spec
+from repro.io import BlockDevice, RunStore
+from repro.xml import Document, Element
+
+
+def load(events, block_size=512):
+    device = BlockDevice(block_size=block_size)
+    store = RunStore(device)
+    return Document.from_events(store, events)
+
+
+class TestGenerator:
+    def test_structure(self):
+        tree = Element.from_events(auction_events(5, seed=1))
+        assert tree.tag == "site"
+        regions = tree.find_all("region")
+        assert len(regions) == 6
+        auctions = regions[0].find_all("open_auction")
+        assert len(auctions) == 5
+        first = auctions[0]
+        assert first.find("seller") is not None
+        assert first.find("item") is not None
+
+    def test_deterministic_by_seed(self):
+        a = Element.from_events(auction_events(4, seed=9))
+        b = Element.from_events(auction_events(4, seed=9))
+        c = Element.from_events(auction_events(4, seed=10))
+        assert a == b
+        assert a != c
+
+    def test_skewed_subtree_sizes(self):
+        """Real catalogue data is skewed: auction subtrees vary in size."""
+        tree = Element.from_events(auction_events(20, seed=3))
+        sizes = {
+            auction.element_count()
+            for region in tree.find_all("region")
+            for auction in region.find_all("open_auction")
+        }
+        assert len(sizes) > 3
+
+    def test_mixed_depth_and_text(self):
+        doc = load(auction_events(5, seed=2))
+        assert doc.height >= 5
+        assert doc.stats.text_count > 0
+
+    def test_extra_regions_supported(self):
+        tree = Element.from_events(auction_events(2, seed=1, regions=9))
+        assert len(tree.find_all("region")) == 9
+
+
+class TestSortingTheAuctionSite:
+    def test_nexsort_matches_oracle(self):
+        spec = auction_spec()
+        doc = load(auction_events(6, seed=4))
+        tree = doc.to_element()
+        result, report = nexsort(doc, spec, memory_blocks=16)
+        assert result.to_element() == sort_element(tree, spec)
+        assert report.x >= 1
+
+    def test_bids_ordered_by_amount(self):
+        spec = auction_spec()
+        doc = load(auction_events(6, seed=5, max_bids=6))
+        result, _ = nexsort(doc, spec, memory_blocks=16)
+        for region in result.to_element().find_all("region"):
+            for auction in region.find_all("open_auction"):
+                amounts = [
+                    int(bid.attrs["amount"])
+                    for bid in auction.find_all("bid")
+                ]
+                assert amounts == sorted(amounts)
+
+    def test_fully_sorted_under_its_spec(self):
+        spec = auction_spec()
+        doc = load(auction_events(5, seed=6))
+        result, _ = nexsort(doc, spec, memory_blocks=16)
+        assert is_fully_sorted(result.to_element(), spec)

@@ -1,0 +1,72 @@
+"""Unit tests for the internal-memory budget."""
+
+import pytest
+
+from repro.errors import MemoryBudgetExceeded
+from repro.io import MemoryBudget
+
+
+class TestReservations:
+    def test_reserve_and_release(self):
+        budget = MemoryBudget(10)
+        reservation = budget.reserve(4, "stack")
+        assert budget.reserved_blocks == 4
+        assert budget.available_blocks == 6
+        reservation.release()
+        assert budget.available_blocks == 10
+
+    def test_release_twice_is_noop(self):
+        budget = MemoryBudget(10)
+        reservation = budget.reserve(4)
+        reservation.release()
+        reservation.release()
+        assert budget.available_blocks == 10
+
+    def test_over_reserve_raises(self):
+        budget = MemoryBudget(4)
+        budget.reserve(3)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.reserve(2)
+
+    def test_error_names_the_owner(self):
+        budget = MemoryBudget(4)
+        budget.reserve(4, "data-stack")
+        with pytest.raises(MemoryBudgetExceeded, match="data-stack"):
+            budget.reserve(1, "sorter")
+
+    def test_reserve_rest_takes_everything(self):
+        budget = MemoryBudget(8)
+        budget.reserve(3, "fixed")
+        rest = budget.reserve_rest("sorter")
+        assert rest.blocks == 5
+        assert budget.available_blocks == 0
+
+    def test_negative_reserve_rejected(self):
+        budget = MemoryBudget(8)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.reserve(-1)
+
+    def test_zero_reserve_allowed(self):
+        budget = MemoryBudget(8)
+        reservation = budget.reserve(0, "placeholder")
+        assert reservation.blocks == 0
+        assert budget.available_blocks == 8
+
+    def test_context_manager_releases(self):
+        budget = MemoryBudget(8)
+        with budget.reserve(5, "scoped"):
+            assert budget.available_blocks == 3
+        assert budget.available_blocks == 8
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(MemoryBudgetExceeded):
+            MemoryBudget(0)
+
+    def test_owner_accounting_across_multiple_reservations(self):
+        budget = MemoryBudget(10)
+        first = budget.reserve(2, "stack")
+        second = budget.reserve(3, "stack")
+        first.release()
+        assert budget.reserved_blocks == 3
+        second.release()
+        assert budget.reserved_blocks == 0

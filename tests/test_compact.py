@@ -1,0 +1,109 @@
+"""Unit tests for the Section 3.2 compaction techniques."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.xml import (
+    Element,
+    NameDictionary,
+    annotate_levels,
+    eliminate_end_tags,
+    parse_events,
+    restore_end_tags,
+)
+from repro.xml.tokens import EndTag, StartTag, Text
+
+
+class TestNameDictionary:
+    def test_intern_is_idempotent(self):
+        names = NameDictionary()
+        first = names.intern("region")
+        second = names.intern("region")
+        assert first == second
+        assert len(names) == 1
+
+    def test_lookup_round_trip(self):
+        names = NameDictionary(["a", "b"])
+        assert names.lookup(names.intern("b")) == "b"
+        assert names.lookup(names.intern("c")) == "c"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(CodecError):
+            NameDictionary().lookup(5)
+
+    def test_contains(self):
+        names = NameDictionary(["x"])
+        assert "x" in names
+        assert "y" not in names
+
+
+class TestLevels:
+    def test_annotate_levels(self):
+        events = list(
+            annotate_levels(parse_events("<a><b><c/></b><b/></a>"))
+        )
+        starts = [e for e in events if isinstance(e, StartTag)]
+        assert [s.level for s in starts] == [1, 2, 3, 2]
+
+    def test_text_gets_owner_level(self):
+        events = list(
+            annotate_levels(parse_events("<a>top<b>inner</b></a>"))
+        )
+        texts = [e for e in events if isinstance(e, Text)]
+        assert [t.level for t in texts] == [1, 2]
+
+
+class TestEndTagElimination:
+    def round_trip(self, xml: str) -> None:
+        original = list(parse_events(xml))
+        compacted = list(eliminate_end_tags(parse_events(xml)))
+        assert not any(isinstance(t, EndTag) for t in compacted)
+        restored = list(restore_end_tags(compacted))
+        stripped = [
+            StartTag(t.tag, t.attrs)
+            if isinstance(t, StartTag)
+            else (Text(t.text) if isinstance(t, Text) else t)
+            for t in restored
+        ]
+        assert stripped == original
+
+    def test_simple_round_trip(self):
+        self.round_trip("<a><b/><c/></a>")
+
+    def test_deep_round_trip(self):
+        self.round_trip("<a><b><c><d/></c></b><e/></a>")
+
+    def test_sibling_transition_closes_multiple(self):
+        # <d/> at level 2 after level-4 content: l1 - l2 + 1 = 3 end tags.
+        self.round_trip("<a><b><c><x/></c></b><d/></a>")
+
+    def test_text_round_trip(self):
+        self.round_trip("<a>alpha<b>beta</b></a>")
+
+    def test_trailing_text_attribution(self):
+        """Text after a child belongs to the parent, not the child."""
+        xml = "<a><b>inner</b>tail</a>"
+        restored = Element.from_events(
+            restore_end_tags(eliminate_end_tags(parse_events(xml)))
+        )
+        assert restored == Element.parse(xml)
+        assert restored.text == "tail"
+        assert restored.find("b").text == "inner"
+
+    def test_restore_rejects_missing_level(self):
+        with pytest.raises(CodecError):
+            list(restore_end_tags([StartTag("a")]))
+
+    def test_restore_rejects_existing_end_tags(self):
+        with pytest.raises(CodecError):
+            list(
+                restore_end_tags(
+                    [StartTag("a", level=1), EndTag("a")]
+                )
+            )
+
+    def test_compaction_shrinks_streams(self):
+        xml = "<a>" + "<b><c/></b>" * 20 + "</a>"
+        full = list(parse_events(xml))
+        compacted = list(eliminate_end_tags(parse_events(xml)))
+        assert len(compacted) < len(full)

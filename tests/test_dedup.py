@@ -1,0 +1,111 @@
+"""Tests for sort-based duplicate elimination (NF2 related work)."""
+
+from repro.baselines import sort_element
+from repro.core import nexsort
+from repro.io import BlockDevice, RunStore
+from repro.merge import deduplicate
+from repro.xml import Document, Element
+
+from .conftest import random_tree
+
+
+def fresh_doc(tree):
+    device = BlockDevice(block_size=256)
+    store = RunStore(device)
+    return Document.from_element(store, tree)
+
+
+class TestDeduplication:
+    def test_adjacent_identical_siblings_removed(self, spec):
+        tree = Element.parse(
+            '<r name="r"><a name="1">x</a><a name="1">x</a>'
+            '<a name="2"/></r>'
+        )
+        doc = fresh_doc(tree)
+        result, report = deduplicate(doc, spec)
+        names = [c.attrs["name"] for c in result.to_element().children]
+        assert names == ["1", "2"]
+        assert report.duplicate_subtrees_removed == 1
+        assert report.elements_removed == 1
+
+    def test_same_key_different_content_kept(self, spec):
+        tree = Element.parse(
+            '<r name="r"><a name="1">x</a><a name="1">y</a></r>'
+        )
+        doc = fresh_doc(tree)
+        result, report = deduplicate(doc, spec)
+        assert len(result.to_element().children) == 2
+        assert report.duplicate_subtrees_removed == 0
+
+    def test_deep_duplicates_collapse_bottom_up(self, spec):
+        """Parents that differ only by internal duplicates also merge."""
+        tree = Element.parse(
+            '<r name="r">'
+            '<a name="1"><b name="x"/><b name="x"/></a>'
+            '<a name="1"><b name="x"/></a>'
+            "</r>"
+        )
+        doc = fresh_doc(tree)
+        result, report = deduplicate(doc, spec)
+        out = result.to_element()
+        assert len(out.children) == 1
+        assert len(out.children[0].children) == 1
+        # one inner <b> plus one whole <a> subtree removed
+        assert report.duplicate_subtrees_removed == 2
+
+    def test_attribute_order_is_insignificant(self, spec):
+        tree = Element.parse(
+            '<r name="r"><a name="1" x="1" y="2"/>'
+            '<a y="2" x="1" name="1"/></r>'
+        )
+        doc = fresh_doc(tree)
+        result, _report = deduplicate(doc, spec)
+        assert len(result.to_element().children) == 1
+
+    def test_nonadjacent_duplicates_need_sorting_first(self, spec):
+        tree = Element.parse(
+            '<r name="r"><a name="1"/><a name="2"/><a name="1"/></r>'
+        )
+        unsorted_result, unsorted_report = deduplicate(
+            fresh_doc(tree), spec
+        )
+        assert len(unsorted_result.to_element().children) == 3
+        assert unsorted_report.duplicate_subtrees_removed == 0
+
+        doc = fresh_doc(tree)
+        sorted_doc, _ = nexsort(doc, spec, memory_blocks=8)
+        deduped, report = deduplicate(sorted_doc, spec)
+        assert len(deduped.to_element().children) == 2
+        assert report.duplicate_subtrees_removed == 1
+
+    def test_no_duplicates_is_identity(self, spec):
+        tree = sort_element(random_tree(4, depth=4, max_fanout=4), spec)
+        doc = fresh_doc(tree)
+        result, report = deduplicate(doc, spec)
+        assert result.to_element() == tree
+        assert report.duplicate_subtrees_removed == 0
+
+    def test_sort_then_dedup_is_idempotent(self, spec):
+        tree = Element.parse(
+            '<r name="r"><a name="2"/><a name="1"/><a name="2"/></r>'
+        )
+        doc = fresh_doc(tree)
+        sorted_doc, _ = nexsort(doc, spec, memory_blocks=8)
+        once, _ = deduplicate(sorted_doc, spec)
+        twice, report = deduplicate(once, spec)
+        assert once.to_element() == twice.to_element()
+        assert report.duplicate_subtrees_removed == 0
+
+    def test_text_participates_in_identity(self, spec):
+        tree = Element.parse(
+            '<r name="r"><a name="1">same</a><a name="1">same</a>'
+            '<a name="1">different</a></r>'
+        )
+        result, _report = deduplicate(fresh_doc(tree), spec)
+        assert len(result.to_element().children) == 2
+
+    def test_io_counted(self, spec):
+        tree = random_tree(6, depth=4, max_fanout=4)
+        doc = fresh_doc(tree)
+        _result, report = deduplicate(doc, spec)
+        assert report.total_ios >= 2 * doc.block_count - 2

@@ -1,0 +1,195 @@
+"""Unit tests for the simulated block device and its accounting."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.io import BlockDevice, CostModel
+
+
+class TestAllocation:
+    def test_allocate_returns_consecutive_extents(self):
+        device = BlockDevice(block_size=256)
+        first = device.allocate(3)
+        second = device.allocate(2)
+        assert first == 0
+        assert second == 3  # same pool: consecutive within the extent
+        assert device.allocated_blocks >= 5
+
+    def test_pools_keep_streams_contiguous(self):
+        """Two streams allocating alternately each get consecutive ids."""
+        device = BlockDevice(block_size=256)
+        a_blocks = []
+        b_blocks = []
+        for _ in range(10):
+            a_blocks.append(device.allocate(1, pool="a"))
+            b_blocks.append(device.allocate(1, pool="b"))
+        assert a_blocks == list(range(a_blocks[0], a_blocks[0] + 10))
+        assert b_blocks == list(range(b_blocks[0], b_blocks[0] + 10))
+
+    def test_large_allocation_gets_dedicated_extent(self):
+        from repro.io.device import ALLOCATION_CHUNK
+
+        device = BlockDevice(block_size=256)
+        start = device.allocate(ALLOCATION_CHUNK + 5, pool="big")
+        follow = device.allocate(1, pool="big")
+        assert follow >= start + ALLOCATION_CHUNK + 5
+
+    def test_allocate_zero_rejected(self):
+        device = BlockDevice(block_size=256)
+        with pytest.raises(DeviceError):
+            device.allocate(0)
+
+    def test_tiny_block_size_rejected(self):
+        with pytest.raises(DeviceError):
+            BlockDevice(block_size=16)
+
+
+class TestReadWrite:
+    def test_round_trip(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        device.write_block(block, b"hello")
+        assert device.read_block(block) == b"hello"
+
+    def test_write_is_copied(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        data = bytearray(b"abc")
+        device.write_block(block, data)
+        data[0] = ord("z")
+        assert device.read_block(block) == b"abc"
+
+    def test_read_unallocated_block_fails(self):
+        device = BlockDevice(block_size=256)
+        with pytest.raises(DeviceError):
+            device.read_block(0)
+
+    def test_read_never_written_block_fails(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        with pytest.raises(DeviceError):
+            device.read_block(block)
+
+    def test_oversized_write_fails(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        with pytest.raises(DeviceError):
+            device.write_block(block, b"x" * 257)
+
+    def test_full_block_write_allowed(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        device.write_block(block, b"x" * 256)
+        assert len(device.read_block(block)) == 256
+
+    def test_freed_block_unreadable(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        device.write_block(block, b"data")
+        device.free_blocks([block])
+        with pytest.raises(DeviceError):
+            device.read_block(block)
+
+    def test_free_is_not_counted_io(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        device.write_block(block, b"data")
+        before = device.stats.total_ios
+        device.free_blocks([block])
+        assert device.stats.total_ios == before
+
+
+class TestAccounting:
+    def test_reads_and_writes_counted_by_category(self):
+        device = BlockDevice(block_size=256)
+        a = device.allocate(2)
+        device.write_block(a, b"1", "alpha")
+        device.write_block(a + 1, b"2", "alpha")
+        device.read_block(a, "beta")
+        summary = device.stats.summary()
+        assert summary["alpha"]["writes"] == 2
+        assert summary["alpha"]["reads"] == 0
+        assert summary["beta"]["reads"] == 1
+
+    def test_sequential_detection_within_category(self):
+        device = BlockDevice(block_size=256)
+        start = device.allocate(4)
+        for offset in range(4):
+            device.write_block(start + offset, b"x", "stream")
+        counters = device.stats.by_category["stream"]
+        # First access of a category counts as sequential.
+        assert counters.seq_writes == 4
+
+    def test_interleaved_categories_stay_sequential(self):
+        """Two sequential streams must not charge each other seeks."""
+        device = BlockDevice(block_size=256)
+        a = device.allocate(3)
+        b = device.allocate(3)
+        for offset in range(3):
+            device.write_block(a + offset, b"x", "one")
+            device.write_block(b + offset, b"y", "two")
+        assert device.stats.by_category["one"].seq_writes == 3
+        assert device.stats.by_category["two"].seq_writes == 3
+
+    def test_backward_access_is_random(self):
+        device = BlockDevice(block_size=256)
+        start = device.allocate(3)
+        for offset in range(3):
+            device.write_block(start + offset, b"x", "s")
+        device.read_block(start + 2, "s")  # jump: not previous + 1
+        device.read_block(start, "s")  # backward: random
+        counters = device.stats.by_category["s"]
+        assert counters.seq_reads == 0
+        assert counters.reads == 2
+
+    def test_snapshot_differencing(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate(2)
+        device.write_block(block, b"x", "phase1")
+        snapshot = device.stats.snapshot()
+        device.write_block(block + 1, b"y", "phase2")
+        delta = device.stats.since(snapshot)
+        assert delta.total_ios == 1
+        assert delta.category_total("phase2") == 1
+        assert delta.category_total("phase1") == 0
+
+    def test_bytes_to_blocks(self):
+        device = BlockDevice(block_size=256)
+        assert device.bytes_to_blocks(0) == 0
+        assert device.bytes_to_blocks(1) == 1
+        assert device.bytes_to_blocks(256) == 1
+        assert device.bytes_to_blocks(257) == 2
+
+
+class TestCostModel:
+    def test_io_seconds_charges_seeks_for_random(self):
+        model = CostModel(seek_seconds=0.01, transfer_seconds=0.001)
+        sequential_only = model.io_seconds(sequential=10, random=0)
+        with_seeks = model.io_seconds(sequential=0, random=10)
+        assert with_seeks > sequential_only
+        assert sequential_only == pytest.approx(0.010)
+        assert with_seeks == pytest.approx(0.110)
+
+    def test_cpu_seconds(self):
+        model = CostModel(compare_seconds=1e-6, token_seconds=1e-7)
+        assert model.cpu_seconds(1000, 0) == pytest.approx(1e-3)
+        assert model.cpu_seconds(0, 1000) == pytest.approx(1e-4)
+
+    def test_elapsed_combines_io_and_cpu(self):
+        device = BlockDevice(block_size=256)
+        block = device.allocate()
+        device.write_block(block, b"x", "w")
+        device.stats.record_comparisons(1000)
+        assert device.stats.elapsed_seconds() == pytest.approx(
+            device.stats.io_seconds() + device.stats.cpu_seconds()
+        )
+
+    def test_simulated_time_monotone_in_ios(self):
+        device = BlockDevice(block_size=256)
+        blocks = device.allocate(10)
+        times = []
+        for offset in range(10):
+            device.write_block(blocks + offset, b"x", "w")
+            times.append(device.stats.elapsed_seconds())
+        assert times == sorted(times)
+        assert times[0] > 0

@@ -1,0 +1,174 @@
+"""Edge cases across the full pipeline."""
+
+import pytest
+
+from repro.baselines import external_merge_sort, sort_element
+from repro.core import nexsort
+from repro.io import BlockDevice, RunStore
+from repro.keys import ByAttribute, DocumentOrder, SortSpec
+from repro.xml import CompactionConfig, Document, Element
+
+from .conftest import chain_tree
+
+
+def fresh_store(block_size=256):
+    device = BlockDevice(block_size=block_size)
+    return device, RunStore(device)
+
+
+class TestUnicode:
+    def test_unicode_everywhere_through_nexsort(self, spec):
+        _device, store = fresh_store()
+        tree = Element.parse(
+            '<räksmörgås name="рут">'
+            '<日本語 name="zä">préfix</日本語>'
+            '<emoji name="aé">✓ 完了</emoji>'
+            "</räksmörgås>"
+        )
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_unicode_through_compaction(self, spec):
+        _device, store = fresh_store()
+        tree = Element.parse(
+            '<data name="κ"><元素 name="β"/><元素 name="α"/></data>'
+        )
+        doc = Document.from_element(store, tree, CompactionConfig())
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_unicode_round_trip_to_text(self, spec):
+        _device, store = fresh_store()
+        tree = Element.parse('<a name="x">日本語 &amp; ünïcode</a>')
+        doc = Document.from_element(store, tree)
+        assert Element.parse(doc.to_string()) == tree
+
+
+class TestOversizedElements:
+    def test_element_larger_than_a_block(self, spec):
+        """A single element bigger than a block exercises the big-record
+        paths through stacks and runs."""
+        _device, store = fresh_store(block_size=256)
+        huge_value = "v" * 1000  # 4 blocks worth of attribute
+        tree = Element.parse(
+            f'<r name="r"><a name="2" payload="{huge_value}"/>'
+            f'<a name="1"/></r>'
+        )
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_huge_text_node(self, spec):
+        _device, store = fresh_store(block_size=256)
+        tree = Element.parse(
+            f'<r name="r"><a name="1">{"t" * 2000}</a></r>'
+        )
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        assert result.to_element().find("a").text == "t" * 2000
+
+
+class TestDegenerateShapes:
+    def test_threshold_larger_than_document(self, spec):
+        _device, store = fresh_store()
+        tree = chain_tree(20)
+        doc = Document.from_element(store, tree)
+        result, report = nexsort(
+            doc, spec, memory_blocks=8, threshold_bytes=10**9
+        )
+        assert report.x == 1  # only the forced root sort
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_minimum_memory_exactly(self, spec):
+        from repro.io import MINIMUM_NEXSORT_BLOCKS
+
+        _device, store = fresh_store()
+        tree = chain_tree(30)
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(
+            doc, spec, memory_blocks=MINIMUM_NEXSORT_BLOCKS
+        )
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_broom_shape(self, spec):
+        """A long chain ending in a wide flat fan."""
+        _device, store = fresh_store()
+        fan = [
+            Element("leaf", {"name": f"n{(i * 7) % 50:03d}"})
+            for i in range(50)
+        ]
+        tree = Element("top", {"name": "t"}, "", [
+            Element("mid", {"name": "m"}, "", [
+                Element("bottom", {"name": "b"}, "", fan)
+            ])
+        ])
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(
+            doc, spec, memory_blocks=8, threshold_bytes=128
+        )
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_trailing_text_after_children_compact_nexsort(self, spec):
+        """Mixed content where text follows a child, in compact mode."""
+        _device, store = fresh_store()
+        tree = Element.from_events(
+            Element.parse('<r name="r"><b name="x">inner</b></r>').to_events()
+        )
+        # Manually create trailing text: <r>...<b/>tail</r>
+        from repro.xml.tokens import EndTag, StartTag, Text
+
+        events = [
+            StartTag("r", (("name", "r"),)),
+            StartTag("b", (("name", "x"),)),
+            Text("inner"),
+            EndTag("b"),
+            Text("tail"),
+            EndTag("r"),
+        ]
+        doc = Document.from_events(store, events, CompactionConfig())
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        out = result.to_element()
+        assert out.text == "tail"
+        assert out.find("b").text == "inner"
+
+
+class TestDocumentOrderSpec:
+    def test_document_order_sort_is_identity(self):
+        _device, store = fresh_store()
+        spec = SortSpec(default=DocumentOrder())
+        tree = Element.parse(
+            '<r><z/><a/><m><q/><b/></m></r>'
+        )
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        assert result.to_element() == tree
+
+    def test_document_order_merge_sort_is_identity(self):
+        _device, store = fresh_store()
+        spec = SortSpec(default=DocumentOrder())
+        tree = Element.parse("<r><z/><a/><m><q/><b/></m></r>")
+        doc = Document.from_element(store, tree)
+        result, _ = external_merge_sort(doc, spec, memory_blocks=4)
+        assert result.to_element() == tree
+
+
+class TestNumericVsStringKeys:
+    def test_numbers_sort_before_strings(self, store):
+        spec = SortSpec(default=ByAttribute("k"))
+        tree = Element.parse(
+            '<r k="r"><a k="zz"/><a k="100"/><a k="9"/><a k="abc"/></r>'
+        )
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        keys = [c.attrs["k"] for c in result.to_element().children]
+        # 9 < 100 numerically; numbers before strings; strings lexicographic.
+        assert keys == ["9", "100", "abc", "zz"]
+
+    def test_missing_keys_sort_first(self, store):
+        spec = SortSpec(default=ByAttribute("k"))
+        tree = Element.parse('<r k="r"><a k="1"/><a/><a k="a"/></r>')
+        doc = Document.from_element(store, tree)
+        result, _ = nexsort(doc, spec, memory_blocks=8)
+        keys = [c.attrs.get("k") for c in result.to_element().children]
+        assert keys == [None, "1", "a"]

@@ -1,0 +1,102 @@
+"""Tests for the file-backed block device."""
+
+import os
+
+import pytest
+
+from repro.baselines import sort_element
+from repro.core import nexsort
+from repro.errors import DeviceError
+from repro.io import FileBackedBlockDevice, RunStore
+from repro.xml import Document
+
+from .conftest import random_tree
+
+
+@pytest.fixture
+def file_device(tmp_path):
+    device = FileBackedBlockDevice(
+        str(tmp_path / "device.bin"), block_size=256
+    )
+    yield device
+    device.close()
+
+
+class TestFileBacking:
+    def test_round_trip(self, file_device):
+        block = file_device.allocate()
+        file_device.write_block(block, b"hello")
+        assert file_device.read_block(block).startswith(b"hello")
+
+    def test_blocks_are_padded_to_block_size(self, file_device):
+        block = file_device.allocate()
+        file_device.write_block(block, b"short")
+        data = file_device.read_block(block)
+        assert len(data) == 256
+
+    def test_read_never_written_fails(self, file_device):
+        block = file_device.allocate()
+        with pytest.raises(DeviceError):
+            file_device.read_block(block)
+
+    def test_free_then_read_fails(self, file_device):
+        block = file_device.allocate()
+        file_device.write_block(block, b"x")
+        file_device.free_blocks([block])
+        with pytest.raises(DeviceError):
+            file_device.read_block(block)
+
+    def test_accounting_identical_to_memory_device(self, file_device):
+        start = file_device.allocate(3)
+        for offset in range(3):
+            file_device.write_block(start + offset, b"x", "stream")
+        counters = file_device.stats.by_category["stream"]
+        assert counters.writes == 3
+        assert counters.seq_writes == 3
+
+    def test_backing_file_removed_on_close(self, tmp_path):
+        path = str(tmp_path / "scratch.bin")
+        with FileBackedBlockDevice(path, block_size=256) as device:
+            block = device.allocate()
+            device.write_block(block, b"x")
+            assert os.path.exists(path)
+        assert not os.path.exists(path)
+
+    def test_keep_file_option(self, tmp_path):
+        path = str(tmp_path / "kept.bin")
+        device = FileBackedBlockDevice(
+            path, block_size=256, keep_file=True
+        )
+        block = device.allocate()
+        device.write_block(block, b"x")
+        device.close()
+        assert os.path.exists(path)
+
+
+class TestEndToEndOnFile:
+    def test_nexsort_on_file_backed_device(self, file_device, spec):
+        store = RunStore(file_device)
+        tree = random_tree(5, depth=4, max_fanout=5, pad=12)
+        document = Document.from_element(store, tree)
+        result, report = nexsort(document, spec, memory_blocks=8)
+        assert result.to_element() == sort_element(tree, spec)
+        assert report.total_ios > 0
+
+    def test_same_io_counts_as_memory_device(self, tmp_path, spec):
+        from repro.io import BlockDevice
+
+        tree = random_tree(6, depth=4, max_fanout=5, pad=12)
+
+        memory_device = BlockDevice(block_size=256)
+        memory_store = RunStore(memory_device)
+        doc = Document.from_element(memory_store, tree)
+        _result, memory_report = nexsort(doc, spec, memory_blocks=8)
+
+        with FileBackedBlockDevice(
+            str(tmp_path / "d.bin"), block_size=256
+        ) as file_device:
+            file_store = RunStore(file_device)
+            doc = Document.from_element(file_store, tree)
+            _result, file_report = nexsort(doc, spec, memory_blocks=8)
+
+        assert file_report.total_ios == memory_report.total_ios

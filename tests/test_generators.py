@@ -1,0 +1,189 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.generators import (
+    PAPER_TABLE2_SHAPES,
+    PAPER_TABLE2_SIZES,
+    figure1_d1,
+    figure1_d2,
+    figure1_merged,
+    figure1_spec,
+    ibm_style_events,
+    ibm_style_expected_elements,
+    level_fanout_element_count,
+    level_fanout_events,
+    payroll_events,
+    personnel_events,
+    scaled_table2_shapes,
+)
+from repro.xml import Document, Element
+
+
+class TestLevelFanout:
+    def test_exact_shape(self, store):
+        doc = Document.from_events(store, level_fanout_events([3, 4, 2]))
+        assert doc.element_count == 1 + 3 + 12 + 24
+        assert doc.height == 4
+        assert doc.max_fanout == 4
+
+    def test_element_count_formula(self):
+        for fanouts in ([5], [2, 3], [3, 4, 2], [1, 1, 1, 1]):
+            expected = level_fanout_element_count(fanouts)
+            tree = Element.from_events(level_fanout_events(fanouts))
+            assert tree.element_count() == expected
+
+    def test_deterministic_by_seed(self):
+        a = Element.from_events(level_fanout_events([4, 4], seed=9))
+        b = Element.from_events(level_fanout_events([4, 4], seed=9))
+        c = Element.from_events(level_fanout_events([4, 4], seed=10))
+        assert a == b
+        assert a != c
+
+    def test_keys_have_duplicates_sometimes(self):
+        tree = Element.from_events(level_fanout_events([50], seed=1))
+        names = [c.attrs["name"] for c in tree.children]
+        assert len(set(names)) < len(names) or len(names) == 50
+
+    def test_padding_controls_size(self, store):
+        small = Document.from_events(
+            store, level_fanout_events([20], pad_bytes=4)
+        )
+        large = Document.from_events(
+            store, level_fanout_events([20], pad_bytes=200)
+        )
+        assert large.payload_bytes > 2 * small.payload_bytes
+
+    def test_text_leaves_option(self):
+        tree = Element.from_events(
+            level_fanout_events([2, 2], text_leaves=True)
+        )
+        leaves = [n for n in tree.iter() if not n.children]
+        assert all(leaf.text for leaf in leaves)
+
+    def test_bad_fanouts_rejected(self):
+        with pytest.raises(ReproError):
+            list(level_fanout_events([]))
+        with pytest.raises(ReproError):
+            list(level_fanout_events([0]))
+
+
+class TestTable2Shapes:
+    def test_paper_shapes_recorded(self):
+        assert PAPER_TABLE2_SHAPES[4] == [144, 144, 144]
+        assert PAPER_TABLE2_SIZES[2] == 3000001
+
+    def test_paper_shape_sizes_match_formula(self):
+        for height, fanouts in PAPER_TABLE2_SHAPES.items():
+            assert (
+                level_fanout_element_count(fanouts)
+                == PAPER_TABLE2_SIZES[height]
+            )
+
+    def test_scaled_shapes_are_near_target(self):
+        shapes = scaled_table2_shapes(3000)
+        assert set(shapes) == {2, 3, 4, 5, 6}
+        for height, fanouts in shapes.items():
+            assert len(fanouts) == height - 1
+            count = level_fanout_element_count(fanouts)
+            assert 0.5 * 3000 <= count <= 1.6 * 3000, (height, count)
+
+    def test_scaled_heights_decrease_fanout(self):
+        shapes = scaled_table2_shapes(5000)
+        assert shapes[2][0] > shapes[3][0] > shapes[6][0]
+
+
+class TestIBMStyle:
+    def test_height_and_fanout_bounds(self, store):
+        doc = Document.from_events(store, ibm_style_events(4, 6, seed=3))
+        assert doc.height == 4
+        assert 1 <= doc.max_fanout <= 6
+
+    def test_deterministic_by_seed(self):
+        a = Element.from_events(ibm_style_events(3, 5, seed=1))
+        b = Element.from_events(ibm_style_events(3, 5, seed=1))
+        assert a == b
+
+    def test_height_one(self):
+        tree = Element.from_events(ibm_style_events(1, 5))
+        assert tree.element_count() == 1
+
+    def test_expected_elements_estimate(self):
+        estimate = ibm_style_expected_elements(3, 5)
+        assert estimate == 1 + 3 + 9
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            list(ibm_style_events(0, 5))
+        with pytest.raises(ReproError):
+            list(ibm_style_events(3, 0))
+
+
+class TestCompanyDocuments:
+    def test_figure1_documents_match_paper_structure(self):
+        d1 = figure1_d1()
+        assert d1.element_count() == 9
+        assert d1.find_all("region")[1].attrs["name"] == "AC"
+        d2 = figure1_d2()
+        assert d2.element_count() == 9
+        merged = figure1_merged()
+        # 1 company + 3 regions + 3 branches + 3 employees + 4 leaves.
+        assert merged.element_count() == 14
+
+    def test_figure1_spec_orders_employees_by_id(self):
+        spec = figure1_spec()
+        assert spec.rule_for("employee").attribute == "ID"
+        assert spec.rule_for("region").attribute == "name"
+
+    def test_scaled_documents_share_employees(self):
+        left = Element.from_events(
+            personnel_events(2, 2, 10, shared_fraction=0.5)
+        )
+        right = Element.from_events(
+            payroll_events(2, 2, 10, shared_fraction=0.5)
+        )
+
+        def ids(tree):
+            return {
+                (r.attrs["name"], b.attrs["name"], e.attrs["ID"])
+                for r in tree.find_all("region")
+                for b in r.find_all("branch")
+                for e in b.find_all("employee")
+            }
+
+        shared = ids(left) & ids(right)
+        assert len(shared) >= 2 * 2 * 3  # roughly half of 10 per branch
+
+    def test_no_sharing_when_fraction_zero(self):
+        left = Element.from_events(
+            personnel_events(1, 1, 10, shared_fraction=0.0)
+        )
+        right = Element.from_events(
+            payroll_events(1, 1, 10, shared_fraction=0.0)
+        )
+        left_ids = {
+            e.attrs["ID"]
+            for e in left.find("region").find("branch").find_all("employee")
+        }
+        right_ids = {
+            e.attrs["ID"]
+            for e in right.find("region").find("branch").find_all("employee")
+        }
+        assert not left_ids & right_ids
+
+    def test_personnel_and_payroll_have_different_leaves(self):
+        left = Element.from_events(personnel_events(1, 1, 2))
+        right = Element.from_events(payroll_events(1, 1, 2))
+        left_leaf_tags = {
+            c.tag
+            for e in left.find("region").find("branch").find_all("employee")
+            for c in e.children
+        }
+        right_leaf_tags = {
+            c.tag
+            for e in right.find("region").find("branch").find_all("employee")
+            for c in e.children
+        }
+        assert left_leaf_tags == {"name", "phone"}
+        assert right_leaf_tags == {"salary", "bonus"}

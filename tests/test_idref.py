@@ -1,0 +1,206 @@
+"""Tests for IDREF-resolved ordering (the paper's stated future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ByIdRef,
+    nexsort_with_idrefs,
+    resolve_idref_keys,
+    sortable_atom_string,
+)
+from repro.core.idref import RESOLVED_ATTRIBUTE
+from repro.errors import SortSpecError
+from repro.io import BlockDevice, RunStore
+from repro.keys import ByAttribute, SortSpec
+from repro.xml import Document, Element
+from repro.xml.tokens import MISSING_KEY, number_key, string_key
+
+ORG = """
+<org name="root">
+  <managers name="managers">
+    <person id="m1" name="Walker"/>
+    <person id="m2" name="Adams"/>
+    <person id="m3" name="Nguyen"/>
+  </managers>
+  <employees name="employees">
+    <employee badge="1" managerRef="m3"/>
+    <employee badge="2" managerRef="m1"/>
+    <employee badge="3" managerRef="m2"/>
+    <employee badge="4" managerRef="m1"/>
+  </employees>
+</org>
+"""
+
+
+def fresh_doc(xml=ORG):
+    device = BlockDevice(block_size=256)
+    store = RunStore(device)
+    return Document.from_element(store, Element.parse(xml))
+
+
+def org_spec() -> SortSpec:
+    return SortSpec(
+        default=ByAttribute("name", missing_uses_tag=True),
+        rules={
+            "employee": ByIdRef("managerRef", id_attribute="id"),
+            "person": ByAttribute("id"),
+        },
+    )
+
+
+class TestSortableAtomString:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        a=st.floats(allow_nan=False, allow_infinity=False),
+        b=st.floats(allow_nan=False, allow_infinity=False),
+    )
+    def test_number_order_preserved(self, a, b):
+        sa = sortable_atom_string(number_key(a))
+        sb = sortable_atom_string(number_key(b))
+        if a < b:
+            assert sa < sb
+        elif a > b:
+            assert sa > sb
+        else:
+            assert sa == sb
+
+    def test_kind_ordering(self):
+        missing = sortable_atom_string(MISSING_KEY)
+        number = sortable_atom_string(number_key(-5))
+        string = sortable_atom_string(string_key("a"))
+        assert missing < number < string
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=st.text(max_size=15), b=st.text(max_size=15))
+    def test_string_order_preserved(self, a, b):
+        sa = sortable_atom_string(string_key(a))
+        sb = sortable_atom_string(string_key(b))
+        assert (sa < sb) == (a < b)
+
+
+class TestResolution:
+    def test_resolved_attribute_attached(self):
+        doc = fresh_doc()
+        resolved = resolve_idref_keys(doc, org_spec(), memory_blocks=8)
+        tree = resolved.to_element()
+        employees = tree.find("employees").find_all("employee")
+        values = {
+            e.attrs["badge"]: e.attrs.get(RESOLVED_ATTRIBUTE)
+            for e in employees
+        }
+        assert values["2"] == values["4"]  # both reference m1
+        assert values["1"] != values["2"]
+        assert all(value is not None for value in values.values())
+
+    def test_spec_without_idrefs_is_identity(self, spec):
+        doc = fresh_doc()
+        assert resolve_idref_keys(doc, spec, memory_blocks=8) is doc
+
+    def test_default_idref_rule_rejected(self):
+        doc = fresh_doc()
+        bad = SortSpec(default=ByIdRef("ref"))
+        with pytest.raises(SortSpecError):
+            resolve_idref_keys(doc, bad, memory_blocks=8)
+
+    def test_plain_nexsort_rejects_byidref(self):
+        rule = ByIdRef("managerRef")
+        with pytest.raises(SortSpecError):
+            rule.key_of_element(Element("employee"))
+
+
+class TestSortingThroughReferences:
+    def test_employees_ordered_by_manager_name(self):
+        doc = fresh_doc()
+        result, _report = nexsort_with_idrefs(
+            doc, org_spec(), memory_blocks=8
+        )
+        tree = result.to_element()
+        employees = tree.find("employees").find_all("employee")
+        badges = [e.attrs["badge"] for e in employees]
+        # Manager names: m1=Walker, m2=Adams, m3=Nguyen.
+        # Order by manager name: Adams(3), Nguyen(1), Walker(2,4).
+        assert badges == ["3", "1", "2", "4"]
+
+    def test_temporary_attribute_stripped(self):
+        doc = fresh_doc()
+        result, _report = nexsort_with_idrefs(
+            doc, org_spec(), memory_blocks=8
+        )
+        for node in result.to_element().iter():
+            assert RESOLVED_ATTRIBUTE not in node.attrs
+
+    def test_dangling_references_sort_first(self):
+        xml = """
+        <org name="root">
+          <person id="m1" name="Z"/>
+          <employee badge="1" managerRef="m1"/>
+          <employee badge="2" managerRef="nope"/>
+        </org>
+        """
+        doc = fresh_doc(xml)
+        spec = SortSpec(
+            default=ByAttribute("name", missing_uses_tag=True),
+            rules={"employee": ByIdRef("managerRef")},
+        )
+        result, _report = nexsort_with_idrefs(doc, spec, memory_blocks=8)
+        employees = result.to_element().find_all("employee")
+        assert [e.attrs["badge"] for e in employees] == ["2", "1"]
+
+    def test_other_levels_still_sorted_normally(self):
+        doc = fresh_doc()
+        result, _report = nexsort_with_idrefs(
+            doc, org_spec(), memory_blocks=8
+        )
+        tree = result.to_element()
+        # Top level orders by name: employees < managers.
+        assert [c.tag for c in tree.children] == ["employees", "managers"]
+        # Persons order by their own id.
+        ids = [p.attrs["id"] for p in tree.find("managers").children]
+        assert ids == ["m1", "m2", "m3"]
+
+    def test_io_is_counted_for_resolution(self):
+        doc = fresh_doc()
+        device = doc.device
+        before = device.stats.snapshot()
+        nexsort_with_idrefs(doc, org_spec(), memory_blocks=8)
+        delta = device.stats.since(before)
+        assert delta.category_total("idref_scan") > 0
+        assert delta.category_total("idref_rewrite") > 0
+        assert delta.category_total("idref_strip") > 0
+
+    def test_many_references_external_path(self):
+        """Enough references to force multi-run external sorting of the
+        reference streams."""
+        import random
+
+        rng = random.Random(5)
+        people = "".join(
+            f'<person id="p{i}" name="N{rng.randrange(1000):04d}"/>'
+            for i in range(200)
+        )
+        employees = "".join(
+            f'<employee badge="{i}" ref="p{rng.randrange(200)}"/>'
+            for i in range(300)
+        )
+        xml = f'<org name="r">{people}{employees}</org>'
+        doc = fresh_doc(xml)
+        spec = SortSpec(
+            default=ByAttribute("name", missing_uses_tag=True),
+            rules={
+                "employee": ByIdRef("ref", id_attribute="id"),
+                "person": ByAttribute("id", numeric_coercion=False),
+            },
+        )
+        result, _report = nexsort_with_idrefs(doc, spec, memory_blocks=8)
+        tree = result.to_element()
+        # Verify against a brute-force resolution.
+        name_of = {
+            p.attrs["id"]: p.attrs["name"]
+            for p in tree.find_all("person")
+        }
+        resolved_names = [
+            name_of[e.attrs["ref"]] for e in tree.find_all("employee")
+        ]
+        assert resolved_names == sorted(resolved_names)

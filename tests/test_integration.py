@@ -1,0 +1,176 @@
+"""End-to-end integration tests mirroring the paper's experimental claims
+at miniature scale (the full-size versions live in benchmarks/)."""
+
+import pytest
+
+from repro.analysis import merge_sort_passes
+from repro.baselines import external_merge_sort, sort_element
+from repro.core import nexsort
+from repro.generators import (
+    figure1_spec,
+    ibm_style_events,
+    level_fanout_events,
+    payroll_events,
+    personnel_events,
+)
+from repro.io import BlockDevice, CostModel, RunStore
+from repro.keys import ByAttribute, SortSpec
+from repro.merge import nested_loop_merge, structural_merge
+from repro.xml import Document
+
+SPEC = SortSpec(default=ByAttribute("name"))
+
+
+def load(events, block_size=512):
+    device = BlockDevice(block_size=block_size)
+    store = RunStore(device)
+    return Document.from_events(store, events)
+
+
+class TestMemorySweep:
+    """Miniature Figure 5: NEXSORT is less memory-sensitive."""
+
+    def test_nexsort_less_memory_sensitive_than_merge_sort(self):
+        """Paper: 'As memory decreases, NEXSORT running time increases
+        only marginally.  In contrast, external merge sort running time
+        increases more dramatically.'  The paper's memory range (4-32 MB
+        of 64 KB blocks) keeps NEXSORT's subtree sorts internal; the
+        scaled analogue is 16-96 blocks."""
+        events = lambda: level_fanout_events(  # noqa: E731
+            [11, 11, 11, 5], seed=5, pad_bytes=24
+        )
+        nexsort_times = []
+        merge_times = []
+        for memory in (16, 24, 48, 96):
+            doc = load(events())
+            _out, report = nexsort(doc, SPEC, memory_blocks=memory)
+            nexsort_times.append(report.simulated_seconds)
+            doc = load(events())
+            _out, merge_report = external_merge_sort(
+                doc, SPEC, memory_blocks=memory
+            )
+            merge_times.append(merge_report.simulated_seconds)
+        nexsort_spread = nexsort_times[0] / nexsort_times[-1]
+        merge_spread = merge_times[0] / merge_times[-1]
+        assert merge_spread > nexsort_spread
+
+    def test_nexsort_beats_merge_sort_on_hierarchical_input(self):
+        """The headline: merge sort 13-27% slower on hierarchical input."""
+        doc = load(level_fanout_events([11, 11, 11, 5], seed=4, pad_bytes=24))
+        _out, nreport = nexsort(doc, SPEC, memory_blocks=24)
+        doc = load(level_fanout_events([11, 11, 11, 5], seed=4, pad_bytes=24))
+        _out, mreport = external_merge_sort(doc, SPEC, memory_blocks=24)
+        assert nreport.simulated_seconds < mreport.simulated_seconds
+
+
+class TestInputSizeSweep:
+    """Miniature Figure 6: NEXSORT linear, merge sort pass jumps."""
+
+    def test_nexsort_scales_linearly(self):
+        times = []
+        sizes = []
+        for fanouts in ([10, 10, 10], [10, 10, 20], [10, 20, 20]):
+            doc = load(level_fanout_events(fanouts, seed=2, pad_bytes=48))
+            sizes.append(doc.element_count)
+            _out, report = nexsort(doc, SPEC, memory_blocks=8)
+            times.append(report.simulated_seconds)
+        # Time per element stays roughly constant (within 2x).
+        rates = [t / n for t, n in zip(times, sizes)]
+        assert max(rates) < 2.0 * min(rates)
+
+    def test_merge_sort_cost_model_predicts_pass_jumps(self):
+        """The analytic pass model matches the implementation."""
+        for fanouts, memory in (([30], 4), ([20, 20], 4), ([12, 35], 6)):
+            doc = load(level_fanout_events(fanouts, seed=3, pad_bytes=48))
+            _out, report = external_merge_sort(
+                doc, SPEC, memory_blocks=memory
+            )
+            B = max(1, doc.element_count // doc.block_count)
+            predicted = merge_sort_passes(
+                doc.element_count, B, memory * B
+            )
+            assert abs(report.total_passes - predicted) <= 1
+
+
+class TestTreeShapeSweep:
+    """Miniature Figure 7: flat inputs favour merge sort, hierarchy
+    flips the outcome once fan-out drops."""
+
+    def test_flat_input_favours_merge_sort(self):
+        doc = load(level_fanout_events([1500], seed=5, pad_bytes=24))
+        _out, nreport = nexsort(doc, SPEC, memory_blocks=8)
+        doc = load(level_fanout_events([1500], seed=5, pad_bytes=24))
+        _out, mreport = external_merge_sort(doc, SPEC, memory_blocks=8)
+        assert mreport.simulated_seconds < nreport.simulated_seconds
+
+    def test_hierarchical_input_favours_nexsort(self):
+        doc = load(level_fanout_events([11, 11, 11], seed=5, pad_bytes=24))
+        _out, nreport = nexsort(doc, SPEC, memory_blocks=24)
+        doc = load(level_fanout_events([11, 11, 11], seed=5, pad_bytes=24))
+        _out, mreport = external_merge_sort(doc, SPEC, memory_blocks=24)
+        assert nreport.simulated_seconds < mreport.simulated_seconds
+
+    def test_both_produce_identical_output(self):
+        doc = load(level_fanout_events([8, 8, 8], seed=6))
+        n_out, _ = nexsort(doc, SPEC, memory_blocks=8)
+        m_out, _ = external_merge_sort(doc, SPEC, memory_blocks=8)
+        assert n_out.to_element() == m_out.to_element()
+
+
+class TestMergePipeline:
+    """Example 1.1 at scale: sort + single-pass merge beats nested loop."""
+
+    def test_sort_merge_pipeline_beats_nested_loop(self):
+        spec = figure1_spec()
+        device = BlockDevice(block_size=512)
+        store = RunStore(device)
+        left = Document.from_events(store, personnel_events(3, 3, 14))
+        right = Document.from_events(store, payroll_events(3, 3, 14))
+
+        before = device.stats.snapshot()
+        sorted_left, _ = nexsort(left, spec, memory_blocks=8)
+        sorted_right, _ = nexsort(right, spec, memory_blocks=8)
+        _merged, _mreport = structural_merge(sorted_left, sorted_right, spec)
+        pipeline_ios = device.stats.since(before).total_ios
+
+        before = device.stats.snapshot()
+        _naive, _nreport = nested_loop_merge(left, right, spec)
+        naive_ios = device.stats.since(before).total_ios
+        assert naive_ios > pipeline_ios
+
+    def test_merge_outputs_agree(self):
+        spec = figure1_spec()
+        device = BlockDevice(block_size=512)
+        store = RunStore(device)
+        left = Document.from_events(store, personnel_events(2, 2, 8))
+        right = Document.from_events(store, payroll_events(2, 2, 8))
+        sorted_left, _ = nexsort(left, spec, memory_blocks=8)
+        sorted_right, _ = nexsort(right, spec, memory_blocks=8)
+        merged, _ = structural_merge(sorted_left, sorted_right, spec)
+        naive, _ = nested_loop_merge(left, right, spec)
+        assert (
+            merged.to_element().unordered_canonical()
+            == naive.to_element().unordered_canonical()
+        )
+
+
+class TestCostModelKnobs:
+    def test_custom_cost_model_changes_simulated_time_only(self):
+        slow_disk = CostModel(seek_seconds=0.05, transfer_seconds=0.005)
+        device = BlockDevice(block_size=512, cost_model=slow_disk)
+        store = RunStore(device)
+        doc = Document.from_events(
+            store, ibm_style_events(4, 6, seed=9, pad_bytes=48)
+        )
+        _out, slow_report = nexsort(doc, SPEC, memory_blocks=8)
+
+        device = BlockDevice(block_size=512)
+        store = RunStore(device)
+        doc = Document.from_events(
+            store, ibm_style_events(4, 6, seed=9, pad_bytes=48)
+        )
+        _out, fast_report = nexsort(doc, SPEC, memory_blocks=8)
+        assert slow_report.total_ios == fast_report.total_ios
+        assert (
+            slow_report.simulated_seconds > fast_report.simulated_seconds
+        )

@@ -1,0 +1,181 @@
+"""Unit tests for the key-path representation (Table 1)."""
+
+import pytest
+
+from repro.baselines import (
+    KeyPathRecord,
+    decode_record,
+    encode_record,
+    key_path_table,
+    records_from_annotated_events,
+    records_from_document_scan,
+    tokens_from_sorted_records,
+)
+from repro.errors import CodecError, SortSpecError
+from repro.generators import figure1_d1, figure1_spec
+from repro.keys import ByText, KeyEvaluator, SortSpec
+from repro.xml import Document, Element, NameDictionary, parse_events
+from repro.xml.tokens import (
+    EndTag,
+    RunPointer,
+    StartTag,
+    number_key,
+    string_key,
+)
+
+
+def records_of(xml: str, spec):
+    annotated = KeyEvaluator(spec).annotate(parse_events(xml))
+    return list(records_from_annotated_events(annotated))
+
+
+class TestRecordGeneration:
+    def test_every_element_gets_one_record(self, spec):
+        records = records_of(
+            '<a name="r"><b name="x"/><b name="y"><c name="z"/></b></a>',
+            spec,
+        )
+        assert len(records) == 4
+
+    def test_paths_embed_ancestor_keys(self, spec):
+        records = records_of(
+            '<a name="r"><b name="x"><c name="z"/></b></a>', spec
+        )
+        deepest = max(records, key=lambda r: r.depth)
+        atoms = [atom for atom, _pos in deepest.path]
+        assert atoms == [
+            string_key("r"),
+            string_key("x"),
+            string_key("z"),
+        ]
+
+    def test_positions_make_paths_unique(self, spec):
+        records = records_of(
+            '<a name="r"><b name="same"/><b name="same"/></a>', spec
+        )
+        paths = [record.path for record in records]
+        assert len(set(paths)) == len(paths)
+
+    def test_text_is_captured(self, spec):
+        records = records_of('<a name="r"><b name="x">val</b></a>', spec)
+        leaf = [r for r in records if r.tag == "b"][0]
+        assert leaf.text == "val"
+
+    def test_subtree_spec_rejected(self):
+        spec = SortSpec(default=ByText())
+        annotated = KeyEvaluator(spec).annotate(parse_events("<a>x</a>"))
+        with pytest.raises(SortSpecError):
+            list(records_from_annotated_events(annotated))
+
+    def test_pointer_events_become_pointer_records(self, spec):
+        events = [
+            StartTag("a", key=string_key("r"), pos=0),
+            RunPointer(
+                run_id=5,
+                key=string_key("k"),
+                pos=1,
+                element_count=10,
+                payload_bytes=99,
+            ),
+            EndTag("a", pos=0),
+        ]
+        records = list(records_from_annotated_events(iter(events)))
+        pointers = [r for r in records if r.is_pointer]
+        assert len(pointers) == 1
+        assert pointers[0].run_id == 5
+        assert pointers[0].element_count == 10
+
+    def test_sorted_records_give_parent_before_child(self, spec):
+        records = records_of(
+            '<a name="r"><b name="x"><c name="y"/></b></a>', spec
+        )
+        ordered = sorted(records, key=KeyPathRecord.sort_key)
+        depths = [record.depth for record in ordered]
+        assert depths == [1, 2, 3]
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("names", [None, NameDictionary()])
+    def test_element_record_round_trip(self, names):
+        record = KeyPathRecord(
+            path=((string_key("r"), 0), (number_key(42), 3)),
+            tag="employee",
+            attrs=(("ID", "42"), ("pad", "x")),
+            text="body & text",
+        )
+        encoded = encode_record(record, names)
+        assert decode_record(encoded, names) == record
+
+    @pytest.mark.parametrize("names", [None, NameDictionary()])
+    def test_pointer_record_round_trip(self, names):
+        record = KeyPathRecord(
+            path=((string_key("r"), 0),),
+            run_id=7,
+            element_count=123,
+            payload_bytes=4567,
+        )
+        encoded = encode_record(record, names)
+        assert decode_record(encoded, names) == record
+
+
+class TestDecodingToTokens:
+    def test_inverse_of_generation(self, spec, store):
+        xml = (
+            '<a name="r"><b name="x">t1</b>'
+            '<b name="y"><c name="z">t2</c></b></a>'
+        )
+        records = records_of(xml, spec)
+        records.sort(key=KeyPathRecord.sort_key)
+        tokens = list(tokens_from_sorted_records(iter(records)))
+        rebuilt = Element.from_events(
+            StartTag(t.tag, t.attrs)
+            if isinstance(t, StartTag)
+            else t
+            for t in tokens
+        )
+        # The original was already sorted under the spec, so decode must
+        # reproduce it exactly.
+        assert rebuilt == Element.parse(xml)
+
+    def test_base_level_offsets_levels(self, spec):
+        records = records_of('<a name="r"><b name="x"/></a>', spec)
+        records.sort(key=KeyPathRecord.sort_key)
+        tokens = list(
+            tokens_from_sorted_records(
+                iter(records), base_level=5, emit_end_tags=False
+            )
+        )
+        starts = [t for t in tokens if isinstance(t, StartTag)]
+        assert [s.level for s in starts] == [5, 6]
+        assert not any(isinstance(t, EndTag) for t in tokens)
+
+    def test_out_of_order_records_rejected(self, spec):
+        records = records_of(
+            '<a name="r"><b name="x"><c name="y"/></b></a>', spec
+        )
+        records.sort(key=KeyPathRecord.sort_key)
+        del records[1]  # remove the level-2 parent: depth jumps 1 -> 3
+        with pytest.raises(CodecError):
+            list(tokens_from_sorted_records(iter(records)))
+
+
+class TestTable1:
+    def test_reproduces_paper_rows(self, store):
+        doc = Document.from_element(store, figure1_d1())
+        rows = key_path_table(doc, figure1_spec())
+        assert rows == [
+            ("/", "<company>"),
+            ("/NE", '<region name="NE">'),
+            ("/AC", '<region name="AC">'),
+            ("/AC/Durham", '<branch name="Durham">'),
+            ("/AC/Durham/454", '<employee ID="454">'),
+            ("/AC/Durham/323", '<employee ID="323">'),
+            ("/AC/Durham/323/name", "<name>Smith"),
+            ("/AC/Durham/323/phone", "<phone>5552345"),
+            ("/AC/Atlanta", '<branch name="Atlanta">'),
+        ]
+
+    def test_scan_generator_matches_table_contents(self, store):
+        doc = Document.from_element(store, figure1_d1())
+        records = list(records_from_document_scan(doc, figure1_spec()))
+        assert len(records) == doc.element_count

@@ -1,0 +1,110 @@
+"""Tests for the external merge sort baseline."""
+
+import pytest
+
+from repro.baselines import (
+    ExternalMergeSorter,
+    external_merge_sort,
+    is_fully_sorted,
+    sort_element,
+)
+from repro.errors import SortSpecError
+from repro.io import BlockDevice, RunStore
+from repro.keys import ByText, SortSpec
+from repro.xml import CompactionConfig, Document
+
+from .conftest import flat_tree, random_tree
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle(self, store, spec, seed):
+        tree = random_tree(seed, depth=5, max_fanout=5, text_leaves=True)
+        doc = Document.from_element(store, tree)
+        result, _report = external_merge_sort(doc, spec, memory_blocks=5)
+        assert result.to_element() == sort_element(tree, spec)
+
+    def test_compact_storage(self, store, spec):
+        tree = random_tree(42, depth=4, max_fanout=5)
+        doc = Document.from_element(store, tree, CompactionConfig())
+        result, _report = external_merge_sort(doc, spec, memory_blocks=5)
+        assert result.to_element() == sort_element(tree, spec)
+        # The output document stays compacted.
+        assert result.compaction is not None
+
+    def test_flat_document(self, store, spec):
+        tree = flat_tree(300)
+        doc = Document.from_element(store, tree)
+        result, report = external_merge_sort(doc, spec, memory_blocks=5)
+        assert is_fully_sorted(result.to_element(), spec)
+        assert report.initial_runs > 1
+
+    def test_single_element(self, store, spec):
+        from repro.xml import Element
+
+        doc = Document.from_element(store, Element("only", {"name": "x"}))
+        result, _report = external_merge_sort(doc, spec, memory_blocks=5)
+        assert result.to_element() == Element("only", {"name": "x"})
+
+    def test_preserves_content(self, store, spec):
+        tree = random_tree(9, depth=5, max_fanout=4, text_leaves=True)
+        doc = Document.from_element(store, tree)
+        result, _report = external_merge_sort(doc, spec, memory_blocks=6)
+        assert (
+            result.to_element().unordered_canonical()
+            == tree.unordered_canonical()
+        )
+
+
+class TestValidation:
+    def test_subtree_spec_rejected(self):
+        with pytest.raises(SortSpecError):
+            ExternalMergeSorter(SortSpec(default=ByText()), 8)
+
+    def test_too_little_memory_rejected(self, spec):
+        with pytest.raises(SortSpecError):
+            ExternalMergeSorter(spec, 2)
+
+
+class TestReport:
+    def test_pass_accounting(self, spec):
+        device = BlockDevice(block_size=256)
+        store = RunStore(device)
+        doc = Document.from_element(store, flat_tree(400, pad=16))
+        _result, report = external_merge_sort(doc, spec, memory_blocks=4)
+        assert report.initial_runs > report.fan_in
+        assert report.materialized_merge_passes >= 1
+        assert report.total_passes >= 3
+        assert report.total_ios > 0
+        assert report.simulated_seconds > 0
+
+    def test_one_pass_when_memory_is_large(self, spec):
+        device = BlockDevice(block_size=256)
+        store = RunStore(device)
+        doc = Document.from_element(store, flat_tree(50))
+        _result, report = external_merge_sort(doc, spec, memory_blocks=64)
+        assert report.initial_runs == 1
+        assert report.materialized_merge_passes == 0
+        assert report.total_passes == 1
+
+    def test_more_memory_never_more_passes(self, spec):
+        passes = []
+        for memory in (4, 8, 16, 32):
+            device = BlockDevice(block_size=256)
+            store = RunStore(device)
+            doc = Document.from_element(store, flat_tree(400, pad=16))
+            _result, report = external_merge_sort(
+                doc, spec, memory_blocks=memory
+            )
+            passes.append(report.total_passes)
+        assert passes == sorted(passes, reverse=True)
+
+    def test_io_breakdown_has_expected_categories(self, spec):
+        device = BlockDevice(block_size=256)
+        store = RunStore(device)
+        doc = Document.from_element(store, flat_tree(200))
+        _result, report = external_merge_sort(doc, spec, memory_blocks=4)
+        categories = set(report.stats.by_category)
+        assert "input_scan" in categories
+        assert "run_write" in categories
+        assert "output" in categories

@@ -1,0 +1,135 @@
+"""Unit tests for the Element tree model."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.keys import ByAttribute, SortSpec
+from repro.xml import Element
+from repro.xml.tokens import EndTag, StartTag, Text
+
+
+def sample() -> Element:
+    return Element.parse(
+        '<company><region name="NE"/><region name="AC">'
+        '<branch name="Durham"><employee ID="454"/></branch>'
+        "</region></company>"
+    )
+
+
+class TestConstruction:
+    def test_from_events_round_trip(self):
+        tree = sample()
+        rebuilt = Element.from_events(tree.to_events())
+        assert rebuilt == tree
+
+    def test_from_events_rejects_unbalanced(self):
+        with pytest.raises(XMLSyntaxError):
+            Element.from_events([StartTag("a")])
+
+    def test_from_events_rejects_multiple_roots(self):
+        with pytest.raises(XMLSyntaxError):
+            Element.from_events(
+                [StartTag("a"), EndTag("a"), StartTag("b"), EndTag("b")]
+            )
+
+    def test_from_events_rejects_stray_text(self):
+        with pytest.raises(XMLSyntaxError):
+            Element.from_events([Text("loose")])
+
+    def test_text_concatenation(self):
+        tree = Element.from_events(
+            [
+                StartTag("a"),
+                Text("one "),
+                StartTag("b"),
+                EndTag("b"),
+                Text("two"),
+                EndTag("a"),
+            ]
+        )
+        assert tree.text == "one two"
+
+
+class TestNavigation:
+    def test_find_first_child(self):
+        tree = sample()
+        region = tree.find("region")
+        assert region is not None
+        assert region.attrs["name"] == "NE"
+
+    def test_find_missing_returns_none(self):
+        assert sample().find("nope") is None
+
+    def test_find_all(self):
+        assert len(sample().find_all("region")) == 2
+
+    def test_find_path(self):
+        employee = sample().find_path("region/branch/employee")
+        assert employee is None  # first region has no branch
+        second = sample().find_all("region")[1]
+        assert second.find_path("branch/employee").attrs["ID"] == "454"
+
+    def test_iter_is_preorder(self):
+        tags = [node.tag for node in sample().iter()]
+        assert tags == ["company", "region", "region", "branch", "employee"]
+
+
+class TestMeasurements:
+    def test_element_count(self):
+        assert sample().element_count() == 5
+
+    def test_height(self):
+        assert sample().height() == 4
+        assert Element("leaf").height() == 1
+
+    def test_max_fanout(self):
+        assert sample().max_fanout() == 2
+        assert Element("leaf").max_fanout() == 0
+
+
+class TestCanonicals:
+    def test_equality_is_structural(self):
+        assert sample() == sample()
+        other = sample()
+        other.children[0].attrs["name"] = "XX"
+        assert sample() != other
+
+    def test_attr_order_is_insignificant(self):
+        a = Element("e", {"x": "1", "y": "2"})
+        b = Element("e", {"y": "2", "x": "1"})
+        assert a == b
+
+    def test_child_order_is_significant_for_canonical(self):
+        a = Element("e", {}, "", [Element("x"), Element("y")])
+        b = Element("e", {}, "", [Element("y"), Element("x")])
+        assert a != b
+        assert a.unordered_canonical() == b.unordered_canonical()
+
+    def test_unordered_canonical_detects_content_change(self):
+        a = Element("e", {}, "", [Element("x", {"k": "1"})])
+        b = Element("e", {}, "", [Element("x", {"k": "2"})])
+        assert a.unordered_canonical() != b.unordered_canonical()
+
+
+class TestIsSortedBy:
+    def test_sorted_detection(self):
+        spec = SortSpec(default=ByAttribute("name"))
+        unsorted = Element.parse(
+            '<r><a name="b"/><a name="a"/></r>'
+        )
+        assert not unsorted.is_sorted_by(spec.key_of_element)
+        sorted_tree = Element.parse(
+            '<r><a name="a"/><a name="b"/></r>'
+        )
+        assert sorted_tree.is_sorted_by(spec.key_of_element)
+
+    def test_depth_limit_ignores_deep_levels(self):
+        spec = SortSpec(default=ByAttribute("name"))
+        tree = Element.parse(
+            '<r><a name="a"><x name="z"/><x name="y"/></a></r>'
+        )
+        assert not tree.is_sorted_by(spec.key_of_element)
+        # Level-2 <a>'s children are unsorted, so depth_limit=2 still fails;
+        # depth_limit=1 only constrains the root's child list.
+        assert not tree.is_sorted_by(spec.key_of_element, depth_limit=2)
+        assert tree.is_sorted_by(spec.key_of_element, depth_limit=1)

@@ -1,0 +1,135 @@
+"""Tests for the order-preserving merge (paper Section 1)."""
+
+from repro.generators import figure1_spec
+from repro.io import BlockDevice, RunStore
+from repro.merge import (
+    annotate_sequence_numbers,
+    merge_preserving_order,
+    strip_sequence_numbers,
+)
+from repro.merge.order_preserving import SEQUENCE_ATTRIBUTE
+from repro.xml import Document, Element
+
+
+def fresh_store():
+    device = BlockDevice(block_size=256)
+    return device, RunStore(device)
+
+
+class TestAnnotation:
+    def test_sequence_numbers_are_sibling_indexes(self, spec):
+        _device, store = fresh_store()
+        doc = Document.from_element(
+            store,
+            Element.parse('<r><a name="z"/><a name="y"/><a name="x"/></r>'),
+        )
+        annotated = annotate_sequence_numbers(doc)
+        tree = annotated.to_element()
+        assert [
+            c.attrs[SEQUENCE_ATTRIBUTE] for c in tree.children
+        ] == ["0", "1", "2"]
+        assert tree.attrs[SEQUENCE_ATTRIBUTE] == "0"
+
+    def test_offset_applies(self, spec):
+        _device, store = fresh_store()
+        doc = Document.from_element(
+            store, Element.parse('<r><a name="z"/></r>')
+        )
+        annotated = annotate_sequence_numbers(doc, offset=100)
+        child = annotated.to_element().children[0]
+        assert child.attrs[SEQUENCE_ATTRIBUTE] == "100"
+
+    def test_strip_is_inverse(self, spec):
+        _device, store = fresh_store()
+        tree = Element.parse('<r><a name="z">text</a><b name="y"/></r>')
+        doc = Document.from_element(store, tree)
+        round_tripped = strip_sequence_numbers(
+            annotate_sequence_numbers(doc)
+        )
+        assert round_tripped.to_element() == tree
+
+
+class TestOrderPreservingMerge:
+    def test_left_order_survives_merge(self):
+        """The merged document keeps the left document's child order even
+        though the merge itself required sorted inputs."""
+        _device, store = fresh_store()
+        spec = figure1_spec()
+        left = Document.from_element(
+            store,
+            Element.parse(
+                '<company><region name="Z"><branch name="B2"/></region>'
+                '<region name="A"><branch name="B1"/></region></company>'
+            ),
+        )
+        right = Document.from_element(
+            store,
+            Element.parse(
+                '<company><region name="A"><branch name="B3"/></region>'
+                "</company>"
+            ),
+        )
+        merged, report = merge_preserving_order(
+            left, right, spec, memory_blocks=8
+        )
+        tree = merged.to_element()
+        # Left order: Z before A (NOT sorted order).
+        assert [r.attrs["name"] for r in tree.find_all("region")] == [
+            "Z",
+            "A",
+        ]
+        # The A region merged: B1 (left) before B3 (right-only).
+        region_a = tree.find_all("region")[1]
+        assert [b.attrs["name"] for b in region_a.find_all("branch")] == [
+            "B1",
+            "B3",
+        ]
+        assert report.elements_merged >= 2
+
+    def test_no_sequence_attributes_leak(self):
+        _device, store = fresh_store()
+        spec = figure1_spec()
+        left = Document.from_element(
+            store, Element.parse('<c><r name="2"/><r name="1"/></c>')
+        )
+        right = Document.from_element(
+            store, Element.parse('<c><r name="3"/></c>')
+        )
+        merged, _report = merge_preserving_order(
+            left, right, spec, memory_blocks=8
+        )
+        for node in merged.to_element().iter():
+            assert SEQUENCE_ATTRIBUTE not in node.attrs
+
+    def test_merge_content_matches_plain_structural_merge(self):
+        from repro.core import nexsort
+        from repro.merge import structural_merge
+        from repro.generators import payroll_events, personnel_events
+
+        _device, store = fresh_store()
+        spec = figure1_spec()
+        left = Document.from_events(store, personnel_events(2, 2, 6))
+        right = Document.from_events(store, payroll_events(2, 2, 6))
+
+        preserved, _ = merge_preserving_order(
+            left, right, spec, memory_blocks=8
+        )
+        sorted_left, _ = nexsort(left, spec, memory_blocks=8)
+        sorted_right, _ = nexsort(right, spec, memory_blocks=8)
+        plain, _ = structural_merge(sorted_left, sorted_right, spec)
+        assert (
+            preserved.to_element().unordered_canonical()
+            == plain.to_element().unordered_canonical()
+        )
+
+    def test_identity_merge_is_order_identity(self, spec):
+        _device, store = fresh_store()
+        tree = Element.parse(
+            '<r name="r"><a name="9"/><a name="1"/><a name="5"/></r>'
+        )
+        left = Document.from_element(store, tree)
+        right = Document.from_element(store, tree)
+        merged, _report = merge_preserving_order(
+            left, right, spec, memory_blocks=8
+        )
+        assert merged.to_element() == tree

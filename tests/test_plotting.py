@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer used by the benchmark reports."""
+
+from repro.bench import ascii_chart
+from repro.bench.reporting import BenchReport, record_table, drain_reports
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_axes(self):
+        chart = ascii_chart(
+            [1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]}
+        )
+        assert "*" in chart
+        assert "o" in chart
+        assert "+--" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_peak_label_matches_maximum(self):
+        chart = ascii_chart([1, 2], {"s": [5.0, 12.5]})
+        assert "12.5" in chart
+
+    def test_x_labels_present(self):
+        chart = ascii_chart([16, 96], {"s": [1.0, 2.0]})
+        assert "16" in chart
+        assert "96" in chart
+
+    def test_empty_input(self):
+        assert ascii_chart([], {}) == "(no data)"
+
+    def test_zero_values_do_not_crash(self):
+        chart = ascii_chart([1, 2], {"s": [0.0, 0.0]})
+        assert "|" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart([7], {"s": [3.0]})
+        assert "*" in chart
+
+    def test_y_label_included(self):
+        chart = ascii_chart([1], {"s": [1.0]}, y_label="seconds")
+        assert "[y: seconds]" in chart
+
+
+class TestReportWithChart:
+    def test_chart_appears_in_render(self):
+        drain_reports()
+        record_table(
+            "demo",
+            ["x"],
+            [[1]],
+            chart=ascii_chart([1, 2], {"s": [1.0, 2.0]}),
+        )
+        (report,) = drain_reports()
+        rendered = report.render()
+        assert "== demo ==" in rendered
+        assert "+--" in rendered
+
+    def test_notes_follow_chart(self):
+        drain_reports()
+        record_table(
+            "demo", ["x"], [[1]], notes=["a note"], chart="CHART"
+        )
+        (report,) = drain_reports()
+        rendered = report.render()
+        assert rendered.index("CHART") < rendered.index("a note")

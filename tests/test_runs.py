@@ -1,0 +1,177 @@
+"""Unit and property tests for sorted runs (writer/reader/store)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RunError
+from repro.io import BlockDevice, RunStore
+
+
+def make_store(block_size: int = 256):
+    device = BlockDevice(block_size=block_size)
+    return device, RunStore(device)
+
+
+class TestWriterReader:
+    def test_round_trip(self):
+        _, store = make_store()
+        writer = store.create_writer()
+        records = [b"alpha", b"beta", b"gamma" * 30]
+        writer.write_records(records)
+        handle = writer.finish()
+        assert handle.record_count == 3
+        assert list(store.open_reader(handle)) == records
+
+    def test_records_span_blocks(self):
+        _, store = make_store(block_size=128)
+        writer = store.create_writer()
+        big = bytes(range(256)) * 3  # 768 bytes across many 128B blocks
+        writer.write_record(big)
+        writer.write_record(b"after")
+        handle = writer.finish()
+        reader = store.open_reader(handle)
+        assert reader.read_record() == big
+        assert reader.read_record() == b"after"
+        assert reader.read_record() is None
+
+    def test_empty_records_allowed(self):
+        _, store = make_store()
+        writer = store.create_writer()
+        writer.write_record(b"")
+        writer.write_record(b"x")
+        handle = writer.finish()
+        assert list(store.open_reader(handle)) == [b"", b"x"]
+
+    def test_finish_twice_fails(self):
+        _, store = make_store()
+        writer = store.create_writer()
+        writer.write_record(b"x")
+        writer.finish()
+        with pytest.raises(RunError):
+            writer.finish()
+
+    def test_write_after_finish_fails(self):
+        _, store = make_store()
+        writer = store.create_writer()
+        writer.finish()
+        with pytest.raises(RunError):
+            writer.write_record(b"x")
+
+    def test_handle_block_count_matches_stream(self):
+        device, store = make_store(block_size=128)
+        writer = store.create_writer()
+        for index in range(50):
+            writer.write_record(bytes([index]) * 20)
+        handle = writer.finish()
+        expected_blocks = -(-handle.stream_bytes // device.block_size)
+        assert handle.block_count == expected_blocks
+
+    def test_empty_run(self):
+        _, store = make_store()
+        handle = store.create_writer().finish()
+        assert handle.record_count == 0
+        assert list(store.open_reader(handle)) == []
+
+
+class TestResume:
+    def test_tell_and_resume_mid_run(self):
+        _, store = make_store(block_size=128)
+        writer = store.create_writer()
+        records = [bytes([i]) * 40 for i in range(10)]
+        writer.write_records(records)
+        handle = writer.finish()
+
+        reader = store.open_reader(handle)
+        for _ in range(4):
+            reader.read_record()
+        offset = reader.tell()
+        resumed = store.open_reader(handle, offset=offset)
+        assert list(resumed) == records[4:]
+
+    def test_resume_rereads_the_block(self):
+        """Lemma 4.12's access pattern: resuming costs one block read."""
+        device, store = make_store(block_size=128)
+        writer = store.create_writer()
+        writer.write_records([bytes([i]) * 40 for i in range(10)])
+        handle = writer.finish()
+
+        reader = store.open_reader(handle, category="probe")
+        reader.read_record()
+        offset = reader.tell()
+        before = device.stats.by_category["probe"].reads
+        resumed = store.open_reader(handle, offset=offset, category="probe")
+        resumed.read_record()
+        after = device.stats.by_category["probe"].reads
+        assert after == before + 1  # the resume block was read again
+
+    def test_bad_offset_rejected(self):
+        _, store = make_store()
+        writer = store.create_writer()
+        writer.write_record(b"x")
+        handle = writer.finish()
+        with pytest.raises(RunError):
+            store.open_reader(handle, offset=handle.stream_bytes + 1)
+
+
+class TestStore:
+    def test_get_unknown_run_fails(self):
+        _, store = make_store()
+        with pytest.raises(RunError):
+            store.get(99)
+
+    def test_free_releases_blocks(self):
+        device, store = make_store()
+        writer = store.create_writer()
+        writer.write_record(b"x" * 200)
+        handle = writer.finish()
+        occupied = device.occupied_blocks
+        store.free(handle)
+        assert device.occupied_blocks < occupied
+        with pytest.raises(RunError):
+            store.get(handle.run_id)
+
+    def test_total_run_blocks(self):
+        _, store = make_store(block_size=128)
+        handles = []
+        for size in (1, 5, 9):
+            writer = store.create_writer()
+            for index in range(size):
+                writer.write_record(bytes([index]) * 60)
+            handles.append(writer.finish())
+        assert store.total_run_blocks() == sum(
+            handle.block_count for handle in handles
+        )
+
+    def test_reads_counted_under_category(self):
+        device, store = make_store()
+        writer = store.create_writer("my_write")
+        writer.write_record(b"x" * 300)
+        handle = writer.finish()
+        list(store.open_reader(handle, category="my_read"))
+        assert device.stats.by_category["my_write"].writes == 2
+        assert device.stats.by_category["my_read"].reads == 2
+
+
+class TestHypothesisRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        records=st.lists(st.binary(max_size=300), max_size=80),
+        block_size=st.sampled_from([64, 128, 256]),
+        resume_at=st.integers(min_value=0, max_value=80),
+    )
+    def test_round_trip_and_resume(self, records, block_size, resume_at):
+        _, store = make_store(block_size=block_size)
+        writer = store.create_writer()
+        writer.write_records(records)
+        handle = writer.finish()
+        assert list(store.open_reader(handle)) == records
+
+        resume_at = min(resume_at, len(records))
+        reader = store.open_reader(handle)
+        for _ in range(resume_at):
+            reader.read_record()
+        offset = reader.tell()
+        assert list(store.open_reader(handle, offset=offset)) == records[
+            resume_at:
+        ]

@@ -1,0 +1,55 @@
+"""Larger-scale validation, opt-in via REPRO_SLOW=1.
+
+The regular suite keeps documents small for speed; these tests push one
+of each major pipeline through ~100k elements to catch anything that only
+breaks at depth (allocation, paging, run trees, merges at scale).
+"""
+
+import os
+
+import pytest
+
+from repro.baselines import external_merge_sort, is_fully_sorted
+from repro.core import nexsort
+from repro.generators import level_fanout_events
+from repro.io import BlockDevice, RunStore
+from repro.keys import ByAttribute, SortSpec
+from repro.xml import Document
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="set REPRO_SLOW=1 to run the large-scale validation",
+)
+
+SPEC = SortSpec(default=ByAttribute("name"))
+
+
+def big_document(store):
+    # [24, 24, 13, 13]: ~100k elements, height 5, all-internal sorts.
+    return Document.from_events(
+        store, level_fanout_events([24, 24, 13, 13], seed=77, pad_bytes=24)
+    )
+
+
+@slow
+def test_nexsort_at_scale():
+    device = BlockDevice(block_size=4096)
+    store = RunStore(device)
+    document = big_document(store)
+    assert document.element_count > 95_000
+    result, report = nexsort(document, SPEC, memory_blocks=48)
+    assert report.sum_si == report.element_count - 1 + report.x
+    assert is_fully_sorted(result.to_element(), SPEC)
+
+
+@slow
+def test_sorters_agree_at_scale():
+    device = BlockDevice(block_size=4096)
+    store = RunStore(device)
+    document = big_document(store)
+    nexsort_result, _ = nexsort(document, SPEC, memory_blocks=48)
+    merge_result, _ = external_merge_sort(document, SPEC, memory_blocks=48)
+    assert (
+        nexsort_result.to_element().canonical()
+        == merge_result.to_element().canonical()
+    )

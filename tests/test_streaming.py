@@ -1,0 +1,112 @@
+"""Tests for the incremental (streaming) XML tokenizer."""
+
+from io import StringIO
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xml import (
+    Document,
+    Element,
+    element_to_string,
+    parse_events,
+    parse_events_incremental,
+)
+
+from .conftest import random_tree
+
+
+def incremental(text: str, chunk: int = 7, **kwargs):
+    return list(
+        parse_events_incremental(
+            StringIO(text), chunk_chars=chunk, **kwargs
+        )
+    )
+
+
+SAMPLES = [
+    "<a/>",
+    "<a></a>",
+    '<a x="1" y="two words"><b/>text<c>deep</c></a>',
+    "<a><!-- comment --><b/><![CDATA[raw <stuff>]]></a>",
+    '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a ANY>]><a>t</a>',
+    "<a>&amp;&lt;&#65;</a>",
+    '<ns:tag attr="v&quot;q"/>',
+    "<a>" + "x" * 5000 + "</a>",  # text run far larger than a chunk
+    "<a " + " ".join(f'k{i}="v{i}"' for i in range(50)) + "/>",
+]
+
+
+class TestEquivalenceWithOneShotParser:
+    @pytest.mark.parametrize("xml", SAMPLES)
+    @pytest.mark.parametrize("chunk", [3, 16, 1024])
+    def test_same_events(self, xml, chunk):
+        assert incremental(xml, chunk) == list(parse_events(xml))
+
+    @pytest.mark.parametrize("chunk", [5, 64])
+    def test_random_documents(self, chunk):
+        for seed in range(6):
+            tree = random_tree(seed, depth=4, max_fanout=4,
+                               text_leaves=True)
+            text = element_to_string(tree, indent="  ")
+            assert incremental(text, chunk) == list(parse_events(text))
+
+    def test_whitespace_preservation_option(self):
+        xml = "<a> <b/> </a>"
+        assert incremental(xml, 4, strip_whitespace=False) == list(
+            parse_events(xml, strip_whitespace=False)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        chunk=st.integers(min_value=2, max_value=200),
+    )
+    def test_chunk_size_never_changes_the_events(self, seed, chunk):
+        tree = random_tree(seed, depth=3, max_fanout=4, text_leaves=True)
+        text = element_to_string(tree)
+        assert incremental(text, chunk) == list(parse_events(text))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a>",
+            "</a>",
+            "<a></b>",
+            "<a/><b/>",
+            "text only",
+            "<a><!-- unterminated",
+            "<a><![CDATA[open",
+            "",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            incremental(bad)
+
+    def test_construct_spanning_chunks_still_errors_cleanly(self):
+        with pytest.raises(XMLSyntaxError):
+            incremental('<aaaa bbbb="cccc', chunk=2)
+
+
+class TestFromFile:
+    def test_document_from_file(self, tmp_path, store):
+        tree = random_tree(9, depth=4, max_fanout=4, text_leaves=True)
+        path = tmp_path / "doc.xml"
+        path.write_text(element_to_string(tree, indent="  "))
+        doc = Document.from_file(store, str(path), chunk_chars=64)
+        assert doc.to_element() == tree
+
+    def test_from_file_matches_from_string(self, tmp_path, store):
+        tree = random_tree(10, depth=3, max_fanout=5)
+        text = element_to_string(tree)
+        path = tmp_path / "doc.xml"
+        path.write_text(text)
+        via_file = Document.from_file(store, str(path))
+        via_string = Document.from_string(store, text)
+        assert via_file.to_element() == via_string.to_element()
+        assert via_file.element_count == via_string.element_count

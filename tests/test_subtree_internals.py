@@ -1,0 +1,213 @@
+"""Direct unit tests for the subtree-sorter internals."""
+
+import pytest
+
+from repro.core.subtree import (
+    SubtreeSorter,
+    annotate_starts_from_ends,
+    build_subtree,
+    count_units,
+    mask_keys_below,
+    serialize_node_tree,
+    sort_node_tree,
+)
+from repro.errors import CodecError
+from repro.io import BlockDevice, RunStore
+from repro.xml import TokenCodec
+from repro.xml.tokens import (
+    EndTag,
+    MISSING_KEY,
+    RunPointer,
+    StartTag,
+    Text,
+    number_key,
+    string_key,
+)
+
+
+def plain_tokens():
+    """<r key=5><a key=2>t</a><ptr key=9/><b key=1/></r> annotated."""
+    return [
+        StartTag("r", key=number_key(5), pos=0),
+        StartTag("a", key=number_key(2), pos=1),
+        Text("t"),
+        EndTag("a", pos=1),
+        RunPointer(
+            run_id=7, key=number_key(9), pos=2, element_count=4,
+            payload_bytes=100,
+        ),
+        StartTag("b", key=number_key(1), pos=3),
+        EndTag("b", pos=3),
+        EndTag("r", pos=0),
+    ]
+
+
+class TestBuildSubtree:
+    def test_plain_structure(self):
+        root = build_subtree(plain_tokens(), compact=False)
+        assert root.start.tag == "r"
+        assert [c.key for c in root.children] == [
+            number_key(2),
+            number_key(9),
+            number_key(1),
+        ]
+        assert root.children[1].is_pointer
+        assert root.children[0].texts == ["t"]
+
+    def test_compact_structure(self):
+        tokens = [
+            StartTag("r", key=number_key(5), pos=0, level=3),
+            StartTag("a", key=number_key(2), pos=1, level=4),
+            Text("t", level=4),
+            RunPointer(
+                run_id=7, key=number_key(9), pos=2, level=4,
+                element_count=4, payload_bytes=100,
+            ),
+            StartTag("b", key=number_key(1), pos=3, level=4),
+        ]
+        root = build_subtree(tokens, compact=True)
+        assert len(root.children) == 3
+        assert root.children[1].is_pointer
+
+    def test_end_tag_keys_override(self):
+        tokens = [
+            StartTag("r", pos=0),
+            EndTag("r", key=string_key("late"), pos=0),
+        ]
+        root = build_subtree(tokens, compact=False)
+        assert root.key == string_key("late")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(CodecError):
+            build_subtree([StartTag("r")], compact=False)
+
+    def test_two_roots_rejected(self):
+        tokens = [
+            StartTag("a"), EndTag("a"), StartTag("b"), EndTag("b")
+        ]
+        with pytest.raises(CodecError):
+            build_subtree(tokens, compact=False)
+
+    def test_compact_without_levels_rejected(self):
+        with pytest.raises(CodecError):
+            build_subtree([StartTag("r")], compact=True)
+
+
+class TestSortAndSerialize:
+    def test_sorting_orders_children(self):
+        device = BlockDevice(block_size=256)
+        root = build_subtree(plain_tokens(), compact=False)
+        sort_node_tree(root, None, device.stats)
+        assert [c.key for c in root.children] == [
+            number_key(1),
+            number_key(2),
+            number_key(9),
+        ]
+        assert device.stats.comparisons > 0
+
+    def test_sort_levels_zero_keeps_order(self):
+        device = BlockDevice(block_size=256)
+        root = build_subtree(plain_tokens(), compact=False)
+        sort_node_tree(root, 0, device.stats)
+        assert [c.key for c in root.children] == [
+            number_key(2),
+            number_key(9),
+            number_key(1),
+        ]
+
+    def test_serialize_strips_annotations(self):
+        root = build_subtree(plain_tokens(), compact=False)
+        tokens = list(serialize_node_tree(root, 1, compact=False))
+        for token in tokens:
+            if isinstance(token, (StartTag, EndTag)):
+                assert token.key is None
+                assert token.pos is None
+
+    def test_serialize_compact_has_levels_no_ends(self):
+        root = build_subtree(plain_tokens(), compact=False)
+        tokens = list(serialize_node_tree(root, 5, compact=True))
+        assert not any(isinstance(t, EndTag) for t in tokens)
+        starts = [t for t in tokens if isinstance(t, StartTag)]
+        assert starts[0].level == 5
+        assert all(s.level == 6 for s in starts[1:])
+
+    def test_serialize_preserves_pointer_counts(self):
+        root = build_subtree(plain_tokens(), compact=False)
+        tokens = list(serialize_node_tree(root, 1, compact=False))
+        pointer = [t for t in tokens if isinstance(t, RunPointer)][0]
+        assert pointer.element_count == 4
+        assert pointer.run_id == 7
+
+
+class TestHelpers:
+    def test_count_units(self):
+        units, real = count_units(plain_tokens())
+        assert units == 4  # r, a, pointer, b
+        assert real == 3 + 4  # three real starts + pointer's 4 elements
+
+    def test_annotate_starts_from_ends(self):
+        tokens = [
+            StartTag("r", pos=0),
+            StartTag("a", pos=1),
+            EndTag("a", key=string_key("k1"), pos=1),
+            EndTag("r", key=string_key("k0"), pos=0),
+        ]
+        fixed = annotate_starts_from_ends(tokens)
+        assert fixed[0].key == string_key("k0")
+        assert fixed[1].key == string_key("k1")
+
+    def test_mask_keys_below(self):
+        masked = mask_keys_below(plain_tokens(), sort_levels=1)
+        # Root (level 1) keeps its key; children (level 2) are masked.
+        assert masked[0].key == number_key(5)
+        child_starts = [
+            t
+            for t in masked[1:]
+            if isinstance(t, (StartTag, RunPointer))
+        ]
+        assert all(t.key == MISSING_KEY for t in child_starts)
+
+
+class TestSorterDispatch:
+    def make_sorter(self, capacity_bytes):
+        device = BlockDevice(block_size=256)
+        store = RunStore(device)
+        return SubtreeSorter(
+            store, TokenCodec(), compact=False,
+            capacity_bytes=capacity_bytes, fan_in=2,
+        )
+
+    def test_small_subtree_sorts_internally(self):
+        sorter = self.make_sorter(capacity_bytes=10**6)
+        result = sorter.sort_tokens(plain_tokens(), 100, 1, None)
+        assert result.internal
+        assert result.units == 4
+        assert result.root_key == number_key(5)
+
+    def test_large_subtree_sorts_externally(self):
+        sorter = self.make_sorter(capacity_bytes=16)
+        result = sorter.sort_tokens(plain_tokens(), 1000, 1, None)
+        assert not result.internal
+
+
+def test_internal_and_external_subtree_sorts_agree():
+    """The two subtree-sort paths must produce identical runs."""
+    codec = TokenCodec()
+
+    def run_tokens(capacity):
+        device = BlockDevice(block_size=256)
+        store = RunStore(device)
+        sorter = SubtreeSorter(
+            store, codec, compact=False, capacity_bytes=capacity, fan_in=2
+        )
+        result = sorter.sort_tokens(plain_tokens(), 500, 1, None)
+        return [
+            codec.decode(record)
+            for record in store.open_reader(result.run)
+        ], result
+
+    internal_tokens, internal_result = run_tokens(10**6)
+    external_tokens, external_result = run_tokens(16)
+    assert internal_result.internal
+    assert not external_result.internal
+    assert internal_tokens == external_tokens
