@@ -19,6 +19,7 @@ from math import ceil, log2
 
 from ..errors import SortSpecError
 from ..io.budget import MemoryBudget
+from ..io.bufferpool import BufferPool
 from ..io.stats import StatsSnapshot
 from ..keys import KeyEvaluator, SortSpec
 from ..xml.codec import TokenCodec
@@ -70,9 +71,15 @@ class ExternalMergeSorter:
     Args:
         spec: the ordering criterion; must be start-computable.
         memory_blocks: the model parameter ``M`` (in blocks).
+        cache_blocks: blocks of ``M`` spent on a
+            :class:`~repro.io.bufferpool.BufferPool`; 0 keeps the classic
+            unpooled behaviour bit-for-bit.  The cache comes out of the
+            merge fan-in - it is charged memory, not spare memory.
     """
 
-    def __init__(self, spec: SortSpec, memory_blocks: int):
+    def __init__(
+        self, spec: SortSpec, memory_blocks: int, cache_blocks: int = 0
+    ):
         if not spec.start_computable:
             raise SortSpecError(
                 "external merge sort needs start-computable keys: a "
@@ -80,13 +87,19 @@ class ExternalMergeSorter:
                 "ancestors are still open (see DESIGN.md); use NEXSORT "
                 "for subtree-evaluated criteria"
             )
-        if memory_blocks < _RESERVED_BLOCKS + 1:
+        if cache_blocks < 0:
+            raise SortSpecError(
+                f"cache_blocks cannot be negative: {cache_blocks}"
+            )
+        if memory_blocks < _RESERVED_BLOCKS + 1 + cache_blocks:
             raise SortSpecError(
                 f"external merge sort needs at least "
-                f"{_RESERVED_BLOCKS + 1} memory blocks"
+                f"{_RESERVED_BLOCKS + 1} memory blocks plus the "
+                f"{cache_blocks} buffer-pool blocks"
             )
         self.spec = spec
         self.memory_blocks = memory_blocks
+        self.cache_blocks = cache_blocks
 
     def sort(self, document: Document) -> tuple[Document, MergeSortReport]:
         """Sort ``document``; returns (sorted document, report)."""
@@ -97,70 +110,87 @@ class ExternalMergeSorter:
         )
         budget = MemoryBudget(self.memory_blocks)
         buffers = budget.reserve(_RESERVED_BLOCKS, "io-buffers")
+        if self.cache_blocks:
+            store.attach_pool(
+                BufferPool(
+                    device,
+                    self.cache_blocks,
+                    budget=budget,
+                    owner="buffer-pool",
+                )
+            )
         formation = budget.reserve_rest("run-formation")
         capacity_bytes = formation.blocks * device.block_size
-        fan_in = max(2, self.memory_blocks - 1)
+        fan_in = max(2, self.memory_blocks - 1 - self.cache_blocks)
 
-        report = MergeSortReport(
-            element_count=document.element_count,
-            input_blocks=document.block_count,
-            memory_blocks=self.memory_blocks,
-            fan_in=fan_in,
-        )
-        before = device.stats.snapshot()
+        try:
+            report = MergeSortReport(
+                element_count=document.element_count,
+                input_blocks=document.block_count,
+                memory_blocks=self.memory_blocks,
+                fan_in=fan_in,
+            )
+            before = device.stats.snapshot()
 
-        # Pass 1: scan the input, form sorted initial runs.
-        evaluator = KeyEvaluator(self.spec)
-        annotated = evaluator.annotate(document.iter_events("input_scan"))
-        records = records_from_annotated_events(annotated)
-        initial_runs = []
-        batch: list[tuple[tuple, bytes]] = []
-        batch_bytes = 0
-        for record in records:
-            encoded = encode_record(record, names)
-            batch.append((record.sort_key(), encoded))
-            batch_bytes += len(encoded)
-            device.stats.record_tokens(1)
-            if batch_bytes >= capacity_bytes:
+            # Pass 1: scan the input, form sorted initial runs.
+            evaluator = KeyEvaluator(self.spec)
+            annotated = evaluator.annotate(
+                document.iter_events("input_scan")
+            )
+            records = records_from_annotated_events(annotated)
+            initial_runs = []
+            batch: list[tuple[tuple, bytes]] = []
+            batch_bytes = 0
+            for record in records:
+                encoded = encode_record(record, names)
+                batch.append((record.sort_key(), encoded))
+                batch_bytes += len(encoded)
+                device.stats.record_tokens(1)
+                if batch_bytes >= capacity_bytes:
+                    initial_runs.append(self._flush_run(store, batch))
+                    batch = []
+                    batch_bytes = 0
+            if batch:
                 initial_runs.append(self._flush_run(store, batch))
-                batch = []
-                batch_bytes = 0
-        if batch:
-            initial_runs.append(self._flush_run(store, batch))
-        report.initial_runs = len(initial_runs)
+            report.initial_runs = len(initial_runs)
 
-        # Merge passes, streaming the final merge into the decoder.
-        def key_of(encoded: bytes) -> tuple:
-            return decode_record(encoded, names).sort_key()
+            # Merge passes, streaming the final merge into the decoder.
+            def key_of(encoded: bytes) -> tuple:
+                return decode_record(encoded, names).sort_key()
 
-        stream, passes, width = merge_to_stream(
-            store, initial_runs, key_of, fan_in
-        )
-        report.materialized_merge_passes = passes
-        report.final_merge_width = width
+            stream, passes, width = merge_to_stream(
+                store, initial_runs, key_of, fan_in
+            )
+            report.materialized_merge_passes = passes
+            report.final_merge_width = width
 
-        # Decode sorted records into the output document.
-        emit_ends = not (
-            document.compaction is not None
-            and document.compaction.eliminate_end_tags
-        )
-        codec = TokenCodec(names)
-        writer = store.create_writer("output")
-        decoded = (decode_record(record, names) for record in stream)
-        for token in tokens_from_sorted_records(
-            decoded, emit_end_tags=emit_ends
-        ):
-            writer.write_record(codec.encode(token))
-            device.stats.record_tokens(1)
-        handle = writer.finish()
+            # Decode sorted records into the output document.
+            emit_ends = not (
+                document.compaction is not None
+                and document.compaction.eliminate_end_tags
+            )
+            codec = TokenCodec(names)
+            writer = store.create_writer("output")
+            decoded = (decode_record(record, names) for record in stream)
+            for token in tokens_from_sorted_records(
+                decoded, emit_end_tags=emit_ends
+            ):
+                writer.write_record(codec.encode(token))
+                device.stats.record_tokens(1)
+            handle = writer.finish()
 
-        report.stats = device.stats.since(before)
-        buffers.release()
-        formation.release()
-        output = Document(
-            store, handle, document.stats, document.compaction
-        )
-        return output, report
+            # Flush the pool before the snapshot so deferred write-backs
+            # are accounted inside the report.
+            store.detach_pool()
+            report.stats = device.stats.since(before)
+            buffers.release()
+            formation.release()
+            output = Document(
+                store, handle, document.stats, document.compaction
+            )
+            return output, report
+        finally:
+            store.detach_pool()
 
     @staticmethod
     def _flush_run(store, batch: list[tuple[tuple, bytes]]):
@@ -177,7 +207,12 @@ class ExternalMergeSorter:
 
 
 def external_merge_sort(
-    document: Document, spec: SortSpec, memory_blocks: int
+    document: Document,
+    spec: SortSpec,
+    memory_blocks: int,
+    cache_blocks: int = 0,
 ) -> tuple[Document, MergeSortReport]:
     """Convenience wrapper: sort ``document`` with the baseline."""
-    return ExternalMergeSorter(spec, memory_blocks).sort(document)
+    return ExternalMergeSorter(spec, memory_blocks, cache_blocks).sort(
+        document
+    )

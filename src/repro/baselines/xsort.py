@@ -22,6 +22,7 @@ from math import ceil, log2
 
 from ..errors import SortSpecError
 from ..io.budget import MemoryBudget
+from ..io.bufferpool import BufferPool
 from ..io.runs import RunHandle
 from ..io.stats import StatsSnapshot
 from ..keys import KeyEvaluator, SortSpec
@@ -66,25 +67,38 @@ class XSorter:
             ``company/region/branch`` sorts every branch's employees.
             The empty path targets the root itself.
         memory_blocks: the model parameter ``M`` in blocks.
+        cache_blocks: blocks of ``M`` spent on a
+            :class:`~repro.io.bufferpool.BufferPool`; 0 keeps the classic
+            unpooled behaviour bit-for-bit.
     """
 
     def __init__(
-        self, spec: SortSpec, target_path: str, memory_blocks: int
+        self,
+        spec: SortSpec,
+        target_path: str,
+        memory_blocks: int,
+        cache_blocks: int = 0,
     ):
         if not spec.start_computable:
             raise SortSpecError(
                 "XSort keys child subtrees at their start tags; the "
                 "criterion must be start-computable"
             )
-        if memory_blocks < _RESERVED_BLOCKS + 1:
+        if cache_blocks < 0:
             raise SortSpecError(
-                f"XSort needs at least {_RESERVED_BLOCKS + 1} memory blocks"
+                f"cache_blocks cannot be negative: {cache_blocks}"
+            )
+        if memory_blocks < _RESERVED_BLOCKS + 1 + cache_blocks:
+            raise SortSpecError(
+                f"XSort needs at least {_RESERVED_BLOCKS + 1} memory "
+                f"blocks plus the {cache_blocks} buffer-pool blocks"
             )
         self.spec = spec
         self.steps = tuple(
             step for step in target_path.split("/") if step
         )
         self.memory_blocks = memory_blocks
+        self.cache_blocks = cache_blocks
 
     def sort(self, document: Document) -> tuple[Document, XSortReport]:
         """Sort the targeted child lists; everything else streams through."""
@@ -95,80 +109,95 @@ class XSorter:
         )
         budget = MemoryBudget(self.memory_blocks)
         buffers = budget.reserve(_RESERVED_BLOCKS, "io-buffers")
+        if self.cache_blocks:
+            store.attach_pool(
+                BufferPool(
+                    device,
+                    self.cache_blocks,
+                    budget=budget,
+                    owner="buffer-pool",
+                )
+            )
         batch_memory = budget.reserve_rest("child-records")
         capacity_bytes = batch_memory.blocks * device.block_size
-        fan_in = max(2, self.memory_blocks - 1)
+        fan_in = max(2, self.memory_blocks - 1 - self.cache_blocks)
 
-        report = XSortReport(
-            element_count=document.element_count,
-            input_blocks=document.block_count,
-            memory_blocks=self.memory_blocks,
-        )
-        before = device.stats.snapshot()
+        try:
+            report = XSortReport(
+                element_count=document.element_count,
+                input_blocks=document.block_count,
+                memory_blocks=self.memory_blocks,
+            )
+            before = device.stats.snapshot()
 
-        evaluator = KeyEvaluator(self.spec)
-        events = evaluator.annotate(document.iter_events("input_scan"))
-        writer = store.create_writer("output")
+            evaluator = KeyEvaluator(self.spec)
+            events = evaluator.annotate(document.iter_events("input_scan"))
+            writer = store.create_writer("output")
 
-        # Path-matching state: the chain of tags from the root; an element
-        # is a *target* when its path equals self.steps.
-        path: list[str] = []
-        # When inside a target's child list, buffer each complete child
-        # subtree as one record.  Targets cannot nest inside the child
-        # lists being collected (collection is flat), but a target's
-        # children may themselves be targets once we recurse - XSort
-        # semantics sort only the specified level, so nested matches
-        # inside a collected subtree are NOT sorted (one level only).
-        collecting: list[dict] = []  # stack of collection frames
+            # Path-matching state: the chain of tags from the root; an element
+            # is a *target* when its path equals self.steps.
+            path: list[str] = []
+            # When inside a target's child list, buffer each complete child
+            # subtree as one record.  Targets cannot nest inside the child
+            # lists being collected (collection is flat), but a target's
+            # children may themselves be targets once we recurse - XSort
+            # semantics sort only the specified level, so nested matches
+            # inside a collected subtree are NOT sorted (one level only).
+            collecting: list[dict] = []  # stack of collection frames
 
-        def emit(token: Token) -> None:
-            writer.write_record(codec.encode(_strip(token)))
-            device.stats.record_tokens(1)
+            def emit(token: Token) -> None:
+                writer.write_record(codec.encode(_strip(token)))
+                device.stats.record_tokens(1)
 
-        for event in events:
-            if collecting:
-                frame = collecting[-1]
-                done = self._collect(frame, event)
-                if done:
-                    self._flush_target(
-                        store, frame, writer, codec, capacity_bytes,
-                        fan_in, report,
-                    )
-                    collecting.pop()
-                    emit(event)  # the target's own end tag
-                    path.pop()
-                continue
-            if isinstance(event, StartTag):
-                path.append(event.tag)
-                emit(event)
-                if tuple(path) == self.steps or (
-                    not self.steps and len(path) == 1
-                ):
-                    collecting.append(
-                        {
-                            "tag": event.tag,
-                            "children": [],
-                            "current": None,
-                            "depth": 0,
-                            "texts": [],
-                        }
-                    )
-                    report.target_lists_sorted += 1
+            for event in events:
+                if collecting:
+                    frame = collecting[-1]
+                    done = self._collect(frame, event)
+                    if done:
+                        self._flush_target(
+                            store, frame, writer, codec, capacity_bytes,
+                            fan_in, report,
+                        )
+                        collecting.pop()
+                        emit(event)  # the target's own end tag
+                        path.pop()
                     continue
-            elif isinstance(event, EndTag):
-                path.pop()
-                emit(event)
-            else:
-                emit(event)
+                if isinstance(event, StartTag):
+                    path.append(event.tag)
+                    emit(event)
+                    if tuple(path) == self.steps or (
+                        not self.steps and len(path) == 1
+                    ):
+                        collecting.append(
+                            {
+                                "tag": event.tag,
+                                "children": [],
+                                "current": None,
+                                "depth": 0,
+                                "texts": [],
+                            }
+                        )
+                        report.target_lists_sorted += 1
+                        continue
+                elif isinstance(event, EndTag):
+                    path.pop()
+                    emit(event)
+                else:
+                    emit(event)
 
-        handle = writer.finish()
-        report.stats = device.stats.since(before)
-        buffers.release()
-        batch_memory.release()
-        output = Document(
-            store, handle, document.stats, document.compaction
-        )
-        return output, report
+            handle = writer.finish()
+            # Flush the pool before the snapshot so deferred write-backs
+            # are accounted inside the report.
+            store.detach_pool()
+            report.stats = device.stats.since(before)
+            buffers.release()
+            batch_memory.release()
+            output = Document(
+                store, handle, document.stats, document.compaction
+            )
+            return output, report
+        finally:
+            store.detach_pool()
 
     def _collect(self, frame: dict, event: Token) -> bool:
         """Feed one event into a target's collection frame.
@@ -320,6 +349,9 @@ def xsort(
     spec: SortSpec,
     target_path: str,
     memory_blocks: int,
+    cache_blocks: int = 0,
 ) -> tuple[Document, XSortReport]:
     """Convenience wrapper: sort one level of a document with XSort."""
-    return XSorter(spec, target_path, memory_blocks).sort(document)
+    return XSorter(spec, target_path, memory_blocks, cache_blocks).sort(
+        document
+    )

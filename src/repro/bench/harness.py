@@ -97,6 +97,10 @@ def run_nexsort(
             "breakdown": report.io_breakdown(),
             "max_fanout": report.max_fanout,
             "threshold_bytes": report.threshold_bytes,
+            "output_reads": report.output_stats.total_reads,
+            "cache_hits": report.stats.cache_hits,
+            "cache_misses": report.stats.cache_misses,
+            "cache_evictions": report.stats.cache_evictions,
         },
     )
 
@@ -107,11 +111,13 @@ def run_merge_sort(
     spec: SortSpec = BENCH_SPEC,
     block_size: int = BENCH_BLOCK_SIZE,
     compaction: CompactionConfig | None = None,
+    cache_blocks: int = 0,
 ) -> SortMetrics:
     """One external merge sort experiment on a fresh device."""
     document = load_document(events_factory(), block_size, compaction)
     _output, report = external_merge_sort(
-        document, spec, memory_blocks=memory_blocks
+        document, spec, memory_blocks=memory_blocks,
+        cache_blocks=cache_blocks,
     )
     return SortMetrics(
         algorithm="merge_sort",
@@ -123,6 +129,9 @@ def run_merge_sort(
         detail={
             "initial_runs": report.initial_runs,
             "passes": report.total_passes,
+            "cache_hits": report.stats.cache_hits,
+            "cache_misses": report.stats.cache_misses,
+            "cache_evictions": report.stats.cache_evictions,
         },
     )
 

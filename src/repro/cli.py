@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", default="",
         help="xsort only: '/'-separated tag path whose child lists to sort",
     )
+    sort_cmd.add_argument(
+        "--cache-blocks", type=int, default=0,
+        help="memory blocks spent on the LRU buffer pool (default 0: "
+        "no pool, I/O counts match the paper's model exactly)",
+    )
     add_common(sort_cmd)
 
     merge_cmd = sub.add_parser(
@@ -212,18 +217,28 @@ def cmd_sort(args) -> int:
                 threshold_bytes=args.threshold,
                 depth_limit=args.depth_limit,
                 flat_optimization=args.flat_opt,
+                cache_blocks=args.cache_blocks,
             )
         elif args.algorithm == "mergesort":
             result, report = external_merge_sort(
-                document, spec, memory_blocks=args.memory
+                document, spec, memory_blocks=args.memory,
+                cache_blocks=args.cache_blocks,
             )
         else:
             result, report = xsort(
-                document, spec, args.target, memory_blocks=args.memory
+                document, spec, args.target, memory_blocks=args.memory,
+                cache_blocks=args.cache_blocks,
             )
         _emit(result, args.output)
         if args.stats:
             _print_stats(args.algorithm, report, out=sys.stderr)
+            if args.cache_blocks:
+                print(
+                    f"  cache hits/misses:   "
+                    f"{report.stats.cache_hits}/"
+                    f"{report.stats.cache_misses}",
+                    file=sys.stderr,
+                )
             if args.algorithm == "nexsort":
                 print(
                     f"  subtree sorts (x):   {report.x}", file=sys.stderr

@@ -39,7 +39,6 @@ from ..xml.tokens import (
     Token,
 )
 from .subtree import (
-    _Node,
     build_subtree,
     count_units,
     serialize_node_tree,

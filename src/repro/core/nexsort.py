@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 from ..errors import SortSpecError
 from ..io.budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS
+from ..io.bufferpool import BufferPool
 from ..io.stacks import ExternalStack
 from ..keys import KeyEvaluator, SortSpec
 from ..xml.codec import read_varint, write_varint
@@ -64,11 +65,19 @@ class NexsortOptions:
             head to toe.
         flat_optimization: enable graceful degeneration into external
             merge sort for flat inputs.
+        cache_blocks: blocks of the memory budget spent on a
+            :class:`~repro.io.bufferpool.BufferPool` in front of the
+            device.  0 (the default) runs with no pool at all, keeping
+            every I/O count bit-identical to the unpooled algorithm; a
+            positive value is reserved from ``M`` like any other component
+            and makes the output phase's run re-reads and stack paging
+            cache hits instead of device I/Os.
     """
 
     threshold_bytes: int | None = None
     depth_limit: int | None = None
     flat_optimization: bool = False
+    cache_blocks: int = 0
 
 
 class _OpenFrame:
@@ -112,15 +121,21 @@ class NexSorter:
         memory_blocks: int,
         options: NexsortOptions | None = None,
     ):
-        if memory_blocks < MINIMUM_NEXSORT_BLOCKS:
+        self.options = options or NexsortOptions()
+        cache_blocks = self.options.cache_blocks
+        if cache_blocks < 0:
+            raise SortSpecError(
+                f"cache_blocks cannot be negative: {cache_blocks}"
+            )
+        if memory_blocks < MINIMUM_NEXSORT_BLOCKS + cache_blocks:
             raise SortSpecError(
                 f"NEXSORT needs at least {MINIMUM_NEXSORT_BLOCKS} memory "
                 f"blocks (2 path stack, 1 data stack, 1 output-location "
-                f"stack, 2 transfer buffers); got {memory_blocks}"
+                f"stack, 2 transfer buffers) plus the {cache_blocks} "
+                f"buffer-pool blocks; got {memory_blocks}"
             )
         self.spec = spec
         self.memory_blocks = memory_blocks
-        self.options = options or NexsortOptions()
 
     def sort(self, document: Document) -> tuple[Document, NexsortReport]:
         """Sort ``document``; returns (sorted document, full report)."""
@@ -152,111 +167,133 @@ class NexSorter:
         path_reservation = budget.reserve(2, "path-stack")
         output_reservation = budget.reserve(1, "output-location-stack")
         buffer_reservation = budget.reserve(2, "transfer-buffers")
+        if options.cache_blocks:
+            # The pool reserves its capacity from the same budget: cached
+            # blocks are memory the model granted, not a free lunch.
+            store.attach_pool(
+                BufferPool(
+                    device,
+                    options.cache_blocks,
+                    budget=budget,
+                    owner="buffer-pool",
+                )
+            )
         data_reservation = budget.reserve_rest("data-stack-and-sorter")
         data_blocks = max(1, data_reservation.blocks)
         capacity_bytes = data_blocks * block
         fan_in = max(2, data_blocks - 1)
+        paging_target = store.io_target
 
-        report = NexsortReport(
-            element_count=document.element_count,
-            max_fanout=document.max_fanout,
-            input_blocks=document.block_count,
-            memory_blocks=self.memory_blocks,
-            block_size=block,
-            threshold_bytes=threshold,
-            depth_limit=depth_limit,
-            flat_optimization=options.flat_optimization,
-        )
-        before_all = device.stats.snapshot()
+        try:
+            report = NexsortReport(
+                element_count=document.element_count,
+                max_fanout=document.max_fanout,
+                input_blocks=document.block_count,
+                memory_blocks=self.memory_blocks,
+                block_size=block,
+                threshold_bytes=threshold,
+                depth_limit=depth_limit,
+                flat_optimization=options.flat_optimization,
+            )
+            before_all = device.stats.snapshot()
 
-        sorter = SubtreeSorter(store, codec, compact, capacity_bytes, fan_in)
-        data_stack = ExternalStack(device, data_blocks, "data_stack")
-        path_stack = ExternalStack(device, 2, "path_stack")
-        frames: list[_OpenFrame] = []
-        start_keyed = self.spec.start_computable
+            sorter = SubtreeSorter(store, codec, compact, capacity_bytes, fan_in)
+            data_stack = ExternalStack(paging_target, data_blocks, "data_stack")
+            path_stack = ExternalStack(paging_target, 2, "path_stack")
+            frames: list[_OpenFrame] = []
+            start_keyed = self.spec.start_computable
 
-        evaluator = KeyEvaluator(self.spec)
-        root_pointer: RunPointer | None = None
+            evaluator = KeyEvaluator(self.spec)
+            root_pointer: RunPointer | None = None
 
-        for event in evaluator.annotate(document.iter_events("input_scan")):
-            if isinstance(event, StartTag):
-                token = StartTag(
-                    event.tag,
-                    event.attrs,
-                    key=event.key if start_keyed else None,
-                    pos=event.pos,
-                    level=event.level if compact else None,
-                )
-                encoded = codec.encode(token)
-                loc = data_stack.push(encoded)
-                path_stack.push(_encode_path_entry(loc))
-                frames.append(_OpenFrame(loc, loc + len(encoded)))
-                device.stats.record_tokens(1)
-            elif isinstance(event, Text):
-                token = Text(
-                    event.text, level=len(frames) if compact else None
-                )
-                data_stack.push(codec.encode(token))
-                device.stats.record_tokens(1)
-                self._maybe_flush_partial(
-                    frames, data_stack, codec, store, device, report,
-                    compact, capacity_bytes, depth_limit,
-                )
-            elif isinstance(event, EndTag):
-                self._handle_end(
-                    event,
-                    frames,
-                    data_stack,
-                    path_stack,
-                    codec,
-                    store,
-                    device,
-                    sorter,
-                    report,
-                    compact,
-                    threshold,
-                    depth_limit,
-                    fan_in,
-                    start_keyed,
-                )
-                if frames:
+            for event in evaluator.annotate(document.iter_events("input_scan")):
+                if isinstance(event, StartTag):
+                    token = StartTag(
+                        event.tag,
+                        event.attrs,
+                        key=event.key if start_keyed else None,
+                        pos=event.pos,
+                        level=event.level if compact else None,
+                    )
+                    encoded = codec.encode(token)
+                    loc = data_stack.push(encoded)
+                    path_stack.push(_encode_path_entry(loc))
+                    frames.append(_OpenFrame(loc, loc + len(encoded)))
+                    device.stats.record_tokens(1)
+                elif isinstance(event, Text):
+                    token = Text(
+                        event.text, level=len(frames) if compact else None
+                    )
+                    data_stack.push(codec.encode(token))
+                    device.stats.record_tokens(1)
                     self._maybe_flush_partial(
                         frames, data_stack, codec, store, device, report,
                         compact, capacity_bytes, depth_limit,
                     )
-            else:  # pragma: no cover - evaluator only yields these
-                raise SortSpecError(f"unexpected event {event!r}")
+                elif isinstance(event, EndTag):
+                    self._handle_end(
+                        event,
+                        frames,
+                        data_stack,
+                        path_stack,
+                        codec,
+                        store,
+                        device,
+                        sorter,
+                        report,
+                        compact,
+                        threshold,
+                        depth_limit,
+                        fan_in,
+                        start_keyed,
+                    )
+                    if frames:
+                        self._maybe_flush_partial(
+                            frames, data_stack, codec, store, device, report,
+                            compact, capacity_bytes, depth_limit,
+                        )
+                else:  # pragma: no cover - evaluator only yields these
+                    raise SortSpecError(f"unexpected event {event!r}")
 
-        # The data stack now holds exactly the root pointer.
-        root_record = data_stack.pop()
-        root_pointer = codec.decode(root_record)
-        assert isinstance(root_pointer, RunPointer)
-        report.data_stack_page_ins = data_stack.page_ins
-        report.data_stack_page_outs = data_stack.page_outs
-        report.path_stack_page_ins = path_stack.page_ins
-        report.path_stack_page_outs = path_stack.page_outs
-        report.sorting_stats = device.stats.since(before_all)
+            # The data stack now holds exactly the root pointer.
+            root_record = data_stack.pop()
+            root_pointer = codec.decode(root_record)
+            assert isinstance(root_pointer, RunPointer)
+            report.data_stack_page_ins = data_stack.page_ins
+            report.data_stack_page_outs = data_stack.page_outs
+            report.path_stack_page_ins = path_stack.page_ins
+            report.path_stack_page_outs = path_stack.page_outs
+            report.sorting_stats = device.stats.since(before_all)
 
-        # Output phase: depth-first traversal of the tree of sorted runs.
-        before_output = device.stats.snapshot()
-        handle, output_page_ins, output_page_outs = output_phase(
-            store, root_pointer
-        )
-        report.output_stack_page_ins = output_page_ins
-        report.output_stack_page_outs = output_page_outs
-        report.output_stats = device.stats.since(before_output)
-        report.stats = device.stats.since(before_all)
+            # Output phase: depth-first traversal of the tree of sorted runs.
+            before_output = device.stats.snapshot()
+            handle, output_page_ins, output_page_outs = output_phase(
+                store, root_pointer
+            )
+            # Detach (and flush) the pool before the final snapshots so the
+            # write-back of any still-dirty output blocks is accounted.
+            store.detach_pool()
+            report.output_stack_page_ins = output_page_ins
+            report.output_stack_page_outs = output_page_outs
+            report.output_stats = device.stats.since(before_output)
+            report.stats = device.stats.since(before_all)
 
-        for reservation in (
-            path_reservation,
-            output_reservation,
-            buffer_reservation,
-            data_reservation,
-        ):
-            reservation.release()
+            for reservation in (
+                path_reservation,
+                output_reservation,
+                buffer_reservation,
+                data_reservation,
+            ):
+                reservation.release()
 
-        output = Document(store, handle, document.stats, document.compaction)
-        return output, report
+            output = Document(
+                store, handle, document.stats, document.compaction
+            )
+            return output, report
+        finally:
+            # Always restore the store to direct-device I/O (flushing any
+            # dirty cached blocks), even if the sort failed mid-stream.
+            store.detach_pool()
 
     # -- sorting-phase internals ---------------------------------------------
 
@@ -429,8 +466,11 @@ class NexSorter:
 
         # While merging this element's partial runs, the data-stack region
         # is empty (it was just popped), so its buffer blocks serve as
-        # merge input buffers on top of the two transfer buffers.
-        flat_fan_in = max(fan_in, self.memory_blocks - 4)
+        # merge input buffers on top of the two transfer buffers.  Blocks
+        # held by the buffer pool stay with the pool.
+        flat_fan_in = max(
+            fan_in, self.memory_blocks - 4 - self.options.cache_blocks
+        )
 
         writer = store.create_writer("run_write")
         clean_start = StartTag(
@@ -497,11 +537,13 @@ def nexsort(
     threshold_bytes: int | None = None,
     depth_limit: int | None = None,
     flat_optimization: bool = False,
+    cache_blocks: int = 0,
 ) -> tuple[Document, NexsortReport]:
     """Convenience wrapper: sort ``document`` with NEXSORT."""
     options = NexsortOptions(
         threshold_bytes=threshold_bytes,
         depth_limit=depth_limit,
         flat_optimization=flat_optimization,
+        cache_blocks=cache_blocks,
     )
     return NexSorter(spec, memory_blocks, options).sort(document)

@@ -13,6 +13,12 @@ position is popped and reading resumes there - re-reading the block that
 holds the resume offset, which is exactly the ``1 + p(b)`` accesses per run
 block that Lemma 4.12 counts.
 
+When the store has a :class:`~repro.io.bufferpool.BufferPool` attached, the
+block holding each saved resume offset is *pinned* for the duration of the
+nested descent, so the resume re-read is a guaranteed cache hit: the
+``p(b)`` re-reads of Lemma 4.12 stop costing device I/O.  With no pool the
+phase behaves exactly as before.
+
 Non-pointer records are copied byte-for-byte into the output document (the
 tokens inside runs already carry no sorting annotations).
 """
@@ -41,13 +47,20 @@ def output_phase(
     descents deeper than that spill, which is the Lemma 4.13 cost.
     """
     device = store.device
+    pool = store.pool
     codec = TokenCodec()  # only used to decode pointer records
-    location_stack = ExternalStack(device, 1, "output_stack")
+    location_stack = ExternalStack(store.io_target, 1, "output_stack")
     writer = store.create_writer("output")
 
+    # Readahead is explicitly off: the traversal jumps between runs, so
+    # prefetched blocks would be evicted before they are consumed.  The
+    # pool still serves the resume re-reads (pinned below) from cache.
     current = store.get(root_pointer.run_id)
-    reader = store.open_reader(current, category="run_read")
+    reader = store.open_reader(current, category="run_read", readahead=0)
     finished_runs = []
+    # Parallel to the location stack: the pinned resume block per open
+    # descent (None where pinning was not possible / no pool).
+    pinned: list[int | None] = []
 
     while True:
         record = reader.read_record()
@@ -56,10 +69,14 @@ def output_phase(
             if location_stack.is_empty:
                 break
             run_id, offset = _decode_location(location_stack.pop())
+            if pinned:
+                pinned_block = pinned.pop()
+                if pinned_block is not None:
+                    pool.unpin(pinned_block)
             current = store.get(run_id)
             # Resuming mid-run re-reads the block holding the offset.
             reader = store.open_reader(
-                current, offset=offset, category="run_read"
+                current, offset=offset, category="run_read", readahead=0
             )
             continue
         if is_pointer_record(record):
@@ -69,8 +86,12 @@ def output_phase(
             location_stack.push(
                 _encode_location(current.run_id, reader.tell())
             )
+            if pool is not None:
+                pinned.append(_pin_resume_block(pool, current, reader.tell()))
             current = store.get(pointer.run_id)
-            reader = store.open_reader(current, category="run_read")
+            reader = store.open_reader(
+                current, category="run_read", readahead=0
+            )
             continue
         writer.write_record(record)
         device.stats.record_tokens(1)
@@ -79,6 +100,17 @@ def output_phase(
     for run in finished_runs:
         store.free(run)
     return handle, location_stack.page_ins, location_stack.page_outs
+
+
+def _pin_resume_block(pool, run: RunHandle, offset: int) -> int | None:
+    """Pin the block a nested descent will resume from; None if not cached."""
+    if not run.block_ids:
+        return None
+    index = min(offset // pool.block_size, len(run.block_ids) - 1)
+    block_id = run.block_ids[index]
+    if pool.pin(block_id):
+        return block_id
+    return None
 
 
 def _encode_location(run_id: int, offset: int) -> bytes:

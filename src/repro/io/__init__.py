@@ -1,6 +1,7 @@
 """External-memory substrate: simulated device, budget, stacks, runs."""
 
 from .budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS, Reservation
+from .bufferpool import BufferPool, DEFAULT_READAHEAD
 from .device import BlockDevice, DEFAULT_BLOCK_SIZE
 from .file_device import FileBackedBlockDevice
 from .runs import RunHandle, RunReader, RunStore, RunWriter
@@ -9,6 +10,8 @@ from .stats import CategoryCounters, CostModel, IOStats, StatsSnapshot
 
 __all__ = [
     "BlockDevice",
+    "BufferPool",
+    "DEFAULT_READAHEAD",
     "CategoryCounters",
     "CostModel",
     "DEFAULT_BLOCK_SIZE",

@@ -1,0 +1,343 @@
+"""Budget-charged LRU buffer pool between the algorithms and the device.
+
+The paper's experimental substrate (TPIE over Linux) always ran behind a
+buffer manager and OS readahead; the pure model in :mod:`repro.io.device`
+charges every block access.  :class:`BufferPool` closes that gap without
+giving up the model's honesty: the pool's capacity is *reserved from the
+same* :class:`~repro.io.budget.MemoryBudget` that grants the stacks and the
+subtree sorter their blocks, so cached blocks are never memory the model
+does not account for.
+
+The pool is device-shaped - it exposes ``read_block`` / ``write_block`` /
+``read_blocks`` / ``write_blocks`` / ``allocate`` / ``free_blocks`` /
+``block_size`` / ``stats`` - so every component that takes a
+:class:`~repro.io.device.BlockDevice` (stacks, run readers and writers)
+works unchanged against a pool.
+
+Semantics:
+
+* **read hit**: served from pool memory, *no device I/O*; counted as a
+  ``cache_hit`` under the access's category.
+* **read miss**: goes to the device exactly as today (one counted read)
+  and the block enters the pool; counted as a ``cache_miss``.
+* **write**: write-back.  The block is updated (or inserted) in the pool
+  and marked dirty; no device I/O happens until the block is evicted,
+  flushed, or the pool detaches.  A dirty block freed before eviction is
+  never written at all - the stack page-out/page-in/free cycle becomes
+  free once it fits in the pool.
+* **eviction**: the least-recently-used unpinned block is displaced
+  (counted as a ``cache_eviction``); if dirty, its contents go to the
+  device as an ordinary counted write under the category that dirtied it.
+* **pin**: pinned blocks are never evicted - the output phase pins the
+  block holding each saved resume offset so the Lemma 4.12 re-read is a
+  guaranteed hit.
+
+A pool of capacity 0 is a pure pass-through: every call forwards to the
+device and no cache counters move, which keeps the paper's I/O counts
+bit-identical to an unpooled run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import DeviceError
+from .budget import MemoryBudget, Reservation
+from .device import BlockDevice
+
+#: Readahead extent (in blocks) used when ``readahead`` is left automatic:
+#: deep enough to amortize per-call overhead, small enough not to thrash
+#: small pools.
+DEFAULT_READAHEAD = 8
+
+
+class _Entry:
+    """One cached block."""
+
+    __slots__ = ("data", "category", "dirty", "pins")
+
+    def __init__(self, data: bytes, category: str, dirty: bool):
+        self.data = data
+        self.category = category
+        self.dirty = dirty
+        self.pins = 0
+
+
+class BufferPool:
+    """An LRU, pin-aware, write-back block cache charged to the budget.
+
+    Args:
+        device: the underlying block device.
+        capacity_blocks: pool size in blocks; 0 disables caching entirely.
+        budget: when given, ``capacity_blocks`` are reserved from it (and
+            released on :meth:`close`); reserving more than is free raises
+            :class:`~repro.errors.MemoryBudgetExceeded`.
+        owner: reservation owner name shown in budget errors.
+        readahead: blocks a sequential reader should prefetch through this
+            pool per extent; ``None`` picks ``DEFAULT_READAHEAD`` capped to
+            half the capacity.  Purely advisory - readers consult it.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        capacity_blocks: int,
+        budget: MemoryBudget | None = None,
+        owner: str = "buffer-pool",
+        readahead: int | None = None,
+    ):
+        if capacity_blocks < 0:
+            raise DeviceError(
+                f"buffer pool capacity cannot be negative: {capacity_blocks}"
+            )
+        self._device = device
+        self.capacity = capacity_blocks
+        self._reservation: Reservation | None = None
+        if budget is not None:
+            self._reservation = budget.reserve(capacity_blocks, owner)
+        if readahead is None:
+            readahead = min(DEFAULT_READAHEAD, max(1, capacity_blocks // 2))
+        self.readahead = readahead if capacity_blocks else 0
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._pinned = 0
+        self._closed = False
+
+    # -- device-shaped proxies ---------------------------------------------
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    @property
+    def block_size(self) -> int:
+        return self._device.block_size
+
+    @property
+    def stats(self):
+        return self._device.stats
+
+    def allocate(self, count: int = 1, pool: str = "default") -> int:
+        return self._device.allocate(count, pool)
+
+    def bytes_to_blocks(self, nbytes: int) -> int:
+        return self._device.bytes_to_blocks(nbytes)
+
+    # -- observers ---------------------------------------------------------
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._entries)
+
+    @property
+    def dirty_blocks(self) -> int:
+        return sum(1 for e in self._entries.values() if e.dirty)
+
+    @property
+    def pinned_blocks(self) -> int:
+        return self._pinned
+
+    def is_cached(self, block_id: int) -> bool:
+        return block_id in self._entries
+
+    # -- access ------------------------------------------------------------
+
+    def read_block(self, block_id: int, category: str = "other") -> bytes:
+        if self.capacity == 0:
+            return self._device.read_block(block_id, category)
+        entry = self._entries.get(block_id)
+        if entry is not None:
+            self._entries.move_to_end(block_id)
+            self.stats.record_cache_hit(category)
+            return entry.data
+        data = self._device.read_block(block_id, category)
+        self.stats.record_cache_miss(category)
+        self._insert(block_id, data, category, dirty=False)
+        return data
+
+    def read_blocks(
+        self, block_ids, category: str = "other"
+    ) -> list[bytes]:
+        """Vectored read: hits from the pool, misses fetched per extent."""
+        block_ids = list(block_ids)
+        if self.capacity == 0:
+            return self._device.read_blocks(block_ids, category)
+        found: dict[int, bytes] = {}
+        missing: list[int] = []
+        hits = 0
+        for block_id in block_ids:
+            if block_id in found:
+                continue
+            entry = self._entries.get(block_id)
+            if entry is not None:
+                self._entries.move_to_end(block_id)
+                found[block_id] = entry.data
+                hits += 1
+            else:
+                missing.append(block_id)
+        if hits:
+            self.stats.record_cache_hit(category, hits)
+        if missing:
+            fetched = self._device.read_blocks(missing, category)
+            self.stats.record_cache_miss(category, len(missing))
+            for block_id, data in zip(missing, fetched):
+                found[block_id] = data
+                self._insert(block_id, data, category, dirty=False)
+        return [found[block_id] for block_id in block_ids]
+
+    def write_block(
+        self, block_id: int, data: bytes, category: str = "other"
+    ) -> None:
+        if self.capacity == 0:
+            self._device.write_block(block_id, data, category)
+            return
+        if len(data) > self.block_size:
+            raise DeviceError(
+                f"write of {len(data)} bytes exceeds block size "
+                f"{self.block_size}"
+            )
+        if not 0 <= block_id < self._device.allocated_blocks:
+            raise DeviceError(f"write of unallocated block {block_id}")
+        data = bytes(data)
+        entry = self._entries.get(block_id)
+        if entry is not None:
+            entry.data = data
+            entry.category = category
+            entry.dirty = True
+            self._entries.move_to_end(block_id)
+            self.stats.record_cache_hit(category)
+            return
+        self.stats.record_cache_miss(category)
+        if not self._insert(block_id, data, category, dirty=True):
+            # Nothing evictable (everything pinned): write through.
+            self._device.write_block(block_id, data, category)
+
+    def write_blocks(self, block_ids, datas, category: str = "other") -> None:
+        block_ids = list(block_ids)
+        datas = list(datas)
+        if len(block_ids) != len(datas):
+            raise DeviceError(
+                f"write_blocks got {len(block_ids)} ids but "
+                f"{len(datas)} payloads"
+            )
+        if self.capacity == 0:
+            self._device.write_blocks(block_ids, datas, category)
+            return
+        for block_id, data in zip(block_ids, datas):
+            self.write_block(block_id, data, category)
+
+    def free_blocks(self, block_ids) -> None:
+        """Drop freed blocks from pool and device; dirty data is discarded
+        unwritten (the blocks are dead - this is the write the pool saves)."""
+        block_ids = list(block_ids)
+        for block_id in block_ids:
+            entry = self._entries.pop(block_id, None)
+            if entry is not None and entry.pins:
+                self._pinned -= 1
+        self._device.free_blocks(block_ids)
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, block_id: int) -> bool:
+        """Protect a cached block from eviction; False if not possible.
+
+        A pin fails when the block is not resident or when pinning it would
+        leave no evictable slot (the pool must always be able to make
+        progress).
+        """
+        entry = self._entries.get(block_id)
+        if entry is None:
+            return False
+        if not entry.pins and self._pinned >= self.capacity - 1:
+            return False
+        if not entry.pins:
+            self._pinned += 1
+        entry.pins += 1
+        return True
+
+    def unpin(self, block_id: int) -> None:
+        entry = self._entries.get(block_id)
+        if entry is None or not entry.pins:
+            return
+        entry.pins -= 1
+        if not entry.pins:
+            self._pinned -= 1
+
+    # -- write-back --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every dirty block back to the device.
+
+        Dirty blocks are flushed in block-id order, grouped per category
+        into vectored writes, so a sequentially written run flushes as
+        sequential device I/O.
+        """
+        dirty = sorted(
+            (block_id, entry)
+            for block_id, entry in self._entries.items()
+            if entry.dirty
+        )
+        index = 0
+        while index < len(dirty):
+            category = dirty[index][1].category
+            group_ids: list[int] = []
+            group_data: list[bytes] = []
+            while (
+                index < len(dirty)
+                and dirty[index][1].category == category
+            ):
+                block_id, entry = dirty[index]
+                group_ids.append(block_id)
+                group_data.append(entry.data)
+                entry.dirty = False
+                index += 1
+            self._device.write_blocks(group_ids, group_data, category)
+
+    def close(self) -> None:
+        """Flush dirty blocks, drop the cache, release the reservation."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        self._entries.clear()
+        self._pinned = 0
+        if self._reservation is not None:
+            self._reservation.release()
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _insert(
+        self, block_id: int, data: bytes, category: str, dirty: bool
+    ) -> bool:
+        """Cache a block, evicting if full; False if nothing was evictable."""
+        while len(self._entries) >= self.capacity:
+            if not self._evict_one():
+                return False
+        entry = _Entry(data, category, dirty)
+        self._entries[block_id] = entry
+        return True
+
+    def _evict_one(self) -> bool:
+        for block_id, entry in self._entries.items():
+            if entry.pins:
+                continue
+            del self._entries[block_id]
+            self.stats.record_cache_eviction(entry.category)
+            if entry.dirty:
+                self._device.write_block(
+                    block_id, entry.data, entry.category
+                )
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferPool(capacity={self.capacity}, "
+            f"cached={len(self._entries)}, dirty={self.dirty_blocks}, "
+            f"pinned={self._pinned})"
+        )

@@ -125,14 +125,98 @@ class BlockDevice:
         self._last_by_category[category] = block_id
         self._blocks[block_id] = bytes(data)
 
+    def read_blocks(
+        self, block_ids, category: str = "other"
+    ) -> list[bytes]:
+        """Vectored read: fetch several blocks in one call.
+
+        Accounting is identical to an equivalent :meth:`read_block` loop -
+        each block is judged against the one before it (the first against
+        the category's last access), so a contiguous extent costs one
+        sequentiality judgment and the rest count sequential.  Subclasses
+        override this to move whole extents per OS call.
+        """
+        block_ids = list(block_ids)
+        if not block_ids:
+            return []
+        out: list[bytes] = []
+        last = self._last_by_category.get(category)
+        sequential = 0
+        for block_id in block_ids:
+            if not 0 <= block_id < self._next_block:
+                raise DeviceError(f"read of unallocated block {block_id}")
+            data = self._blocks.get(block_id)
+            if data is None:
+                raise DeviceError(
+                    f"read of never-written block {block_id}"
+                )
+            out.append(data)
+            if last is None or block_id == last + 1:
+                sequential += 1
+            last = block_id
+        self.stats.record_reads(category, len(block_ids), sequential)
+        self._last_by_category[category] = last
+        return out
+
+    def write_blocks(
+        self, block_ids, datas, category: str = "other"
+    ) -> None:
+        """Vectored write: store several blocks in one call.
+
+        Accounting mirrors :meth:`read_blocks`: one sequentiality judgment
+        per extent, identical counters to a :meth:`write_block` loop.
+        """
+        block_ids = list(block_ids)
+        datas = list(datas)
+        if len(block_ids) != len(datas):
+            raise DeviceError(
+                f"write_blocks got {len(block_ids)} ids but "
+                f"{len(datas)} payloads"
+            )
+        if not block_ids:
+            return
+        last = self._last_by_category.get(category)
+        sequential = 0
+        for block_id, data in zip(block_ids, datas):
+            if not 0 <= block_id < self._next_block:
+                raise DeviceError(f"write of unallocated block {block_id}")
+            if len(data) > self.block_size:
+                raise DeviceError(
+                    f"write of {len(data)} bytes exceeds block size "
+                    f"{self.block_size}"
+                )
+            self._blocks[block_id] = bytes(data)
+            if last is None or block_id == last + 1:
+                sequential += 1
+            last = block_id
+        self.stats.record_writes(category, len(block_ids), sequential)
+        self._last_by_category[category] = last
+
     def free_blocks(self, block_ids) -> None:
         """Drop the contents of blocks that are no longer needed.
 
         Freeing is bookkeeping only (it lets long experiments release Python
         memory); it performs no accounted I/O and the ids are not reused.
+        Categories whose last access was a freed block forget it, so a
+        later access in that category starts a fresh stream instead of
+        being judged against a dead block.
         """
+        block_ids = list(block_ids)
         for block_id in block_ids:
             self._blocks.pop(block_id, None)
+        self._forget_last_access(block_ids)
+
+    def _forget_last_access(self, block_ids) -> None:
+        freed = set(block_ids)
+        if not freed:
+            return
+        stale = [
+            category
+            for category, last in self._last_by_category.items()
+            if last in freed
+        ]
+        for category in stale:
+            del self._last_by_category[category]
 
     def _is_sequential(self, category: str, block_id: int) -> bool:
         last = self._last_by_category.get(category)

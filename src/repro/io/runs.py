@@ -52,12 +52,44 @@ class RunHandle:
 
 
 class RunStore:
-    """Creates, registers, and opens runs on one device."""
+    """Creates, registers, and opens runs on one device.
+
+    A :class:`~repro.io.bufferpool.BufferPool` may be attached for the
+    duration of an algorithm (:meth:`attach_pool` / :meth:`detach_pool`):
+    while attached, every run read and write is routed through the pool,
+    and readers default to the pool's readahead.  With no pool attached
+    (the default) all I/O goes straight to the device, exactly as before.
+    """
 
     def __init__(self, device: BlockDevice):
         self.device = device
+        self._pool = None
         self._runs: dict[int, RunHandle] = {}
         self._next_id = 0
+
+    @property
+    def pool(self):
+        """The attached :class:`BufferPool`, or None."""
+        return self._pool
+
+    @property
+    def io_target(self):
+        """Where run I/O goes: the attached pool, else the raw device."""
+        return self._pool if self._pool is not None else self.device
+
+    def attach_pool(self, pool) -> None:
+        """Route run I/O through ``pool`` until :meth:`detach_pool`."""
+        if self._pool is not None:
+            raise RunError("a buffer pool is already attached")
+        self._pool = pool
+
+    def detach_pool(self) -> None:
+        """Flush the attached pool and route I/O to the device again."""
+        if self._pool is None:
+            return
+        pool = self._pool
+        self._pool = None
+        pool.close()
 
     def create_writer(self, category: str = "run_write") -> "RunWriter":
         return RunWriter(self, category)
@@ -73,14 +105,19 @@ class RunStore:
         run: RunHandle | int,
         offset: int = 0,
         category: str = "run_read",
+        readahead: int | None = None,
     ) -> "RunReader":
         handle = self.get(run) if isinstance(run, int) else run
-        return RunReader(self.device, handle, offset, category)
+        if readahead is None:
+            readahead = self._pool.readahead if self._pool else 0
+        return RunReader(
+            self.io_target, handle, offset, category, readahead=readahead
+        )
 
     def free(self, run: RunHandle | int) -> None:
         """Release a consumed run's blocks (bookkeeping, no counted I/O)."""
         handle = self.get(run) if isinstance(run, int) else run
-        self.device.free_blocks(handle.block_ids)
+        self.io_target.free_blocks(handle.block_ids)
         self._runs.pop(handle.run_id, None)
 
     def total_run_blocks(self) -> int:
@@ -112,7 +149,7 @@ class RunWriter:
 
     def __init__(self, store: RunStore, category: str):
         self._store = store
-        self._device = store.device
+        self._device = store.io_target
         self._category = category
         self._buffer = bytearray()
         self._block_ids: list[int] = []
@@ -169,7 +206,15 @@ class RunWriter:
 
 
 class RunReader:
-    """Sequential reader over a run, resumable at any record boundary."""
+    """Sequential reader over a run, resumable at any record boundary.
+
+    ``device`` may be a raw :class:`BlockDevice` or a
+    :class:`~repro.io.bufferpool.BufferPool`.  With ``readahead > 0`` the
+    reader fetches upcoming blocks in vectored extents of that many blocks;
+    only use readahead through a pool - against a raw device the prefetched
+    blocks have nowhere to live, so each would be charged again when the
+    reader actually arrives at it.
+    """
 
     def __init__(
         self,
@@ -177,6 +222,7 @@ class RunReader:
         handle: RunHandle,
         offset: int = 0,
         category: str = "run_read",
+        readahead: int = 0,
     ):
         if offset < 0 or offset > handle.stream_bytes:
             raise RunError(
@@ -188,6 +234,8 @@ class RunReader:
         self._pos = offset
         self._block_index = -1
         self._block: bytes = b""
+        self._readahead = max(0, readahead)
+        self._prefetched_until = 0
 
     @property
     def handle(self) -> RunHandle:
@@ -223,17 +271,42 @@ class RunReader:
                 f"at offset {self._pos}"
             )
         size = self._device.block_size
+        index, intra = divmod(self._pos, size)
+        if index == self._block_index and intra + count <= size:
+            # Fast path: the whole read lies inside the current block.
+            self._pos += count
+            return self._block[intra : intra + count]
         parts = []
         remaining = count
         while remaining:
             index, intra = divmod(self._pos, size)
             if index != self._block_index:
-                self._block = self._device.read_block(
-                    self._handle.block_ids[index], self._category
-                )
-                self._block_index = index
+                self._load_block(index)
             take = min(remaining, size - intra)
             parts.append(self._block[intra : intra + take])
             self._pos += take
             remaining -= take
         return b"".join(parts)
+
+    def _load_block(self, index: int) -> None:
+        block_ids = self._handle.block_ids
+        if self._readahead and index < self._prefetched_until:
+            is_cached = getattr(self._device, "is_cached", None)
+            if is_cached is not None and not is_cached(block_ids[index]):
+                # A prefetched block was evicted before we reached it:
+                # the pool is too contended for readahead to pay off, so
+                # stop prefetching - otherwise every evicted block would
+                # be charged twice (once fetched ahead, once on arrival).
+                self._readahead = 0
+        if self._readahead and index >= self._prefetched_until:
+            end = min(index + self._readahead, len(block_ids))
+            extent = self._device.read_blocks(
+                block_ids[index:end], self._category
+            )
+            self._prefetched_until = end
+            self._block = extent[0]
+        else:
+            self._block = self._device.read_block(
+                block_ids[index], self._category
+            )
+        self._block_index = index

@@ -66,7 +66,10 @@ class ExternalStack:
     """A spillable LIFO stack of byte-string records.
 
     Args:
-        device: the block device used for paging.
+        device: the block device used for paging; may also be a
+            :class:`~repro.io.bufferpool.BufferPool`, in which case spilled
+            blocks are cached write-back - a segment paged out, paged back
+            in, and freed while it stays resident never touches the device.
         buffer_blocks: internal-memory blocks this stack may use; the caller
             is responsible for having reserved them from the
             :class:`~repro.io.budget.MemoryBudget`.
@@ -236,10 +239,17 @@ class ExternalStack:
         nblocks = -(-len(record) // size)
         start = self._device.allocate(nblocks, pool=self._category)
         block_ids = list(range(start, start + nblocks))
-        for index, block_id in enumerate(block_ids):
-            chunk = record[index * size : (index + 1) * size]
-            self._device.write_block(block_id, chunk, self._category)
-            self._page_outs += 1
+        # One vectored write for the whole extent: same accounting as a
+        # block-at-a-time loop, one Python/OS call.
+        self._device.write_blocks(
+            block_ids,
+            [
+                record[index * size : (index + 1) * size]
+                for index in range(nblocks)
+            ],
+            self._category,
+        )
+        self._page_outs += nblocks
         self._segments.append(_BigSegment(block_ids, len(record)))
         del self._memory[0]
         self._memory_bytes -= len(record)
@@ -255,12 +265,10 @@ class ExternalStack:
             self._device.free_blocks([segment.block_id])
             records = self._unpack_block(data, segment.record_count)
         else:
-            chunks = []
-            for block_id in segment.block_ids:
-                chunks.append(
-                    self._device.read_block(block_id, self._category)
-                )
-                self._page_ins += 1
+            chunks = self._device.read_blocks(
+                segment.block_ids, self._category
+            )
+            self._page_ins += len(segment.block_ids)
             self._device.free_blocks(segment.block_ids)
             records = [b"".join(chunks)[: segment.payload_bytes]]
         # Paged-in records are older than everything currently buffered.

@@ -48,12 +48,23 @@ class CostModel:
 
 @dataclass
 class CategoryCounters:
-    """Block-access counters for one accounting category."""
+    """Block-access counters for one accounting category.
+
+    ``cache_hits`` / ``cache_misses`` / ``cache_evictions`` are buffer-pool
+    counters (:mod:`repro.io.bufferpool`): a hit is a block access served
+    from pool memory with no device I/O; a miss went to the device (and is
+    therefore also counted in ``reads``/``writes``); an eviction is a block
+    displaced from the pool (dirty evictions additionally appear as device
+    writes).  Without a pool all three stay zero.
+    """
 
     reads: int = 0
     writes: int = 0
     seq_reads: int = 0
     seq_writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     @property
     def total(self) -> int:
@@ -69,6 +80,9 @@ class CategoryCounters:
             writes=self.writes + other.writes,
             seq_reads=self.seq_reads + other.seq_reads,
             seq_writes=self.seq_writes + other.seq_writes,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            cache_evictions=self.cache_evictions + other.cache_evictions,
         )
 
 
@@ -100,6 +114,31 @@ class IOStats:
         counters.writes += 1
         if sequential:
             counters.seq_writes += 1
+
+    def record_reads(
+        self, category: str, count: int, sequential_count: int
+    ) -> None:
+        """Bulk form of :meth:`record_read` for vectored device reads."""
+        counters = self._category(category)
+        counters.reads += count
+        counters.seq_reads += sequential_count
+
+    def record_writes(
+        self, category: str, count: int, sequential_count: int
+    ) -> None:
+        """Bulk form of :meth:`record_write` for vectored device writes."""
+        counters = self._category(category)
+        counters.writes += count
+        counters.seq_writes += sequential_count
+
+    def record_cache_hit(self, category: str, count: int = 1) -> None:
+        self._category(category).cache_hits += count
+
+    def record_cache_miss(self, category: str, count: int = 1) -> None:
+        self._category(category).cache_misses += count
+
+    def record_cache_eviction(self, category: str, count: int = 1) -> None:
+        self._category(category).cache_evictions += count
 
     def record_comparisons(self, count: int) -> None:
         self.comparisons += count
@@ -138,6 +177,18 @@ class IOStats:
     def random_ios(self) -> int:
         return self.total_ios - self.sequential_ios
 
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self.by_category.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(c.cache_misses for c in self.by_category.values())
+
+    @property
+    def cache_evictions(self) -> int:
+        return sum(c.cache_evictions for c in self.by_category.values())
+
     def io_seconds(self) -> float:
         """Simulated disk time for everything recorded so far."""
         return self.cost_model.io_seconds(self.sequential_ios, self.random_ios)
@@ -157,7 +208,13 @@ class IOStats:
         return StatsSnapshot(
             by_category={
                 name: CategoryCounters(
-                    c.reads, c.writes, c.seq_reads, c.seq_writes
+                    c.reads,
+                    c.writes,
+                    c.seq_reads,
+                    c.seq_writes,
+                    c.cache_hits,
+                    c.cache_misses,
+                    c.cache_evictions,
                 )
                 for name, c in self.by_category.items()
             },
@@ -178,6 +235,9 @@ class IOStats:
                 "writes": c.writes,
                 "seq_reads": c.seq_reads,
                 "seq_writes": c.seq_writes,
+                "cache_hits": c.cache_hits,
+                "cache_misses": c.cache_misses,
+                "cache_evictions": c.cache_evictions,
             }
             for name, c in sorted(self.by_category.items())
         }
@@ -203,8 +263,19 @@ class StatsSnapshot:
                 writes=now.writes - before.writes,
                 seq_reads=now.seq_reads - before.seq_reads,
                 seq_writes=now.seq_writes - before.seq_writes,
+                cache_hits=now.cache_hits - before.cache_hits,
+                cache_misses=now.cache_misses - before.cache_misses,
+                cache_evictions=now.cache_evictions
+                - before.cache_evictions,
             )
-            if diff.total or diff.seq_reads or diff.seq_writes:
+            if (
+                diff.total
+                or diff.seq_reads
+                or diff.seq_writes
+                or diff.cache_hits
+                or diff.cache_misses
+                or diff.cache_evictions
+            ):
                 categories[name] = diff
         return StatsSnapshot(
             by_category=categories,
@@ -234,6 +305,18 @@ class StatsSnapshot:
     @property
     def random_ios(self) -> int:
         return self.total_ios - self.sequential_ios
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self.by_category.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(c.cache_misses for c in self.by_category.values())
+
+    @property
+    def cache_evictions(self) -> int:
+        return sum(c.cache_evictions for c in self.by_category.values())
 
     def category_total(self, category: str) -> int:
         counters = self.by_category.get(category)

@@ -17,7 +17,6 @@ from repro.analysis import (
     log2_factorial,
     log2_flat_outcomes,
     log2_max_outcomes,
-    log2_outcomes_from_fanouts,
     log2_sorting_outcomes,
     merge_sort_ios,
     merge_sort_passes,

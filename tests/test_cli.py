@@ -91,6 +91,27 @@ class TestSortCommand:
         assert "total block I/Os" in err
         assert "subtree sorts" in err
 
+    def test_cache_blocks_flag(self, d1_file, tmp_path, capsys):
+        out = tmp_path / "sorted.xml"
+        code = main(
+            [
+                "sort", d1_file, "-o", str(out),
+                "--memory", "12", "--cache-blocks", "4", "--stats",
+            ]
+        )
+        assert code == 0
+        tree = Element.parse(out.read_text())
+        regions = [r.attrs["name"] for r in tree.find_all("region")]
+        assert regions == ["AC", "NE"]
+        assert "cache hits/misses" in capsys.readouterr().err
+
+    def test_cache_blocks_cannot_eat_the_minimum(self, d1_file, capsys):
+        code = main(
+            ["sort", d1_file, "--memory", "8", "--cache-blocks", "4"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_compact_and_flat_opt_flags(self, d1_file, tmp_path):
         out = tmp_path / "sorted.xml"
         code = main(

@@ -15,8 +15,6 @@ from repro.xml.codec import (
 )
 from repro.xml.tokens import (
     EndTag,
-    KEY_NUMBER,
-    KEY_STRING,
     MISSING_KEY,
     RunPointer,
     StartTag,

@@ -1,7 +1,5 @@
 """Tests for the cost-model bridge between bounds and simulated time."""
 
-import pytest
-
 from repro.analysis import (
     ModelGeometry,
     lower_bound_seconds,

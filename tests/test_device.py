@@ -39,6 +39,65 @@ class TestAllocation:
         with pytest.raises(DeviceError):
             device.allocate(0)
 
+    def test_chunk_sized_request_gets_dedicated_extent(self):
+        """count == ALLOCATION_CHUNK bypasses the pool cursor entirely."""
+        from repro.io.device import ALLOCATION_CHUNK
+
+        device = BlockDevice(block_size=256)
+        small = device.allocate(1, pool="p")
+        big = device.allocate(ALLOCATION_CHUNK, pool="p")
+        after = device.allocate(1, pool="p")
+        # The dedicated extent starts past every block handed out so far…
+        assert big >= small + 1
+        # …and the pool's own extent is untouched by it: the next small
+        # allocation continues right after the first one.
+        assert after == small + 1
+
+    def test_dedicated_extent_is_contiguous(self):
+        from repro.io.device import ALLOCATION_CHUNK
+
+        device = BlockDevice(block_size=256)
+        count = ALLOCATION_CHUNK + 7
+        start = device.allocate(count, pool="big")
+        # Every id in [start, start+count) is usable and distinct from
+        # anything a later allocation returns.
+        device.write_block(start + count - 1, b"end")
+        other = device.allocate(1, pool="big")
+        assert other >= start + count
+
+    def test_interleaved_pools_refill_independently(self):
+        """Pool extents refill without perturbing other pools' cursors."""
+        from repro.io.device import ALLOCATION_CHUNK
+
+        device = BlockDevice(block_size=256)
+        a_blocks = [device.allocate(1, pool="a")]
+        # Exhaust pool a's first extent while pool b allocates in between.
+        b_blocks = []
+        for _ in range(ALLOCATION_CHUNK):
+            b_blocks.append(device.allocate(1, pool="b"))
+            a_blocks.append(device.allocate(1, pool="a"))
+        # a crossed an extent boundary exactly once: its ids form two
+        # contiguous stretches.
+        breaks = [
+            i
+            for i in range(1, len(a_blocks))
+            if a_blocks[i] != a_blocks[i - 1] + 1
+        ]
+        assert len(breaks) == 1
+        # b stayed within one extent: fully contiguous.
+        assert b_blocks == list(range(b_blocks[0], b_blocks[0] + len(b_blocks)))
+
+    def test_multi_block_request_spanning_refill_stays_contiguous(self):
+        from repro.io.device import ALLOCATION_CHUNK
+
+        device = BlockDevice(block_size=256)
+        device.allocate(ALLOCATION_CHUNK - 1, pool="p")
+        # 2 blocks no longer fit in the current extent: the request must
+        # come back contiguous from a fresh extent, not straddle two.
+        start = device.allocate(2, pool="p")
+        follow = device.allocate(1, pool="p")
+        assert follow == start + 2
+
     def test_tiny_block_size_rejected(self):
         with pytest.raises(DeviceError):
             BlockDevice(block_size=16)
@@ -97,6 +156,114 @@ class TestReadWrite:
         before = device.stats.total_ios
         device.free_blocks([block])
         assert device.stats.total_ios == before
+
+    def test_free_forgets_category_last_access(self):
+        """A category whose last access was freed restarts its stream."""
+        device = BlockDevice(block_size=256)
+        start = device.allocate(3)
+        device.write_block(start, b"a", "s")
+        device.write_block(start + 1, b"b", "s")
+        device.free_blocks([start + 1])
+        # Without the purge this backward access would be judged against
+        # the dead block and charged as random; after it the stream
+        # restarts and the first access counts sequential.
+        device.write_block(start, b"c", "s")
+        counters = device.stats.by_category["s"]
+        assert counters.writes == 3
+        assert counters.seq_writes == 3
+
+    def test_free_keeps_other_categories_last_access(self):
+        device = BlockDevice(block_size=256)
+        start = device.allocate(4)
+        device.write_block(start, b"a", "keep")
+        device.write_block(start + 2, b"b", "drop")
+        device.free_blocks([start + 2])
+        # "keep" still remembers start: start+1 follows it sequentially.
+        device.write_block(start + 1, b"c", "keep")
+        # "drop" forgot: a backward access still counts sequential
+        # because the stream restarted.
+        device.write_block(start, b"d", "drop")
+        assert device.stats.by_category["keep"].seq_writes == 2
+        assert device.stats.by_category["drop"].seq_writes == 2
+
+
+class TestVectoredIO:
+    def _loop_equivalent(self, make_ops):
+        """Run the same accesses vectored and looped; compare counters."""
+        results = []
+        for vectored in (False, True):
+            device = BlockDevice(block_size=256)
+            make_ops(device, vectored)
+            counters = device.stats.by_category["v"]
+            results.append(
+                (
+                    counters.reads,
+                    counters.writes,
+                    counters.seq_reads,
+                    counters.seq_writes,
+                )
+            )
+        assert results[0] == results[1]
+        return results[0]
+
+    def test_contiguous_write_read_matches_loop(self):
+        def ops(device, vectored):
+            start = device.allocate(4)
+            ids = [start + i for i in range(4)]
+            datas = [bytes([i]) for i in range(4)]
+            if vectored:
+                device.write_blocks(ids, datas, "v")
+                assert device.read_blocks(ids, "v") == datas
+            else:
+                for i, d in zip(ids, datas):
+                    device.write_block(i, d, "v")
+                for i, d in zip(ids, datas):
+                    assert device.read_block(i, "v") == d
+
+        reads, writes, seq_reads, seq_writes = self._loop_equivalent(ops)
+        assert (reads, writes) == (4, 4)
+        assert seq_writes == 4
+        # Re-reading block `start` right after writing start+3 is a jump.
+        assert seq_reads == 3
+
+    def test_scattered_ids_match_loop(self):
+        def ops(device, vectored):
+            start = device.allocate(6)
+            ids = [start + 4, start, start + 1, start + 5]
+            datas = [b"w", b"x", b"y", b"z"]
+            if vectored:
+                device.write_blocks(ids, datas, "v")
+                device.read_blocks(ids, "v")
+            else:
+                for i, d in zip(ids, datas):
+                    device.write_block(i, d, "v")
+                for i in ids:
+                    device.read_block(i, "v")
+
+        reads, writes, seq_reads, seq_writes = self._loop_equivalent(ops)
+        assert (reads, writes) == (4, 4)
+        # First write opens the stream (sequential); start -> start+1 is
+        # the only other adjacent step.
+        assert seq_writes == 2
+
+    def test_empty_vectored_calls_are_free(self):
+        device = BlockDevice(block_size=256)
+        assert device.read_blocks([], "v") == []
+        device.write_blocks([], [], "v")
+        assert device.stats.total_ios == 0
+
+    def test_mismatched_payload_count_rejected(self):
+        device = BlockDevice(block_size=256)
+        start = device.allocate(2)
+        with pytest.raises(DeviceError):
+            device.write_blocks([start, start + 1], [b"only-one"], "v")
+
+    def test_vectored_read_of_unwritten_block_fails(self):
+        device = BlockDevice(block_size=256)
+        start = device.allocate(2)
+        device.write_block(start, b"x")
+        with pytest.raises(DeviceError):
+            device.read_blocks([start, start + 1], "v")
 
 
 class TestAccounting:

@@ -1,7 +1,5 @@
 """Edge cases across the full pipeline."""
 
-import pytest
-
 from repro.baselines import external_merge_sort, sort_element
 from repro.core import nexsort
 from repro.io import BlockDevice, RunStore

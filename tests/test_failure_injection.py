@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.errors import CodecError, ReproError, XMLSyntaxError
 from repro.io import BlockDevice, RunStore
-from repro.xml import Document, Element, TokenCodec, parse_events
+from repro.xml import Document, TokenCodec, parse_events
 from repro.xml.codec import decode_key_atom, read_varint
 
 from .conftest import random_tree

@@ -54,6 +54,49 @@ class TestFileBacking:
         assert counters.writes == 3
         assert counters.seq_writes == 3
 
+    def test_vectored_round_trip(self, file_device):
+        start = file_device.allocate(4)
+        datas = [bytes([i]) * 16 for i in range(4)]
+        ids = [start + i for i in range(4)]
+        file_device.write_blocks(ids, datas, "v")
+        out = file_device.read_blocks(ids, "v")
+        for data, block in zip(datas, out):
+            assert block.startswith(data)
+            assert len(block) == 256
+
+    def test_vectored_accounting_matches_memory_device(self, file_device):
+        from repro.io import BlockDevice
+
+        memory_device = BlockDevice(block_size=256)
+        for device in (file_device, memory_device):
+            start = device.allocate(6)
+            # Two contiguous extents with a gap between them.
+            ids = [start, start + 1, start + 4, start + 5]
+            device.write_blocks(ids, [b"d"] * 4, "v")
+            device.read_blocks(ids, "v")
+        file_counters = file_device.stats.by_category["v"]
+        memory_counters = memory_device.stats.by_category["v"]
+        assert file_counters.writes == memory_counters.writes == 4
+        assert file_counters.seq_writes == memory_counters.seq_writes
+        assert file_counters.reads == memory_counters.reads == 4
+        assert file_counters.seq_reads == memory_counters.seq_reads
+
+    def test_vectored_read_of_unwritten_block_fails(self, file_device):
+        start = file_device.allocate(2)
+        file_device.write_block(start, b"x")
+        with pytest.raises(DeviceError):
+            file_device.read_blocks([start, start + 1])
+
+    def test_nexsort_with_pool_on_file_device(self, file_device, spec):
+        store = RunStore(file_device)
+        tree = random_tree(5, depth=4, max_fanout=5, pad=12)
+        document = Document.from_element(store, tree)
+        result, report = nexsort(
+            document, spec, memory_blocks=12, cache_blocks=4
+        )
+        assert result.to_element() == sort_element(tree, spec)
+        assert report.stats.cache_hits > 0
+
     def test_backing_file_removed_on_close(self, tmp_path):
         path = str(tmp_path / "scratch.bin")
         with FileBackedBlockDevice(path, block_size=256) as device:

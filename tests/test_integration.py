@@ -1,10 +1,8 @@
 """End-to-end integration tests mirroring the paper's experimental claims
 at miniature scale (the full-size versions live in benchmarks/)."""
 
-import pytest
-
 from repro.analysis import merge_sort_passes
-from repro.baselines import external_merge_sort, sort_element
+from repro.baselines import external_merge_sort
 from repro.core import nexsort
 from repro.generators import (
     figure1_spec,

@@ -7,7 +7,7 @@ from repro.baselines import is_fully_sorted, sort_element
 from repro.core import NexSorter, NexsortOptions, nexsort
 from repro.errors import SortSpecError
 from repro.io import BlockDevice, RunStore
-from repro.keys import ByAttribute, ByChildPath, ByText, SortSpec
+from repro.keys import ByChildPath, ByText, SortSpec
 from repro.xml import CompactionConfig, Document, Element
 
 from .conftest import chain_tree, flat_tree, random_tree

@@ -1,7 +1,7 @@
 """Tests for the ASCII chart renderer used by the benchmark reports."""
 
 from repro.bench import ascii_chart
-from repro.bench.reporting import BenchReport, record_table, drain_reports
+from repro.bench.reporting import record_table, drain_reports
 
 
 class TestAsciiChart:

@@ -1,6 +1,5 @@
 """Cross-cutting property tests: all sorters agree, structure preserved."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

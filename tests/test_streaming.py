@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.errors import XMLSyntaxError
 from repro.xml import (
     Document,
-    Element,
     element_to_string,
     parse_events,
     parse_events_incremental,

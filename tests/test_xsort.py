@@ -7,7 +7,7 @@ from repro.core import nexsort
 from repro.errors import SortSpecError
 from repro.generators import figure1_d1, figure1_spec
 from repro.io import BlockDevice, RunStore
-from repro.keys import ByAttribute, ByText, SortSpec
+from repro.keys import ByText, SortSpec
 from repro.xml import Document, Element
 
 from .conftest import flat_tree, random_tree
