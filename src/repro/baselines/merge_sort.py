@@ -15,13 +15,20 @@ start-computable ordering criteria.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import ceil, log2
 
 from ..errors import SortSpecError
 from ..io.budget import MemoryBudget
 from ..io.bufferpool import BufferPool
 from ..io.stats import StatsSnapshot
 from ..keys import KeyEvaluator, SortSpec
+from ..merge.engine import (
+    DEFAULT_MERGE_OPTIONS,
+    MergeOptions,
+    RunFormer,
+    embedded_key_of,
+    normalized_path_key,
+    strip_embedded_key,
+)
 from ..xml.codec import TokenCodec
 from ..xml.document import Document
 from .keypath import (
@@ -46,6 +53,8 @@ class MergeSortReport:
     memory_blocks: int = 0
     fan_in: int = 0
     initial_runs: int = 0
+    avg_run_length: float = 0.0
+    max_run_length: int = 0
     materialized_merge_passes: int = 0
     final_merge_width: int = 0
     stats: StatsSnapshot = field(default_factory=StatsSnapshot)
@@ -55,6 +64,11 @@ class MergeSortReport:
         """Passes over the data: formation + merges (final one included)."""
         final = 1 if self.final_merge_width > 1 else 0
         return 1 + self.materialized_merge_passes + final
+
+    @property
+    def merge_comparisons(self) -> int:
+        """Comparisons spent inside merge passes (analytic or counted)."""
+        return self.stats.merge_comparisons
 
     @property
     def total_ios(self) -> int:
@@ -75,10 +89,17 @@ class ExternalMergeSorter:
             :class:`~repro.io.bufferpool.BufferPool`; 0 keeps the classic
             unpooled behaviour bit-for-bit.  The cache comes out of the
             merge fan-in - it is charged memory, not spare memory.
+        merge_options: run-formation / merge-kernel / key-embedding knobs
+            (:class:`~repro.merge.engine.MergeOptions`); the defaults
+            reproduce the paper's algorithm bit-for-bit.
     """
 
     def __init__(
-        self, spec: SortSpec, memory_blocks: int, cache_blocks: int = 0
+        self,
+        spec: SortSpec,
+        memory_blocks: int,
+        cache_blocks: int = 0,
+        merge_options: MergeOptions | None = None,
     ):
         if not spec.start_computable:
             raise SortSpecError(
@@ -100,6 +121,7 @@ class ExternalMergeSorter:
         self.spec = spec
         self.memory_blocks = memory_blocks
         self.cache_blocks = cache_blocks
+        self.merge_options = merge_options or DEFAULT_MERGE_OPTIONS
 
     def sort(self, document: Document) -> tuple[Document, MergeSortReport]:
         """Sort ``document``; returns (sorted document, report)."""
@@ -133,33 +155,38 @@ class ExternalMergeSorter:
             before = device.stats.snapshot()
 
             # Pass 1: scan the input, form sorted initial runs.
+            options = self.merge_options
+            embedded = options.embedded_keys
             evaluator = KeyEvaluator(self.spec)
             annotated = evaluator.annotate(
                 document.iter_events("input_scan")
             )
             records = records_from_annotated_events(annotated)
-            initial_runs = []
-            batch: list[tuple[tuple, bytes]] = []
-            batch_bytes = 0
+            former = RunFormer(store, capacity_bytes, options)
             for record in records:
                 encoded = encode_record(record, names)
-                batch.append((record.sort_key(), encoded))
-                batch_bytes += len(encoded)
+                sort_key = record.sort_key()
+                key = normalized_path_key(sort_key) if embedded else sort_key
                 device.stats.record_tokens(1)
-                if batch_bytes >= capacity_bytes:
-                    initial_runs.append(self._flush_run(store, batch))
-                    batch = []
-                    batch_bytes = 0
-            if batch:
-                initial_runs.append(self._flush_run(store, batch))
+                former.add(key, encoded)
+            initial_runs = former.finish()
             report.initial_runs = len(initial_runs)
+            if former.run_lengths:
+                report.avg_run_length = sum(former.run_lengths) / len(
+                    former.run_lengths
+                )
+                report.max_run_length = max(former.run_lengths)
 
             # Merge passes, streaming the final merge into the decoder.
-            def key_of(encoded: bytes) -> tuple:
-                return decode_record(encoded, names).sort_key()
+            if embedded:
+                key_of = embedded_key_of
+            else:
+
+                def key_of(encoded: bytes) -> tuple:
+                    return decode_record(encoded, names).sort_key()
 
             stream, passes, width = merge_to_stream(
-                store, initial_runs, key_of, fan_in
+                store, initial_runs, key_of, fan_in, options=options
             )
             report.materialized_merge_passes = passes
             report.final_merge_width = width
@@ -171,7 +198,15 @@ class ExternalMergeSorter:
             )
             codec = TokenCodec(names)
             writer = store.create_writer("output")
-            decoded = (decode_record(record, names) for record in stream)
+            if embedded:
+                decoded = (
+                    decode_record(strip_embedded_key(record), names)
+                    for record in stream
+                )
+            else:
+                decoded = (
+                    decode_record(record, names) for record in stream
+                )
             for token in tokens_from_sorted_records(
                 decoded, emit_end_tags=emit_ends
             ):
@@ -192,27 +227,15 @@ class ExternalMergeSorter:
         finally:
             store.detach_pool()
 
-    @staticmethod
-    def _flush_run(store, batch: list[tuple[tuple, bytes]]):
-        batch.sort(key=lambda pair: pair[0])
-        count = len(batch)
-        if count > 1:
-            store.device.stats.record_comparisons(
-                count * max(1, ceil(log2(count)))
-            )
-        writer = store.create_writer("run_write")
-        for _key, encoded in batch:
-            writer.write_record(encoded)
-        return writer.finish()
-
 
 def external_merge_sort(
     document: Document,
     spec: SortSpec,
     memory_blocks: int,
     cache_blocks: int = 0,
+    merge_options: MergeOptions | None = None,
 ) -> tuple[Document, MergeSortReport]:
     """Convenience wrapper: sort ``document`` with the baseline."""
-    return ExternalMergeSorter(spec, memory_blocks, cache_blocks).sort(
-        document
-    )
+    return ExternalMergeSorter(
+        spec, memory_blocks, cache_blocks, merge_options
+    ).sort(document)

@@ -10,9 +10,18 @@ each input run needs one buffer block and the output needs one, so a budget
 of ``m`` blocks supports an ``(m - 1)``-way merge - the classic bound that
 produces the ``log_{M/B}`` factors in all of the paper's cost expressions.
 
-CPU accounting: a ``w``-way merge step charges ``ceil(log2 w)`` comparisons
-per record moved (the tournament/heap bound), recorded on the device's
-stats so simulated times include comparison work.
+Two merge kernels are available (:class:`~repro.merge.engine.MergeOptions`):
+
+* ``heap`` (default, paper-faithful): ``heapq`` over ``(key, index)``
+  entries; CPU accounting charges the analytic ``ceil(log2 w)`` comparisons
+  per record moved, exactly as the seed did.
+* ``loser-tree``: a tournament tree that performs - and *counts* - at most
+  ``ceil(log2 w)`` real comparisons per record, reading each input run as
+  its own sequential stream for honest seek accounting.
+
+With ``options.embedded_keys`` the records carry a byte-comparable
+normalized key prefix; ``key_of`` then never decodes a record during a
+merge pass, it just slices bytes.
 """
 
 from __future__ import annotations
@@ -23,6 +32,12 @@ from typing import Callable, Iterable, Iterator
 
 from ..errors import RunError
 from ..io.runs import RunHandle, RunStore
+from ..merge.engine import (
+    DEFAULT_MERGE_OPTIONS,
+    LoserTree,
+    MergeOptions,
+    sort_with_accounting,
+)
 
 
 def merge_pass(
@@ -30,12 +45,24 @@ def merge_pass(
     runs: list[RunHandle],
     key_of: Callable[[bytes], object],
     read_category: str = "merge_read",
+    options: MergeOptions | None = None,
 ) -> Iterator[bytes]:
     """Stream the records of ``runs`` merged into one sorted sequence.
 
     The caller guarantees the fan-in fits its memory budget.  Consumed runs
     are freed as they drain.
     """
+    if options is not None and options.loser_tree:
+        return _merge_pass_loser_tree(store, runs, key_of, read_category)
+    return _merge_pass_heap(store, runs, key_of, read_category)
+
+
+def _merge_pass_heap(
+    store: RunStore,
+    runs: list[RunHandle],
+    key_of: Callable[[bytes], object],
+    read_category: str,
+) -> Iterator[bytes]:
     if not runs:
         return
     device = store.device
@@ -54,13 +81,59 @@ def merge_pass(
     while heap:
         key, index, record = heapq.heappop(heap)
         if comparisons_per_record:
-            device.stats.record_comparisons(comparisons_per_record)
+            device.stats.record_merge_comparisons(comparisons_per_record)
         yield record
         nxt = readers[index].read_record()
         if nxt is not None:
             heapq.heappush(heap, (key_of(nxt), index, nxt))
         else:
             store.free(runs[index])
+    device.stats.record_tokens(sum(run.record_count for run in runs))
+
+
+def _merge_pass_loser_tree(
+    store: RunStore,
+    runs: list[RunHandle],
+    key_of: Callable[[bytes], object],
+    read_category: str,
+) -> Iterator[bytes]:
+    if not runs:
+        return
+    device = store.device
+    # Each input run is its own sequential stream: interleaved per-run
+    # reads must not be judged against each other, and in a real multi-file
+    # setup (one file per run, OS readahead per descriptor) they would not
+    # be.  The heap kernel keeps the seed's single-stream judgment.
+    readers = [
+        store.open_reader(
+            run,
+            category=read_category,
+            stream=f"{read_category}:run{run.run_id}",
+        )
+        for run in runs
+    ]
+
+    def make_pull(index: int):
+        reader = readers[index]
+
+        def pull():
+            record = reader.read_record()
+            if record is None:
+                return None
+            return key_of(record), record
+
+        return pull
+
+    def on_exhausted(index: int):
+        store.free(runs[index])
+
+    tree = LoserTree(
+        [make_pull(index) for index in range(len(runs))],
+        stats=device.stats,
+        on_exhausted=on_exhausted,
+    )
+    for _key, record in tree:
+        yield record
     device.stats.record_tokens(sum(run.record_count for run in runs))
 
 
@@ -71,6 +144,7 @@ def merge_to_single_run(
     fan_in: int,
     read_category: str = "merge_read",
     write_category: str = "merge_write",
+    options: MergeOptions | None = None,
 ) -> tuple[RunHandle, int]:
     """Repeatedly merge until one run remains; returns (run, passes)."""
     if fan_in < 2:
@@ -88,7 +162,9 @@ def merge_to_single_run(
                 merged.append(group[0])
                 continue
             writer = store.create_writer(write_category)
-            for record in merge_pass(store, group, key_of, read_category):
+            for record in merge_pass(
+                store, group, key_of, read_category, options
+            ):
                 writer.write_record(record)
             merged.append(writer.finish())
         current = merged
@@ -102,18 +178,49 @@ def merge_to_stream(
     fan_in: int,
     read_category: str = "merge_read",
     write_category: str = "merge_write",
+    options: MergeOptions | None = None,
 ) -> tuple[Iterator[bytes], int, int]:
     """Merge passes until <= fan_in runs remain, then stream the final merge.
 
     Saves the materialization of the last pass: external merge sort pipes
     its final merge straight into the output decoder, which is how the
     textbook pass count ``1 + ceil(log_{fan_in}(initial_runs))`` arises.
+    Under the loser-tree kernel the intermediate passes are partial as
+    well: only enough runs are merged to bring the count down to
+    ``fan_in``, and the rest flow unmaterialized into the final merge.
     Returns (record iterator, materialized passes, final merge width).
     """
     if fan_in < 2:
         raise RunError(f"fan-in must be at least 2, got {fan_in}")
     passes = 0
     current = list(runs)
+    partial = options is not None and options.loser_tree
+    if partial and len(current) > fan_in:
+        # Partial-pass scheduling (new merge engine only, so the default
+        # pass structure stays bit-identical): one pass merges just
+        # enough head groups to bring the run count down to exactly
+        # ``fan_in``; the tail runs skip materialization and go straight
+        # into the streamed final merge.  Groups stay contiguous and in
+        # run order, so ties still resolve by original run index and the
+        # output matches the full-pass kernels record for record.
+        passes += 1
+        excess = len(current) - fan_in
+        group_count = ceil(excess / (fan_in - 1))
+        sizes = [excess - (group_count - 1) * (fan_in - 1) + 1]
+        sizes += [fan_in] * (group_count - 1)
+        merged = []
+        start = 0
+        for size in sizes:
+            group = current[start : start + size]
+            start += size
+            writer = store.create_writer(write_category)
+            for record in merge_pass(
+                store, group, key_of, read_category, options
+            ):
+                writer.write_record(record)
+            merged.append(writer.finish())
+        merged.extend(current[start:])
+        current = merged
     while len(current) > fan_in:
         passes += 1
         merged: list[RunHandle] = []
@@ -123,7 +230,9 @@ def merge_to_stream(
                 merged.append(group[0])
                 continue
             writer = store.create_writer(write_category)
-            for record in merge_pass(store, group, key_of, read_category):
+            for record in merge_pass(
+                store, group, key_of, read_category, options
+            ):
                 writer.write_record(record)
             merged.append(writer.finish())
         current = merged
@@ -131,7 +240,7 @@ def merge_to_stream(
     if width == 1:
         stream = iter(store.open_reader(current[0], category=read_category))
         return stream, passes, width
-    return merge_pass(store, current, key_of, read_category), passes, width
+    return merge_pass(store, current, key_of, read_category, options), passes, width
 
 
 def write_sorted_run(
@@ -139,18 +248,21 @@ def write_sorted_run(
     records: Iterable[bytes],
     key_of: Callable[[bytes], object],
     write_category: str = "merge_write",
+    options: MergeOptions | None = None,
 ) -> RunHandle:
     """Sort a batch of records in memory and write it as one run.
 
-    Charges ``n * ceil(log2 n)`` comparisons, the standard in-memory sort
-    bound, to the device's CPU counters.
+    Charges ``n * ceil(log2 n)`` comparisons - the standard in-memory sort
+    bound - unless ``options`` selects counted accounting, in which case
+    the comparisons the sort actually performed are recorded instead.
     """
+    if options is None:
+        options = DEFAULT_MERGE_OPTIONS
     batch = list(records)
-    batch.sort(key=key_of)
-    count = len(batch)
-    if count > 1:
-        store.device.stats.record_comparisons(count * max(1, ceil(log2(count))))
-    store.device.stats.record_tokens(count)
+    sort_with_accounting(
+        batch, key_of, store.device.stats, options.counted_comparisons
+    )
+    store.device.stats.record_tokens(len(batch))
     writer = store.create_writer(write_category)
     for record in batch:
         writer.write_record(record)

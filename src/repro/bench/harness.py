@@ -23,6 +23,7 @@ from ..core.nexsort import nexsort
 from ..io.device import BlockDevice
 from ..io.runs import RunStore
 from ..keys import ByAttribute, SortSpec
+from ..merge.engine import MergeOptions
 from ..xml.compact import CompactionConfig
 from ..xml.document import Document
 from ..xml.tokens import Token
@@ -93,6 +94,9 @@ def run_nexsort(
             "internal_sorts": report.internal_sorts,
             "external_sorts": report.external_sorts,
             "flat_partial_runs": report.flat_partial_runs,
+            "avg_run_length": report.avg_run_length,
+            "max_run_length": report.max_run_length,
+            "merge_comparisons": report.merge_comparisons,
             "data_stack_page_outs": report.data_stack_page_outs,
             "breakdown": report.io_breakdown(),
             "max_fanout": report.max_fanout,
@@ -112,12 +116,13 @@ def run_merge_sort(
     block_size: int = BENCH_BLOCK_SIZE,
     compaction: CompactionConfig | None = None,
     cache_blocks: int = 0,
+    merge_options: MergeOptions | None = None,
 ) -> SortMetrics:
     """One external merge sort experiment on a fresh device."""
     document = load_document(events_factory(), block_size, compaction)
     _output, report = external_merge_sort(
         document, spec, memory_blocks=memory_blocks,
-        cache_blocks=cache_blocks,
+        cache_blocks=cache_blocks, merge_options=merge_options,
     )
     return SortMetrics(
         algorithm="merge_sort",
@@ -129,6 +134,19 @@ def run_merge_sort(
         detail={
             "initial_runs": report.initial_runs,
             "passes": report.total_passes,
+            "avg_run_length": report.avg_run_length,
+            "max_run_length": report.max_run_length,
+            "merge_comparisons": report.merge_comparisons,
+            "comparisons": report.stats.comparisons,
+            "cpu_seconds": report.stats.cost_model.cpu_seconds(
+                report.stats.comparisons, report.stats.tokens
+            ),
+            "breakdown": {
+                name: counters.total
+                for name, counters in sorted(
+                    report.stats.by_category.items()
+                )
+            },
             "cache_hits": report.stats.cache_hits,
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,

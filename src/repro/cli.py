@@ -29,7 +29,7 @@ from .core import nexsort
 from .errors import ReproError
 from .io import BlockDevice, FileBackedBlockDevice, RunStore
 from .keys import ByAttribute, SortSpec
-from .merge import merge_preserving_order, structural_merge
+from .merge import MergeOptions, merge_preserving_order, structural_merge
 from .xml import CompactionConfig, Document
 from .xml.dtd import DTD
 
@@ -109,6 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory blocks spent on the LRU buffer pool (default 0: "
         "no pool, I/O counts match the paper's model exactly)",
     )
+    sort_cmd.add_argument(
+        "--run-formation",
+        choices=["load-sort", "replacement-selection"],
+        default="load-sort",
+        help="initial-run formation strategy (replacement-selection "
+        "produces ~2x longer runs on random input)",
+    )
+    sort_cmd.add_argument(
+        "--merge-kernel",
+        choices=["heap", "loser-tree"],
+        default="heap",
+        help="k-way merge kernel; loser-tree counts real comparisons "
+        "(<= ceil(log2 k) per record) instead of the analytic charge",
+    )
+    sort_cmd.add_argument(
+        "--embedded-keys", action="store_true",
+        help="embed byte-comparable normalized keys in run records so "
+        "merges compare bytes instead of decoding",
+    )
     add_common(sort_cmd)
 
     merge_cmd = sub.add_parser(
@@ -171,6 +190,14 @@ def _make_spec(args) -> SortSpec:
     )
 
 
+def _make_merge_options(args) -> MergeOptions:
+    return MergeOptions(
+        run_formation=getattr(args, "run_formation", "load-sort"),
+        merge_kernel=getattr(args, "merge_kernel", "heap"),
+        embedded_keys=getattr(args, "embedded_keys", False),
+    )
+
+
 def _make_device(args):
     if args.scratch:
         return FileBackedBlockDevice(
@@ -209,6 +236,7 @@ def cmd_sort(args) -> int:
         spec = _make_spec(args)
         compaction = CompactionConfig() if args.compact else None
         document = _load(store, args.input, compaction)
+        merge_options = _make_merge_options(args)
         if args.algorithm == "nexsort":
             result, report = nexsort(
                 document,
@@ -218,13 +246,21 @@ def cmd_sort(args) -> int:
                 depth_limit=args.depth_limit,
                 flat_optimization=args.flat_opt,
                 cache_blocks=args.cache_blocks,
+                merge_options=merge_options,
             )
         elif args.algorithm == "mergesort":
             result, report = external_merge_sort(
                 document, spec, memory_blocks=args.memory,
                 cache_blocks=args.cache_blocks,
+                merge_options=merge_options,
             )
         else:
+            if not merge_options.is_default:
+                print(
+                    "note: xsort ignores --run-formation, --merge-kernel "
+                    "and --embedded-keys",
+                    file=sys.stderr,
+                )
             result, report = xsort(
                 document, spec, args.target, memory_blocks=args.memory,
                 cache_blocks=args.cache_blocks,
@@ -232,6 +268,16 @@ def cmd_sort(args) -> int:
         _emit(result, args.output)
         if args.stats:
             _print_stats(args.algorithm, report, out=sys.stderr)
+            if args.algorithm in ("nexsort", "mergesort"):
+                print(
+                    f"  run length avg/max:  "
+                    f"{report.avg_run_length:.1f}/{report.max_run_length}",
+                    file=sys.stderr,
+                )
+                print(
+                    f"  merge comparisons:   {report.merge_comparisons}",
+                    file=sys.stderr,
+                )
             if args.cache_blocks:
                 print(
                     f"  cache hits/misses:   "

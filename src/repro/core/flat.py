@@ -23,6 +23,7 @@ from typing import Iterator
 
 from ..errors import CodecError
 from ..io.runs import RunHandle, RunStore
+from ..merge.engine import MergeOptions, sort_with_accounting
 from ..xml.codec import (
     decode_key_atom,
     encode_key_atom,
@@ -182,6 +183,7 @@ def groups_from_region(
     sort_levels: int | None,
     codec,
     device_stats,
+    counted: bool = False,
 ) -> tuple[list[str], list[ChildGroup]]:
     """Sort each complete child subtree of the region into a ChildGroup.
 
@@ -205,7 +207,7 @@ def groups_from_region(
             encoded = [codec.encode(_strip_pointer(first, compact))]
         else:
             root = build_subtree(child_tokens, compact)
-            sort_node_tree(root, sort_levels, device_stats)
+            sort_node_tree(root, sort_levels, device_stats, counted)
             encoded = [
                 codec.encode(token)
                 for token in serialize_node_tree(root, child_level, compact)
@@ -214,8 +216,15 @@ def groups_from_region(
         groups.append(ChildGroup(key, pos, units, real, encoded))
     count = len(groups)
     if count > 1:
-        groups.sort(key=ChildGroup.order_key)
-        device_stats.record_comparisons(count * max(1, ceil(log2(count))))
+        if counted:
+            sort_with_accounting(
+                groups, ChildGroup.order_key, device_stats, True
+            )
+        else:
+            groups.sort(key=ChildGroup.order_key)
+            device_stats.record_comparisons(
+                count * max(1, ceil(log2(count)))
+            )
     return texts, groups
 
 
@@ -238,8 +247,55 @@ def write_partial_run(
     return writer.finish()
 
 
+class PartialRunWriter:
+    """An open partial run that can absorb successive group batches.
+
+    The replacement-selection analogue for graceful degeneration: each
+    memory-full flush produces a key-ordered batch of child groups, and
+    when a new batch starts at or above the last key already written, it
+    *extends* the open run instead of starting a new one - the same
+    "steal order that is already there" idea, with the data stack playing
+    the role of the selection heap.  Fewer, longer partial runs mean fewer
+    partial-merge passes when the element closes.
+
+    Only one of these should be open at a time (it owns a one-block write
+    buffer, charged to the same transfer-buffer allowance every run writer
+    uses).
+    """
+
+    def __init__(self, store: RunStore):
+        self._writer = store.create_writer("partial_run")
+        self._last: tuple | None = None
+
+    @property
+    def last_key(self) -> tuple | None:
+        return self._last
+
+    @property
+    def record_count(self) -> int:
+        return self._writer.record_count
+
+    def can_extend(self, groups: list[ChildGroup]) -> bool:
+        """True if ``groups`` (key-ordered) may append to the open run."""
+        if not groups:
+            return True
+        return self._last is None or groups[0].order_key() >= self._last
+
+    def write_groups(self, groups: list[ChildGroup]) -> None:
+        for group in groups:
+            self._writer.write_record(encode_group(group))
+        if groups:
+            self._last = groups[-1].order_key()
+
+    def finish(self) -> RunHandle:
+        return self._writer.finish()
+
+
 def iter_merged_groups(
-    store: RunStore, partial_runs: list[RunHandle], fan_in: int
+    store: RunStore,
+    partial_runs: list[RunHandle],
+    fan_in: int,
+    options: MergeOptions | None = None,
 ) -> Iterator[ChildGroup]:
     """Stream the groups of several partial runs merged by (key, pos)."""
     from ..baselines.merging import merge_to_stream
@@ -251,6 +307,7 @@ def iter_merged_groups(
         fan_in,
         read_category="partial_merge_read",
         write_category="partial_merge_write",
+        options=options,
     )
     for record in stream:
         yield decode_group(record)

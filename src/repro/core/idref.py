@@ -26,13 +26,21 @@ smaller) sorts of the reference streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil, log2
 from typing import Iterator
 
 from ..baselines.merging import merge_to_stream
 from ..errors import SortSpecError
 from ..io.runs import RunHandle, RunStore
 from ..keys import ByAttribute, KeyRule, SortSpec
+from ..merge.engine import (
+    DEFAULT_MERGE_OPTIONS,
+    MergeOptions,
+    RunFormer,
+    embedded_key_of,
+    normalized_int_key,
+    normalized_string_key,
+    strip_embedded_key,
+)
 from ..xml.codec import (
     decode_key_atom,
     encode_key_atom,
@@ -172,38 +180,63 @@ def _sorted_run(
     key_of,
     capacity_bytes: int,
     fan_in: int,
+    options: MergeOptions,
+    normalize=None,
 ) -> list[RunHandle]:
-    """Form sorted runs of a record stream under the memory budget."""
-    runs: list[RunHandle] = []
-    batch: list[tuple[object, bytes]] = []
-    batch_bytes = 0
+    """Form sorted runs of a record stream under the memory budget.
+
+    With ``options.embedded_keys`` the ``normalize`` callable renders each
+    key into byte-comparable form, which is both the formation sort key
+    and the prefix embedded into the run records.
+    """
+    former = RunFormer(
+        store, capacity_bytes, options, write_category="idref_sort"
+    )
+    embedded = options.embedded_keys
     for record in records:
-        batch.append((key_of(record), record))
-        batch_bytes += len(record)
-        if batch_bytes >= capacity_bytes:
-            runs.append(_flush(store, batch))
-            batch, batch_bytes = [], 0
-    if batch:
-        runs.append(_flush(store, batch))
-    return runs
+        key = key_of(record)
+        if embedded:
+            key = normalize(key)
+        former.add(key, record)
+    return former.finish()
 
 
-def _flush(store: RunStore, batch) -> RunHandle:
-    batch.sort(key=lambda pair: pair[0])
-    if len(batch) > 1:
-        store.device.stats.record_comparisons(
-            len(batch) * max(1, ceil(log2(len(batch))))
-        )
-    writer = store.create_writer("idref_sort")
-    for _key, record in batch:
-        writer.write_record(record)
-    return writer.finish()
+def _merged_stream(
+    store: RunStore,
+    runs: list[RunHandle],
+    key_of,
+    fan_in: int,
+    options: MergeOptions,
+) -> Iterator[bytes]:
+    """Merge id/ref/pos runs into one stream of *plain* records."""
+    merge_key = embedded_key_of if options.embedded_keys else key_of
+    stream, _passes, _width = merge_to_stream(
+        store,
+        runs,
+        merge_key,
+        fan_in,
+        "idref_merge",
+        "idref_sort",
+        options=options,
+    )
+    if options.embedded_keys:
+        return (strip_embedded_key(record) for record in stream)
+    return stream
+
+
+def _normalize_str(value: str) -> bytes:
+    return normalized_string_key(value)
+
+
+def _normalize_pos(value: int) -> bytes:
+    return normalized_int_key(value)
 
 
 def resolve_idref_keys(
     document: Document,
     spec: SortSpec,
     memory_blocks: int = 16,
+    merge_options: MergeOptions | None = None,
 ) -> Document:
     """Rewrite a document so ByIdRef keys become plain attributes.
 
@@ -228,6 +261,7 @@ def resolve_idref_keys(
     device = store.device
     capacity = max(1, memory_blocks - 2) * device.block_size
     fan_in = max(2, memory_blocks - 1)
+    options = merge_options or DEFAULT_MERGE_OPTIONS
 
     # Pass 1: extract (id -> key) and (position -> idref) streams.
     def extract() -> Iterator[tuple[str, bytes]]:
@@ -254,17 +288,19 @@ def resolve_idref_keys(
         device.stats.record_tokens(1)
 
     # Sort both streams by id (externally, counted).
-    id_runs = _sorted_run(store, iter(id_records), _id_of, capacity, fan_in)
+    id_runs = _sorted_run(
+        store, iter(id_records), _id_of, capacity, fan_in, options,
+        _normalize_str,
+    )
     ref_runs = _sorted_run(
-        store, iter(ref_records), _ref_of, capacity, fan_in
+        store, iter(ref_records), _ref_of, capacity, fan_in, options,
+        _normalize_str,
     )
     resolved: list[bytes] = []
     if id_runs and ref_runs:
-        id_stream, _p1, _w1 = merge_to_stream(
-            store, id_runs, _id_of, fan_in, "idref_merge", "idref_sort"
-        )
-        ref_stream, _p2, _w2 = merge_to_stream(
-            store, ref_runs, _ref_of, fan_in, "idref_merge", "idref_sort"
+        id_stream = _merged_stream(store, id_runs, _id_of, fan_in, options)
+        ref_stream = _merged_stream(
+            store, ref_runs, _ref_of, fan_in, options
         )
         # Merge-join the two id-sorted streams.
         current_id: str | None = None
@@ -291,10 +327,11 @@ def resolve_idref_keys(
     key_by_position: dict[int, KeyAtom] = {}
     if resolved:
         pos_runs = _sorted_run(
-            store, iter(resolved), _pos_of, capacity, fan_in
+            store, iter(resolved), _pos_of, capacity, fan_in, options,
+            _normalize_pos,
         )
-        pos_stream, _p3, _w3 = merge_to_stream(
-            store, pos_runs, _pos_of, fan_in, "idref_merge", "idref_sort"
+        pos_stream = _merged_stream(
+            store, pos_runs, _pos_of, fan_in, options
         )
         # Pass 2 consumes this stream in document order; buffering the
         # (position, key) pairs models a co-scan of the annotation run.
@@ -364,7 +401,10 @@ def nexsort_with_idrefs(
     resolved attribute; the temporary attribute is stripped from the
     output.  All I/O is counted on the document's device.
     """
-    resolved = resolve_idref_keys(document, spec, memory_blocks)
+    resolved = resolve_idref_keys(
+        document, spec, memory_blocks,
+        merge_options=options.get("merge_options"),
+    )
     effective_rules = {
         tag: (
             ByAttribute(RESOLVED_ATTRIBUTE, numeric_coercion=False)

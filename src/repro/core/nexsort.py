@@ -37,6 +37,7 @@ from ..io.budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS
 from ..io.bufferpool import BufferPool
 from ..io.stacks import ExternalStack
 from ..keys import KeyEvaluator, SortSpec
+from ..merge.engine import DEFAULT_MERGE_OPTIONS, MergeOptions
 from ..xml.codec import read_varint, write_varint
 from ..xml.document import Document
 from ..xml.tokens import (
@@ -72,12 +73,17 @@ class NexsortOptions:
             positive value is reserved from ``M`` like any other component
             and makes the output phase's run re-reads and stack paging
             cache hits instead of device I/Os.
+        merge: run-formation / merge-kernel / key-embedding knobs shared
+            with the baselines (:class:`~repro.merge.engine.MergeOptions`);
+            the defaults are the paper-faithful load-sort + heap + analytic
+            accounting.
     """
 
     threshold_bytes: int | None = None
     depth_limit: int | None = None
     flat_optimization: bool = False
     cache_blocks: int = 0
+    merge: MergeOptions = DEFAULT_MERGE_OPTIONS
 
 
 class _OpenFrame:
@@ -197,7 +203,14 @@ class NexSorter:
             )
             before_all = device.stats.snapshot()
 
-            sorter = SubtreeSorter(store, codec, compact, capacity_bytes, fan_in)
+            sorter = SubtreeSorter(
+                store, codec, compact, capacity_bytes, fan_in, options.merge
+            )
+            # Graceful-degeneration replacement selection keeps at most one
+            # partial-run writer open across flushes (it owns one transfer
+            # buffer); (frame, writer) of the open run, or None.
+            self._open_partial: tuple[_OpenFrame, object] | None = None
+            self._run_lengths: list[int] = []
             data_stack = ExternalStack(paging_target, data_blocks, "data_stack")
             path_stack = ExternalStack(paging_target, 2, "path_stack")
             frames: list[_OpenFrame] = []
@@ -256,6 +269,7 @@ class NexSorter:
                     raise SortSpecError(f"unexpected event {event!r}")
 
             # The data stack now holds exactly the root pointer.
+            assert self._open_partial is None, "unclosed partial run"
             root_record = data_stack.pop()
             root_pointer = codec.decode(root_record)
             assert isinstance(root_pointer, RunPointer)
@@ -277,6 +291,10 @@ class NexSorter:
             report.output_stack_page_outs = output_page_outs
             report.output_stats = device.stats.since(before_output)
             report.stats = device.stats.since(before_all)
+            run_lengths = self._run_lengths + sorter.run_lengths
+            if run_lengths:
+                report.avg_run_length = sum(run_lengths) / len(run_lengths)
+                report.max_run_length = max(run_lengths)
 
             for reservation in (
                 path_reservation,
@@ -327,7 +345,7 @@ class NexSorter:
             data_stack.push(codec.encode(end_token))
             device.stats.record_tokens(1)
 
-        if frame.partial_runs:
+        if frame.partial_runs or self._owns_open_partial(frame):
             self._finish_flat_element(
                 frame, event, frames, data_stack, codec, store, device,
                 report, compact, d_s, depth_limit, fan_in,
@@ -403,22 +421,79 @@ class NexSorter:
         records = data_stack.pop_through(frame.content_loc)
         tokens = [codec.decode(record) for record in records]
         texts, groups = flat_mod.groups_from_region(
-            tokens, compact, child_level, sort_levels, codec, device.stats
+            tokens, compact, child_level, sort_levels, codec, device.stats,
+            self.options.merge.counted_comparisons,
         )
         if not groups:
             # Nothing complete to flush (one giant open child): re-push.
             for record in records:
                 data_stack.push(record)
             return
-        handle = flat_mod.write_partial_run(store, groups)
-        frame.partial_runs.append(handle)
+        self._write_partial_groups(frame, groups, store, device, report)
         frame.flat_units += sum(group.units for group in groups)
         frame.flat_real += sum(group.real for group in groups)
-        report.flat_partial_runs += 1
         # The element's own text stays on the stack for its final close.
         for text in texts:
             token = Text(text, level=len(frames) if compact else None)
             data_stack.push(codec.encode(token))
+
+    # -- partial-run management (graceful degeneration) ----------------------
+
+    def _owns_open_partial(self, frame: _OpenFrame) -> bool:
+        return (
+            self._open_partial is not None
+            and self._open_partial[0] is frame
+        )
+
+    def _close_open_partial(self, report: NexsortReport) -> None:
+        """Finish the open partial run and register it with its frame."""
+        if self._open_partial is None:
+            return
+        owner, writer = self._open_partial
+        self._open_partial = None
+        handle = writer.finish()
+        owner.partial_runs.append(handle)
+        self._run_lengths.append(handle.record_count)
+        report.flat_partial_runs += 1
+
+    def _write_partial_groups(
+        self,
+        frame: _OpenFrame,
+        groups: list,
+        store,
+        device,
+        report: NexsortReport,
+    ) -> None:
+        """Write one key-ordered batch of child groups as partial-run data.
+
+        Default mode: one batch = one partial run, exactly the paper's
+        incomplete-run construction.  With replacement selection, a batch
+        whose first key is at or above the open run's last key *extends*
+        that run (one comparison, charged), producing fewer, longer
+        partial runs - the data stack plays the role of the selection
+        heap, so no extra workspace is needed.
+        """
+        if not self.options.merge.replacement_selection:
+            handle = flat_mod.write_partial_run(store, groups)
+            frame.partial_runs.append(handle)
+            self._run_lengths.append(handle.record_count)
+            report.flat_partial_runs += 1
+            return
+        if self._owns_open_partial(frame):
+            writer = self._open_partial[1]
+            device.stats.record_comparisons(1)
+            if not writer.can_extend(groups):
+                self._close_open_partial(report)
+        else:
+            # A different frame's run is open: close it (one open
+            # partial-run writer at a time bounds buffer memory).
+            self._close_open_partial(report)
+        if self._open_partial is None:
+            self._open_partial = (
+                frame,
+                flat_mod.PartialRunWriter(store),
+            )
+        self._open_partial[1].write_groups(groups)
 
     def _finish_flat_element(
         self,
@@ -454,15 +529,15 @@ class NexSorter:
         if region and isinstance(region[-1], EndTag):
             region = region[:-1]
         texts, groups = flat_mod.groups_from_region(
-            region, compact, child_level, sort_levels, codec, device.stats
+            region, compact, child_level, sort_levels, codec, device.stats,
+            self.options.merge.counted_comparisons,
         )
         if groups:
-            frame.partial_runs.append(
-                flat_mod.write_partial_run(store, groups)
-            )
+            self._write_partial_groups(frame, groups, store, device, report)
             frame.flat_units += sum(group.units for group in groups)
             frame.flat_real += sum(group.real for group in groups)
-            report.flat_partial_runs += 1
+        if self._owns_open_partial(frame):
+            self._close_open_partial(report)
 
         # While merging this element's partial runs, the data-stack region
         # is empty (it was just popped), so its buffer blocks serve as
@@ -486,7 +561,8 @@ class NexSorter:
                 )
             )
         for group in flat_mod.iter_merged_groups(
-            store, frame.partial_runs, flat_fan_in
+            store, frame.partial_runs, flat_fan_in,
+            options=self.options.merge,
         ):
             for token_bytes in group.token_bytes:
                 writer.write_record(token_bytes)
@@ -538,6 +614,7 @@ def nexsort(
     depth_limit: int | None = None,
     flat_optimization: bool = False,
     cache_blocks: int = 0,
+    merge_options: MergeOptions | None = None,
 ) -> tuple[Document, NexsortReport]:
     """Convenience wrapper: sort ``document`` with NEXSORT."""
     options = NexsortOptions(
@@ -545,5 +622,6 @@ def nexsort(
         depth_limit=depth_limit,
         flat_optimization=flat_optimization,
         cache_blocks=cache_blocks,
+        merge=merge_options or DEFAULT_MERGE_OPTIONS,
     )
     return NexSorter(spec, memory_blocks, options).sort(document)

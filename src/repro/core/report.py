@@ -59,6 +59,12 @@ class NexsortReport:
     flat_partial_runs: int = 0
     flat_final_merges: int = 0
 
+    #: Mean / maximum record count of the formation runs written by
+    #: external subtree sorts and graceful-degeneration partial runs
+    #: (0 when every subtree sort fit in memory).
+    avg_run_length: float = 0.0
+    max_run_length: int = 0
+
     data_stack_page_ins: int = 0
     data_stack_page_outs: int = 0
     path_stack_page_ins: int = 0
@@ -102,6 +108,11 @@ class NexsortReport:
     @property
     def simulated_seconds(self) -> float:
         return self.stats.elapsed_seconds()
+
+    @property
+    def merge_comparisons(self) -> int:
+        """Comparisons spent inside k-way merges (analytic or counted)."""
+        return self.stats.merge_comparisons
 
     def io_breakdown(self) -> dict[str, int]:
         """Per-category total block accesses (reads + writes)."""

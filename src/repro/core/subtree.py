@@ -38,6 +38,15 @@ from ..baselines.keypath import (
 from ..baselines.merging import merge_to_stream
 from ..errors import CodecError
 from ..io.runs import RunHandle, RunStore
+from ..merge.engine import (
+    DEFAULT_MERGE_OPTIONS,
+    MergeOptions,
+    RunFormer,
+    embedded_key_of,
+    normalized_path_key,
+    sort_with_accounting,
+    strip_embedded_key,
+)
 from ..xml.codec import TokenCodec
 from ..xml.compact import restore_end_tags
 from ..xml.tokens import (
@@ -171,12 +180,14 @@ def build_subtree(tokens: list[Token], compact: bool) -> _Node:
 
 
 def sort_node_tree(
-    root: _Node, sort_levels: int | None, device_stats
+    root: _Node, sort_levels: int | None, device_stats, counted: bool = False
 ) -> None:
     """Recursively sort every child list (iteratively, stack-safe).
 
     ``sort_levels`` limits sorting to the top levels of the subtree
-    (None = all levels); comparisons are charged to the CPU model.
+    (None = all levels); comparisons are charged to the CPU model -
+    analytically (``n * ceil(log2 n)``, the seed behaviour) by default,
+    or as actually counted when ``counted`` is set.
     """
     work: list[tuple[_Node, int]] = [(root, 1)]
     while work:
@@ -184,8 +195,15 @@ def sort_node_tree(
         if sort_levels is None or level <= sort_levels:
             n = len(node.children)
             if n > 1:
-                node.children.sort(key=_Node.order_key)
-                device_stats.record_comparisons(n * max(1, ceil(log2(n))))
+                if counted:
+                    sort_with_accounting(
+                        node.children, _Node.order_key, device_stats, True
+                    )
+                else:
+                    node.children.sort(key=_Node.order_key)
+                    device_stats.record_comparisons(
+                        n * max(1, ceil(log2(n)))
+                    )
         for child in node.children:
             if not child.is_pointer:
                 work.append((child, level + 1))
@@ -317,12 +335,17 @@ class SubtreeSorter:
         compact: bool,
         capacity_bytes: int,
         fan_in: int,
+        options: MergeOptions | None = None,
     ):
         self.store = store
         self.codec = codec
         self.compact = compact
         self.capacity_bytes = capacity_bytes
         self.fan_in = fan_in
+        self.options = options or DEFAULT_MERGE_OPTIONS
+        #: Record counts of every formation run written by external
+        #: subtree sorts (run-length reporting rides on this).
+        self.run_lengths: list[int] = []
 
     def sort_tokens(
         self,
@@ -382,7 +405,9 @@ class SubtreeSorter:
     ) -> tuple[RunHandle, int]:
         stats = self.store.device.stats
         root = build_subtree(tokens, self.compact)
-        sort_node_tree(root, sort_levels, stats)
+        sort_node_tree(
+            root, sort_levels, stats, self.options.counted_comparisons
+        )
         writer = self.store.create_writer("run_write")
         count = 0
         for token in serialize_node_tree(root, base_level, self.compact):
@@ -411,28 +436,35 @@ class SubtreeSorter:
             prepared = mask_keys_below(list(prepared), sort_levels)
 
         # Run formation under the sorter's memory capacity.
-        runs = []
-        batch: list[tuple[tuple, bytes]] = []
-        batch_bytes = 0
+        options = self.options
+        embedded = options.embedded_keys
+        former = RunFormer(self.store, self.capacity_bytes, options)
         for record in records_from_annotated_events(iter(prepared)):
             encoded = encode_record(record, names)
-            batch.append((record.sort_key(), encoded))
-            batch_bytes += len(encoded)
+            sort_key = record.sort_key()
+            key = normalized_path_key(sort_key) if embedded else sort_key
             device.stats.record_tokens(1)
-            if batch_bytes >= self.capacity_bytes:
-                runs.append(self._flush_formation(batch))
-                batch = []
-                batch_bytes = 0
-        if batch:
-            runs.append(self._flush_formation(batch))
+            former.add(key, encoded)
+        runs = former.finish()
+        self.run_lengths.extend(former.run_lengths)
 
-        def key_of(encoded: bytes) -> tuple:
-            return decode_record(encoded, names).sort_key()
+        if embedded:
+            key_of = embedded_key_of
+        else:
+
+            def key_of(encoded: bytes) -> tuple:
+                return decode_record(encoded, names).sort_key()
 
         stream, _passes, _width = merge_to_stream(
-            self.store, runs, key_of, self.fan_in
+            self.store, runs, key_of, self.fan_in, options=options
         )
-        decoded = (decode_record(record, names) for record in stream)
+        if embedded:
+            decoded = (
+                decode_record(strip_embedded_key(record), names)
+                for record in stream
+            )
+        else:
+            decoded = (decode_record(record, names) for record in stream)
         writer = self.store.create_writer("run_write")
         count = 0
         for token in tokens_from_sorted_records(
@@ -453,15 +485,3 @@ class SubtreeSorter:
         device.stats.record_tokens(count)
         handle = writer.finish()
         return handle, handle.payload_bytes
-
-    def _flush_formation(self, batch: list[tuple[tuple, bytes]]) -> RunHandle:
-        batch.sort(key=lambda pair: pair[0])
-        count = len(batch)
-        if count > 1:
-            self.store.device.stats.record_comparisons(
-                count * max(1, ceil(log2(count)))
-            )
-        writer = self.store.create_writer("run_write")
-        for _key, encoded in batch:
-            writer.write_record(encoded)
-        return writer.finish()

@@ -141,26 +141,34 @@ class BufferPool:
 
     # -- access ------------------------------------------------------------
 
-    def read_block(self, block_id: int, category: str = "other") -> bytes:
+    def read_block(
+        self,
+        block_id: int,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> bytes:
         if self.capacity == 0:
-            return self._device.read_block(block_id, category)
+            return self._device.read_block(block_id, category, stream=stream)
         entry = self._entries.get(block_id)
         if entry is not None:
             self._entries.move_to_end(block_id)
             self.stats.record_cache_hit(category)
             return entry.data
-        data = self._device.read_block(block_id, category)
+        data = self._device.read_block(block_id, category, stream=stream)
         self.stats.record_cache_miss(category)
         self._insert(block_id, data, category, dirty=False)
         return data
 
     def read_blocks(
-        self, block_ids, category: str = "other"
+        self,
+        block_ids,
+        category: str = "other",
+        stream: str | None = None,
     ) -> list[bytes]:
         """Vectored read: hits from the pool, misses fetched per extent."""
         block_ids = list(block_ids)
         if self.capacity == 0:
-            return self._device.read_blocks(block_ids, category)
+            return self._device.read_blocks(block_ids, category, stream=stream)
         found: dict[int, bytes] = {}
         missing: list[int] = []
         hits = 0
@@ -177,7 +185,7 @@ class BufferPool:
         if hits:
             self.stats.record_cache_hit(category, hits)
         if missing:
-            fetched = self._device.read_blocks(missing, category)
+            fetched = self._device.read_blocks(missing, category, stream=stream)
             self.stats.record_cache_miss(category, len(missing))
             for block_id, data in zip(missing, fetched):
                 found[block_id] = data
@@ -185,10 +193,14 @@ class BufferPool:
         return [found[block_id] for block_id in block_ids]
 
     def write_block(
-        self, block_id: int, data: bytes, category: str = "other"
+        self,
+        block_id: int,
+        data: bytes,
+        category: str = "other",
+        stream: str | None = None,
     ) -> None:
         if self.capacity == 0:
-            self._device.write_block(block_id, data, category)
+            self._device.write_block(block_id, data, category, stream=stream)
             return
         if len(data) > self.block_size:
             raise DeviceError(
@@ -211,7 +223,13 @@ class BufferPool:
             # Nothing evictable (everything pinned): write through.
             self._device.write_block(block_id, data, category)
 
-    def write_blocks(self, block_ids, datas, category: str = "other") -> None:
+    def write_blocks(
+        self,
+        block_ids,
+        datas,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> None:
         block_ids = list(block_ids)
         datas = list(datas)
         if len(block_ids) != len(datas):
@@ -220,7 +238,7 @@ class BufferPool:
                 f"{len(datas)} payloads"
             )
         if self.capacity == 0:
-            self._device.write_blocks(block_ids, datas, category)
+            self._device.write_blocks(block_ids, datas, category, stream=stream)
             return
         for block_id, data in zip(block_ids, datas):
             self.write_block(block_id, data, category)

@@ -95,21 +95,34 @@ class BlockDevice:
 
     # -- access --------------------------------------------------------
 
-    def read_block(self, block_id: int, category: str = "other") -> bytes:
-        """Read one block, counting the access under ``category``."""
+    def read_block(
+        self,
+        block_id: int,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> bytes:
+        """Read one block, counting the access under ``category``.
+
+        ``stream`` optionally names a finer-grained access stream for the
+        sequentiality judgment (e.g. one run among many being merged);
+        counters still accrue to ``category``.
+        """
         if not 0 <= block_id < self._next_block:
             raise DeviceError(f"read of unallocated block {block_id}")
         data = self._blocks.get(block_id)
         if data is None:
             raise DeviceError(f"read of never-written block {block_id}")
-        self.stats.record_read(
-            category, self._is_sequential(category, block_id)
-        )
-        self._last_by_category[category] = block_id
+        key = stream or category
+        self.stats.record_read(category, self._is_sequential(key, block_id))
+        self._last_by_category[key] = block_id
         return data
 
     def write_block(
-        self, block_id: int, data: bytes, category: str = "other"
+        self,
+        block_id: int,
+        data: bytes,
+        category: str = "other",
+        stream: str | None = None,
     ) -> None:
         """Write one block, counting the access under ``category``."""
         if not 0 <= block_id < self._next_block:
@@ -119,14 +132,16 @@ class BlockDevice:
                 f"write of {len(data)} bytes exceeds block size "
                 f"{self.block_size}"
             )
-        self.stats.record_write(
-            category, self._is_sequential(category, block_id)
-        )
-        self._last_by_category[category] = block_id
+        key = stream or category
+        self.stats.record_write(category, self._is_sequential(key, block_id))
+        self._last_by_category[key] = block_id
         self._blocks[block_id] = bytes(data)
 
     def read_blocks(
-        self, block_ids, category: str = "other"
+        self,
+        block_ids,
+        category: str = "other",
+        stream: str | None = None,
     ) -> list[bytes]:
         """Vectored read: fetch several blocks in one call.
 
@@ -139,8 +154,9 @@ class BlockDevice:
         block_ids = list(block_ids)
         if not block_ids:
             return []
+        key = stream or category
         out: list[bytes] = []
-        last = self._last_by_category.get(category)
+        last = self._last_by_category.get(key)
         sequential = 0
         for block_id in block_ids:
             if not 0 <= block_id < self._next_block:
@@ -155,11 +171,15 @@ class BlockDevice:
                 sequential += 1
             last = block_id
         self.stats.record_reads(category, len(block_ids), sequential)
-        self._last_by_category[category] = last
+        self._last_by_category[key] = last
         return out
 
     def write_blocks(
-        self, block_ids, datas, category: str = "other"
+        self,
+        block_ids,
+        datas,
+        category: str = "other",
+        stream: str | None = None,
     ) -> None:
         """Vectored write: store several blocks in one call.
 
@@ -175,7 +195,8 @@ class BlockDevice:
             )
         if not block_ids:
             return
-        last = self._last_by_category.get(category)
+        key = stream or category
+        last = self._last_by_category.get(key)
         sequential = 0
         for block_id, data in zip(block_ids, datas):
             if not 0 <= block_id < self._next_block:
@@ -190,7 +211,7 @@ class BlockDevice:
                 sequential += 1
             last = block_id
         self.stats.record_writes(category, len(block_ids), sequential)
-        self._last_by_category[category] = last
+        self._last_by_category[key] = last
 
     def free_blocks(self, block_ids) -> None:
         """Drop the contents of blocks that are no longer needed.

@@ -41,20 +41,28 @@ class FileBackedBlockDevice(BlockDevice):
 
     # -- storage overrides ---------------------------------------------------
 
-    def read_block(self, block_id: int, category: str = "other") -> bytes:
+    def read_block(
+        self,
+        block_id: int,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> bytes:
         if not 0 <= block_id < self._next_block:
             raise DeviceError(f"read of unallocated block {block_id}")
         if block_id not in self._written:
             raise DeviceError(f"read of never-written block {block_id}")
-        self.stats.record_read(
-            category, self._is_sequential(category, block_id)
-        )
-        self._last_by_category[category] = block_id
+        key = stream or category
+        self.stats.record_read(category, self._is_sequential(key, block_id))
+        self._last_by_category[key] = block_id
         self._file.seek(block_id * self.block_size)
         return self._file.read(self.block_size)
 
     def write_block(
-        self, block_id: int, data: bytes, category: str = "other"
+        self,
+        block_id: int,
+        data: bytes,
+        category: str = "other",
+        stream: str | None = None,
     ) -> None:
         if not 0 <= block_id < self._next_block:
             raise DeviceError(f"write of unallocated block {block_id}")
@@ -63,17 +71,19 @@ class FileBackedBlockDevice(BlockDevice):
                 f"write of {len(data)} bytes exceeds block size "
                 f"{self.block_size}"
             )
-        self.stats.record_write(
-            category, self._is_sequential(category, block_id)
-        )
-        self._last_by_category[category] = block_id
+        key = stream or category
+        self.stats.record_write(category, self._is_sequential(key, block_id))
+        self._last_by_category[key] = block_id
         self._file.seek(block_id * self.block_size)
         padded = data + b"\x00" * (self.block_size - len(data))
         self._file.write(padded)
         self._written.add(block_id)
 
     def read_blocks(
-        self, block_ids, category: str = "other"
+        self,
+        block_ids,
+        category: str = "other",
+        stream: str | None = None,
     ) -> list[bytes]:
         """Vectored read: one ``seek`` + ``read`` per contiguous extent.
 
@@ -84,7 +94,8 @@ class FileBackedBlockDevice(BlockDevice):
         if not block_ids:
             return []
         size = self.block_size
-        last = self._last_by_category.get(category)
+        key = stream or category
+        last = self._last_by_category.get(key)
         sequential = 0
         for block_id in block_ids:
             if not 0 <= block_id < self._next_block:
@@ -103,11 +114,15 @@ class FileBackedBlockDevice(BlockDevice):
             for index in range(length):
                 out.append(chunk[index * size : (index + 1) * size])
         self.stats.record_reads(category, len(block_ids), sequential)
-        self._last_by_category[category] = last
+        self._last_by_category[key] = last
         return out
 
     def write_blocks(
-        self, block_ids, datas, category: str = "other"
+        self,
+        block_ids,
+        datas,
+        category: str = "other",
+        stream: str | None = None,
     ) -> None:
         """Vectored write: one ``seek`` + ``write`` per contiguous extent."""
         block_ids = list(block_ids)
@@ -120,7 +135,8 @@ class FileBackedBlockDevice(BlockDevice):
         if not block_ids:
             return
         size = self.block_size
-        last = self._last_by_category.get(category)
+        key = stream or category
+        last = self._last_by_category.get(key)
         sequential = 0
         for block_id, data in zip(block_ids, datas):
             if not 0 <= block_id < self._next_block:
@@ -143,7 +159,7 @@ class FileBackedBlockDevice(BlockDevice):
             cursor += length
         self._written.update(block_ids)
         self.stats.record_writes(category, len(block_ids), sequential)
-        self._last_by_category[category] = last
+        self._last_by_category[key] = last
 
     def free_blocks(self, block_ids) -> None:
         block_ids = list(block_ids)

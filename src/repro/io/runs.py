@@ -106,12 +106,18 @@ class RunStore:
         offset: int = 0,
         category: str = "run_read",
         readahead: int | None = None,
+        stream: str | None = None,
     ) -> "RunReader":
         handle = self.get(run) if isinstance(run, int) else run
         if readahead is None:
             readahead = self._pool.readahead if self._pool else 0
         return RunReader(
-            self.io_target, handle, offset, category, readahead=readahead
+            self.io_target,
+            handle,
+            offset,
+            category,
+            readahead=readahead,
+            stream=stream,
         )
 
     def free(self, run: RunHandle | int) -> None:
@@ -223,6 +229,7 @@ class RunReader:
         offset: int = 0,
         category: str = "run_read",
         readahead: int = 0,
+        stream: str | None = None,
     ):
         if offset < 0 or offset > handle.stream_bytes:
             raise RunError(
@@ -231,6 +238,7 @@ class RunReader:
         self._device = device
         self._handle = handle
         self._category = category
+        self._stream = stream
         self._pos = offset
         self._block_index = -1
         self._block: bytes = b""
@@ -301,12 +309,12 @@ class RunReader:
         if self._readahead and index >= self._prefetched_until:
             end = min(index + self._readahead, len(block_ids))
             extent = self._device.read_blocks(
-                block_ids[index:end], self._category
+                block_ids[index:end], self._category, stream=self._stream
             )
             self._prefetched_until = end
             self._block = extent[0]
         else:
             self._block = self._device.read_block(
-                block_ids[index], self._category
+                block_ids[index], self._category, stream=self._stream
             )
         self._block_index = index

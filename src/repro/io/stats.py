@@ -99,6 +99,7 @@ class IOStats:
         self.cost_model = cost_model or CostModel()
         self.by_category: dict[str, CategoryCounters] = {}
         self.comparisons = 0
+        self.merge_comparisons = 0
         self.tokens = 0
 
     # -- recording -------------------------------------------------------
@@ -142,6 +143,17 @@ class IOStats:
 
     def record_comparisons(self, count: int) -> None:
         self.comparisons += count
+
+    def record_merge_comparisons(self, count: int) -> None:
+        """Comparisons spent inside k-way merges.
+
+        These are ordinary comparisons (they add to :attr:`comparisons` and
+        therefore to simulated CPU seconds) that are *additionally* tracked
+        under :attr:`merge_comparisons` so reports can show how much of the
+        comparison budget the merge phase consumed.
+        """
+        self.comparisons += count
+        self.merge_comparisons += count
 
     def record_tokens(self, count: int) -> None:
         self.tokens += count
@@ -219,6 +231,7 @@ class IOStats:
                 for name, c in self.by_category.items()
             },
             comparisons=self.comparisons,
+            merge_comparisons=self.merge_comparisons,
             tokens=self.tokens,
             cost_model=self.cost_model,
         )
@@ -249,6 +262,7 @@ class StatsSnapshot:
 
     by_category: dict[str, CategoryCounters] = field(default_factory=dict)
     comparisons: int = 0
+    merge_comparisons: int = 0
     tokens: int = 0
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -280,6 +294,8 @@ class StatsSnapshot:
         return StatsSnapshot(
             by_category=categories,
             comparisons=self.comparisons - earlier.comparisons,
+            merge_comparisons=self.merge_comparisons
+            - earlier.merge_comparisons,
             tokens=self.tokens - earlier.tokens,
             cost_model=self.cost_model,
         )

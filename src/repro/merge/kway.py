@@ -20,6 +20,7 @@ from ..io.stats import StatsSnapshot
 from ..keys import KeyEvaluator, SortSpec
 from ..xml.document import Document
 from ..xml.tokens import EndTag, MISSING_KEY, StartTag, Text, Token
+from .engine import DEFAULT_MERGE_OPTIONS, MergeOptions
 from .structural import _Cursor, _default_attribute_merger
 
 
@@ -41,6 +42,12 @@ class KWayMergeReport:
     def simulated_seconds(self) -> float:
         return self.stats.elapsed_seconds()
 
+    @property
+    def merge_comparisons(self) -> int:
+        """Key comparisons counted during head selection (0 unless the
+        merger ran with counted accounting)."""
+        return self.stats.merge_comparisons
+
 
 def _key_of(token: StartTag) -> tuple:
     return token.key if token.key is not None else MISSING_KEY
@@ -54,6 +61,7 @@ class KWayMerger:
         spec: SortSpec,
         depth_limit: int | None = None,
         attribute_merger=None,
+        merge_options: MergeOptions | None = None,
     ):
         if not spec.start_computable:
             raise MergeError(
@@ -63,6 +71,8 @@ class KWayMerger:
         self.spec = spec
         self.depth_limit = depth_limit
         self.attribute_merger = attribute_merger or _default_attribute_merger
+        self.merge_options = merge_options or DEFAULT_MERGE_OPTIONS
+        self._stats = None
 
     def merge(
         self, documents: list[Document]
@@ -76,6 +86,11 @@ class KWayMerger:
         report = KWayMergeReport(
             input_count=len(documents),
             input_blocks=sum(doc.block_count for doc in documents),
+        )
+        self._stats = (
+            device.stats
+            if self.merge_options.counted_comparisons
+            else None
         )
         before = device.stats.snapshot()
 
@@ -148,6 +163,9 @@ class KWayMerger:
                 for cursor, head in heads
                 if _key_of(head) == minimum
             ]
+            if self._stats is not None and len(heads) > 1:
+                # min() costs k-1 comparisons, the equality filter k more.
+                self._stats.record_merge_comparisons(2 * len(heads) - 1)
             # Group by tag; the first tag in input order goes first.
             lead_tag = at_minimum[0][1].tag
             group = [
@@ -203,6 +221,9 @@ def kway_merge(
     documents: list[Document],
     spec: SortSpec,
     depth_limit: int | None = None,
+    merge_options: MergeOptions | None = None,
 ) -> tuple[Document, KWayMergeReport]:
     """Convenience wrapper: merge many sorted documents in one pass."""
-    return KWayMerger(spec, depth_limit).merge(documents)
+    return KWayMerger(spec, depth_limit, merge_options=merge_options).merge(
+        documents
+    )
