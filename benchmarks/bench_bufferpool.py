@@ -84,6 +84,7 @@ def test_bufferpool_cache_sweep(benchmark):
                 "cache_evictions": metrics.detail["cache_evictions"],
                 "hit_rate": round(hit_rate, 4),
                 "simulated_seconds": metrics.simulated_seconds,
+                "phases": metrics.detail["phases"],
             }
         )
 

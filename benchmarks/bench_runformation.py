@@ -134,6 +134,7 @@ def test_runformation_merge_kernel_sweep(benchmark):
                 "merge_comparisons": detail["merge_comparisons"],
                 "cpu_seconds": round(detail["cpu_seconds"], 6),
                 "simulated_seconds": metrics.simulated_seconds,
+                "phases": detail["phases"],
             }
         )
 

@@ -21,6 +21,7 @@ from ..io.budget import MemoryBudget
 from ..io.bufferpool import BufferPool
 from ..io.stats import StatsSnapshot
 from ..keys import KeyEvaluator, SortSpec
+from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
     DEFAULT_MERGE_OPTIONS,
     MergeOptions,
@@ -78,6 +79,10 @@ class MergeSortReport:
     def simulated_seconds(self) -> float:
         return self.stats.elapsed_seconds()
 
+    def io_breakdown(self) -> dict[str, int]:
+        """Per-category total block accesses (reads + writes)."""
+        return self.stats.io_breakdown()
+
 
 class ExternalMergeSorter:
     """Sorts documents via their key-path representation.
@@ -123,8 +128,15 @@ class ExternalMergeSorter:
         self.cache_blocks = cache_blocks
         self.merge_options = merge_options or DEFAULT_MERGE_OPTIONS
 
-    def sort(self, document: Document) -> tuple[Document, MergeSortReport]:
-        """Sort ``document``; returns (sorted document, report)."""
+    def sort(
+        self, document: Document, tracer: Tracer | None = None
+    ) -> tuple[Document, MergeSortReport]:
+        """Sort ``document``; returns (sorted document, report).
+
+        With a tracer, the phases appear as ``run-formation``,
+        ``merge-pass`` (one per materialized pass), and ``output-emit``
+        root spans; ``tracer=None`` keeps the untraced fast path.
+        """
         store = document.store
         device = store.device
         names = (
@@ -139,6 +151,7 @@ class ExternalMergeSorter:
                     self.cache_blocks,
                     budget=budget,
                     owner="buffer-pool",
+                    tracer=tracer,
                 )
             )
         formation = budget.reserve_rest("run-formation")
@@ -162,14 +175,25 @@ class ExternalMergeSorter:
                 document.iter_events("input_scan")
             )
             records = records_from_annotated_events(annotated)
-            former = RunFormer(store, capacity_bytes, options)
-            for record in records:
-                encoded = encode_record(record, names)
-                sort_key = record.sort_key()
-                key = normalized_path_key(sort_key) if embedded else sort_key
-                device.stats.record_tokens(1)
-                former.add(key, encoded)
-            initial_runs = former.finish()
+            former = RunFormer(
+                store, capacity_bytes, options, tracer=tracer
+            )
+            with maybe_span(
+                tracer, "run-formation", mode=options.run_formation
+            ) as span:
+                for record in records:
+                    encoded = encode_record(record, names)
+                    sort_key = record.sort_key()
+                    key = (
+                        normalized_path_key(sort_key)
+                        if embedded
+                        else sort_key
+                    )
+                    device.stats.record_tokens(1)
+                    former.add(key, encoded)
+                initial_runs = former.finish()
+                if span is not None:
+                    span.set(runs=len(initial_runs))
             report.initial_runs = len(initial_runs)
             if former.run_lengths:
                 report.avg_run_length = sum(former.run_lengths) / len(
@@ -186,37 +210,43 @@ class ExternalMergeSorter:
                     return decode_record(encoded, names).sort_key()
 
             stream, passes, width = merge_to_stream(
-                store, initial_runs, key_of, fan_in, options=options
+                store, initial_runs, key_of, fan_in, options=options,
+                tracer=tracer,
             )
             report.materialized_merge_passes = passes
             report.final_merge_width = width
 
-            # Decode sorted records into the output document.
+            # Decode sorted records into the output document.  The span
+            # covers the streamed final merge (consumed here) and the pool
+            # detach, so deferred write-backs are attributed.
             emit_ends = not (
                 document.compaction is not None
                 and document.compaction.eliminate_end_tags
             )
             codec = TokenCodec(names)
-            writer = store.create_writer("output")
-            if embedded:
-                decoded = (
-                    decode_record(strip_embedded_key(record), names)
-                    for record in stream
-                )
-            else:
-                decoded = (
-                    decode_record(record, names) for record in stream
-                )
-            for token in tokens_from_sorted_records(
-                decoded, emit_end_tags=emit_ends
+            with maybe_span(
+                tracer, "output-emit", final_merge_width=width
             ):
-                writer.write_record(codec.encode(token))
-                device.stats.record_tokens(1)
-            handle = writer.finish()
+                writer = store.create_writer("output")
+                if embedded:
+                    decoded = (
+                        decode_record(strip_embedded_key(record), names)
+                        for record in stream
+                    )
+                else:
+                    decoded = (
+                        decode_record(record, names) for record in stream
+                    )
+                for token in tokens_from_sorted_records(
+                    decoded, emit_end_tags=emit_ends
+                ):
+                    writer.write_record(codec.encode(token))
+                    device.stats.record_tokens(1)
+                handle = writer.finish()
 
-            # Flush the pool before the snapshot so deferred write-backs
-            # are accounted inside the report.
-            store.detach_pool()
+                # Flush the pool before the snapshot so deferred
+                # write-backs are accounted inside the report.
+                store.detach_pool()
             report.stats = device.stats.since(before)
             buffers.release()
             formation.release()
@@ -234,8 +264,9 @@ def external_merge_sort(
     memory_blocks: int,
     cache_blocks: int = 0,
     merge_options: MergeOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[Document, MergeSortReport]:
     """Convenience wrapper: sort ``document`` with the baseline."""
     return ExternalMergeSorter(
         spec, memory_blocks, cache_blocks, merge_options
-    ).sort(document)
+    ).sort(document, tracer)

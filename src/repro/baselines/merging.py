@@ -32,6 +32,7 @@ from typing import Callable, Iterable, Iterator
 
 from ..errors import RunError
 from ..io.runs import RunHandle, RunStore
+from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
     DEFAULT_MERGE_OPTIONS,
     LoserTree,
@@ -145,6 +146,7 @@ def merge_to_single_run(
     read_category: str = "merge_read",
     write_category: str = "merge_write",
     options: MergeOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[RunHandle, int]:
     """Repeatedly merge until one run remains; returns (run, passes)."""
     if fan_in < 2:
@@ -155,19 +157,23 @@ def merge_to_single_run(
     current = list(runs)
     while len(current) > 1:
         passes += 1
-        merged: list[RunHandle] = []
-        for group_start in range(0, len(current), fan_in):
-            group = current[group_start : group_start + fan_in]
-            if len(group) == 1:
-                merged.append(group[0])
-                continue
-            writer = store.create_writer(write_category)
-            for record in merge_pass(
-                store, group, key_of, read_category, options
-            ):
-                writer.write_record(record)
-            merged.append(writer.finish())
-        current = merged
+        with maybe_span(
+            tracer, "merge-pass",
+            index=passes, fanin=fan_in, runs=len(current),
+        ):
+            merged: list[RunHandle] = []
+            for group_start in range(0, len(current), fan_in):
+                group = current[group_start : group_start + fan_in]
+                if len(group) == 1:
+                    merged.append(group[0])
+                    continue
+                writer = store.create_writer(write_category)
+                for record in merge_pass(
+                    store, group, key_of, read_category, options
+                ):
+                    writer.write_record(record)
+                merged.append(writer.finish())
+            current = merged
     return current[0], passes
 
 
@@ -179,6 +185,7 @@ def merge_to_stream(
     read_category: str = "merge_read",
     write_category: str = "merge_write",
     options: MergeOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[Iterator[bytes], int, int]:
     """Merge passes until <= fan_in runs remain, then stream the final merge.
 
@@ -204,39 +211,51 @@ def merge_to_stream(
         # run order, so ties still resolve by original run index and the
         # output matches the full-pass kernels record for record.
         passes += 1
-        excess = len(current) - fan_in
-        group_count = ceil(excess / (fan_in - 1))
-        sizes = [excess - (group_count - 1) * (fan_in - 1) + 1]
-        sizes += [fan_in] * (group_count - 1)
-        merged = []
-        start = 0
-        for size in sizes:
-            group = current[start : start + size]
-            start += size
-            writer = store.create_writer(write_category)
-            for record in merge_pass(
-                store, group, key_of, read_category, options
-            ):
-                writer.write_record(record)
-            merged.append(writer.finish())
-        merged.extend(current[start:])
-        current = merged
+        with maybe_span(
+            tracer, "merge-pass",
+            index=passes, fanin=fan_in, runs=len(current), partial=True,
+        ):
+            excess = len(current) - fan_in
+            group_count = ceil(excess / (fan_in - 1))
+            sizes = [excess - (group_count - 1) * (fan_in - 1) + 1]
+            sizes += [fan_in] * (group_count - 1)
+            merged = []
+            start = 0
+            for size in sizes:
+                group = current[start : start + size]
+                start += size
+                writer = store.create_writer(write_category)
+                for record in merge_pass(
+                    store, group, key_of, read_category, options
+                ):
+                    writer.write_record(record)
+                merged.append(writer.finish())
+            merged.extend(current[start:])
+            current = merged
     while len(current) > fan_in:
         passes += 1
-        merged: list[RunHandle] = []
-        for group_start in range(0, len(current), fan_in):
-            group = current[group_start : group_start + fan_in]
-            if len(group) == 1:
-                merged.append(group[0])
-                continue
-            writer = store.create_writer(write_category)
-            for record in merge_pass(
-                store, group, key_of, read_category, options
-            ):
-                writer.write_record(record)
-            merged.append(writer.finish())
-        current = merged
+        with maybe_span(
+            tracer, "merge-pass",
+            index=passes, fanin=fan_in, runs=len(current),
+        ):
+            merged: list[RunHandle] = []
+            for group_start in range(0, len(current), fan_in):
+                group = current[group_start : group_start + fan_in]
+                if len(group) == 1:
+                    merged.append(group[0])
+                    continue
+                writer = store.create_writer(write_category)
+                for record in merge_pass(
+                    store, group, key_of, read_category, options
+                ):
+                    writer.write_record(record)
+                merged.append(writer.finish())
+            current = merged
     width = len(current)
+    if tracer is not None:
+        # The final merge streams lazily; its I/O lands in whichever span
+        # consumes the iterator.  Mark where it begins.
+        tracer.event("final-merge-stream", width=width, passes=passes)
     if width == 1:
         stream = iter(store.open_reader(current[0], category=read_category))
         return stream, passes, width

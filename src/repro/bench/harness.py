@@ -24,6 +24,7 @@ from ..io.device import BlockDevice
 from ..io.runs import RunStore
 from ..keys import ByAttribute, SortSpec
 from ..merge.engine import MergeOptions
+from ..obs.tracer import Tracer
 from ..xml.compact import CompactionConfig
 from ..xml.document import Document
 from ..xml.tokens import Token
@@ -77,11 +78,19 @@ def run_nexsort(
     compaction: CompactionConfig | None = None,
     **options,
 ) -> SortMetrics:
-    """One NEXSORT experiment on a fresh device."""
+    """One NEXSORT experiment on a fresh device.
+
+    Every run is traced (the tracer is read-only, so metrics match an
+    untraced run bit for bit) and the root-span phase breakdown lands in
+    ``detail["phases"]`` - the per-phase section of every ``BENCH_*.json``.
+    """
     document = load_document(events_factory(), block_size, compaction)
+    tracer = Tracer(document.store.device.stats)
     _output, report = nexsort(
-        document, spec, memory_blocks=memory_blocks, **options
+        document, spec, memory_blocks=memory_blocks, tracer=tracer,
+        **options,
     )
+    trace = tracer.finish()
     return SortMetrics(
         algorithm="nexsort",
         element_count=document.element_count,
@@ -99,6 +108,7 @@ def run_nexsort(
             "merge_comparisons": report.merge_comparisons,
             "data_stack_page_outs": report.data_stack_page_outs,
             "breakdown": report.io_breakdown(),
+            "phases": trace.phase_breakdown(),
             "max_fanout": report.max_fanout,
             "threshold_bytes": report.threshold_bytes,
             "output_reads": report.output_stats.total_reads,
@@ -120,10 +130,13 @@ def run_merge_sort(
 ) -> SortMetrics:
     """One external merge sort experiment on a fresh device."""
     document = load_document(events_factory(), block_size, compaction)
+    tracer = Tracer(document.store.device.stats)
     _output, report = external_merge_sort(
         document, spec, memory_blocks=memory_blocks,
         cache_blocks=cache_blocks, merge_options=merge_options,
+        tracer=tracer,
     )
+    trace = tracer.finish()
     return SortMetrics(
         algorithm="merge_sort",
         element_count=document.element_count,
@@ -138,15 +151,9 @@ def run_merge_sort(
             "max_run_length": report.max_run_length,
             "merge_comparisons": report.merge_comparisons,
             "comparisons": report.stats.comparisons,
-            "cpu_seconds": report.stats.cost_model.cpu_seconds(
-                report.stats.comparisons, report.stats.tokens
-            ),
-            "breakdown": {
-                name: counters.total
-                for name, counters in sorted(
-                    report.stats.by_category.items()
-                )
-            },
+            "cpu_seconds": report.stats.cpu_seconds(),
+            "breakdown": report.io_breakdown(),
+            "phases": trace.phase_breakdown(),
             "cache_hits": report.stats.cache_hits,
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,

@@ -3,10 +3,12 @@
 Usage (also via ``python -m repro``):
 
     repro sort personnel.xml -o sorted.xml --by name --tag-attr employee=ID
+    repro sort doc.xml -o sorted.xml --trace trace.json --trace-format chrome
     repro merge d1.xml d2.xml -o merged.xml --by name --tag-attr employee=ID
     repro table1 personnel.xml --by name --tag-attr employee=ID
     repro validate doc.xml --dtd schema.dtd
     repro analyze doc.xml --memory 24
+    repro trace diff before.json after.json
 
 Files are ordinary XML text; they are staged on a simulated block device
 (or a file-backed one with ``--scratch``) and every command can print the
@@ -30,6 +32,7 @@ from .errors import ReproError
 from .io import BlockDevice, FileBackedBlockDevice, RunStore
 from .keys import ByAttribute, SortSpec
 from .merge import MergeOptions, merge_preserving_order, structural_merge
+from .obs import TRACE_WRITERS, Tracer, diff_files, maybe_span
 from .xml import CompactionConfig, Document
 from .xml.dtd import DTD
 
@@ -128,6 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed byte-comparable normalized keys in run records so "
         "merges compare bytes instead of decoding",
     )
+    sort_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the sort (phases, per-phase I/O "
+        "deltas, simulated timestamps) and write it to PATH",
+    )
+    sort_cmd.add_argument(
+        "--trace-format",
+        choices=sorted(TRACE_WRITERS),
+        default="chrome",
+        help="trace file format: chrome (chrome://tracing / Perfetto), "
+        "jsonl, or tree (human-readable summary); default chrome",
+    )
     add_common(sort_cmd)
 
     merge_cmd = sub.add_parser(
@@ -170,6 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze_cmd.add_argument("input")
     add_common(analyze_cmd, with_spec=False)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="work with trace files written by sort --trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_diff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces span by span; exit 1 on any delta",
+    )
+    trace_diff.add_argument("a", help="baseline trace (jsonl or chrome)")
+    trace_diff.add_argument("b", help="candidate trace (jsonl or chrome)")
 
     return parser
 
@@ -231,11 +257,13 @@ def _print_stats(label: str, stats_obj, out=sys.stdout) -> None:
 
 def cmd_sort(args) -> int:
     device = _make_device(args)
+    tracer = Tracer(device.stats) if args.trace else None
     try:
         store = RunStore(device)
         spec = _make_spec(args)
         compaction = CompactionConfig() if args.compact else None
-        document = _load(store, args.input, compaction)
+        with maybe_span(tracer, "document-load", input=args.input):
+            document = _load(store, args.input, compaction)
         merge_options = _make_merge_options(args)
         if args.algorithm == "nexsort":
             result, report = nexsort(
@@ -247,12 +275,14 @@ def cmd_sort(args) -> int:
                 flat_optimization=args.flat_opt,
                 cache_blocks=args.cache_blocks,
                 merge_options=merge_options,
+                tracer=tracer,
             )
         elif args.algorithm == "mergesort":
             result, report = external_merge_sort(
                 document, spec, memory_blocks=args.memory,
                 cache_blocks=args.cache_blocks,
                 merge_options=merge_options,
+                tracer=tracer,
             )
         else:
             if not merge_options.is_default:
@@ -261,9 +291,22 @@ def cmd_sort(args) -> int:
                     "and --embedded-keys",
                     file=sys.stderr,
                 )
-            result, report = xsort(
-                document, spec, args.target, memory_blocks=args.memory,
-                cache_blocks=args.cache_blocks,
+            # xsort is not instrumented internally; one covering span
+            # keeps its I/O attributed so the trace still tiles.
+            with maybe_span(tracer, "xsort", target=args.target or "/"):
+                result, report = xsort(
+                    document, spec, args.target, memory_blocks=args.memory,
+                    cache_blocks=args.cache_blocks,
+                )
+        if tracer is not None:
+            trace = tracer.finish()
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                TRACE_WRITERS[args.trace_format](trace, handle)
+            print(
+                f"trace: {len(list(trace.walk()))} spans covering "
+                f"{trace.totals.total_ios} I/Os -> {args.trace} "
+                f"({args.trace_format})",
+                file=sys.stderr,
             )
         _emit(result, args.output)
         if args.stats:
@@ -283,6 +326,11 @@ def cmd_sort(args) -> int:
                     f"  cache hits/misses:   "
                     f"{report.stats.cache_hits}/"
                     f"{report.stats.cache_misses}",
+                    file=sys.stderr,
+                )
+                print(
+                    f"  cache evictions:     "
+                    f"{report.stats.cache_evictions}",
                     file=sys.stderr,
                 )
             if args.algorithm == "nexsort":
@@ -428,6 +476,12 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    diff = diff_files(args.a, args.b)
+    print(diff.render())
+    return 0 if diff.identical else 1
+
+
 _COMMANDS = {
     "sort": cmd_sort,
     "merge": cmd_merge,
@@ -435,6 +489,7 @@ _COMMANDS = {
     "table1": cmd_table1,
     "validate": cmd_validate,
     "analyze": cmd_analyze,
+    "trace": cmd_trace,
 }
 
 

@@ -296,6 +296,7 @@ def iter_merged_groups(
     partial_runs: list[RunHandle],
     fan_in: int,
     options: MergeOptions | None = None,
+    tracer=None,
 ) -> Iterator[ChildGroup]:
     """Stream the groups of several partial runs merged by (key, pos)."""
     from ..baselines.merging import merge_to_stream
@@ -308,6 +309,7 @@ def iter_merged_groups(
         read_category="partial_merge_read",
         write_category="partial_merge_write",
         options=options,
+        tracer=tracer,
     )
     for record in stream:
         yield decode_group(record)

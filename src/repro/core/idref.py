@@ -32,6 +32,7 @@ from ..baselines.merging import merge_to_stream
 from ..errors import SortSpecError
 from ..io.runs import RunHandle, RunStore
 from ..keys import ByAttribute, KeyRule, SortSpec
+from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
     DEFAULT_MERGE_OPTIONS,
     MergeOptions,
@@ -182,6 +183,8 @@ def _sorted_run(
     fan_in: int,
     options: MergeOptions,
     normalize=None,
+    tracer: Tracer | None = None,
+    label: str = "idref",
 ) -> list[RunHandle]:
     """Form sorted runs of a record stream under the memory budget.
 
@@ -190,15 +193,20 @@ def _sorted_run(
     and the prefix embedded into the run records.
     """
     former = RunFormer(
-        store, capacity_bytes, options, write_category="idref_sort"
+        store, capacity_bytes, options, write_category="idref_sort",
+        tracer=tracer,
     )
     embedded = options.embedded_keys
-    for record in records:
-        key = key_of(record)
-        if embedded:
-            key = normalize(key)
-        former.add(key, record)
-    return former.finish()
+    with maybe_span(tracer, "run-formation", stream=label) as span:
+        for record in records:
+            key = key_of(record)
+            if embedded:
+                key = normalize(key)
+            former.add(key, record)
+        runs = former.finish()
+        if span is not None:
+            span.set(runs=len(runs))
+    return runs
 
 
 def _merged_stream(
@@ -207,6 +215,7 @@ def _merged_stream(
     key_of,
     fan_in: int,
     options: MergeOptions,
+    tracer: Tracer | None = None,
 ) -> Iterator[bytes]:
     """Merge id/ref/pos runs into one stream of *plain* records."""
     merge_key = embedded_key_of if options.embedded_keys else key_of
@@ -218,6 +227,7 @@ def _merged_stream(
         "idref_merge",
         "idref_sort",
         options=options,
+        tracer=tracer,
     )
     if options.embedded_keys:
         return (strip_embedded_key(record) for record in stream)
@@ -237,6 +247,7 @@ def resolve_idref_keys(
     spec: SortSpec,
     memory_blocks: int = 16,
     merge_options: MergeOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> Document:
     """Rewrite a document so ByIdRef keys become plain attributes.
 
@@ -281,89 +292,100 @@ def resolve_idref_keys(
                 if reference is not None:
                     yield "ref", _encode_pos_ref(position, reference)
 
-    id_records: list[bytes] = []
-    ref_records: list[bytes] = []
-    for kind, record in extract():
-        (id_records if kind == "id" else ref_records).append(record)
-        device.stats.record_tokens(1)
-
-    # Sort both streams by id (externally, counted).
-    id_runs = _sorted_run(
-        store, iter(id_records), _id_of, capacity, fan_in, options,
-        _normalize_str,
-    )
-    ref_runs = _sorted_run(
-        store, iter(ref_records), _ref_of, capacity, fan_in, options,
-        _normalize_str,
-    )
-    resolved: list[bytes] = []
-    if id_runs and ref_runs:
-        id_stream = _merged_stream(store, id_runs, _id_of, fan_in, options)
-        ref_stream = _merged_stream(
-            store, ref_runs, _ref_of, fan_in, options
-        )
-        # Merge-join the two id-sorted streams.
-        current_id: str | None = None
-        current_key: KeyAtom = MISSING_KEY
-        id_iter = iter(id_stream)
-        pending = next(id_iter, None)
-        for record in ref_stream:
-            position, reference = _decode_pos_ref(record)
-            while pending is not None:
-                identifier, key = _decode_id_key(pending)
-                if identifier > reference:
-                    break
-                current_id, current_key = identifier, key
-                pending = next(id_iter, None)
-            key = (
-                current_key
-                if current_id == reference
-                else MISSING_KEY
+    with maybe_span(
+        tracer, "idref-resolve", rules=len(idref_rules)
+    ) as resolve_span:
+        id_records: list[bytes] = []
+        ref_records: list[bytes] = []
+        for kind, record in extract():
+            (id_records if kind == "id" else ref_records).append(record)
+            device.stats.record_tokens(1)
+        if resolve_span is not None:
+            resolve_span.set(
+                ids=len(id_records), refs=len(ref_records)
             )
-            resolved.append(_encode_pos_key(position, key))
-            device.stats.record_comparisons(1)
 
-    # Re-sort the join result by document position.
-    key_by_position: dict[int, KeyAtom] = {}
-    if resolved:
-        pos_runs = _sorted_run(
-            store, iter(resolved), _pos_of, capacity, fan_in, options,
-            _normalize_pos,
+        # Sort both streams by id (externally, counted).
+        id_runs = _sorted_run(
+            store, iter(id_records), _id_of, capacity, fan_in, options,
+            _normalize_str, tracer=tracer, label="id-keys",
         )
-        pos_stream = _merged_stream(
-            store, pos_runs, _pos_of, fan_in, options
+        ref_runs = _sorted_run(
+            store, iter(ref_records), _ref_of, capacity, fan_in, options,
+            _normalize_str, tracer=tracer, label="references",
         )
-        # Pass 2 consumes this stream in document order; buffering the
-        # (position, key) pairs models a co-scan of the annotation run.
-        for record in pos_stream:
-            position, key = _decode_pos_key(record)
-            key_by_position[position] = key
+        resolved: list[bytes] = []
+        if id_runs and ref_runs:
+            id_stream = _merged_stream(
+                store, id_runs, _id_of, fan_in, options, tracer=tracer
+            )
+            ref_stream = _merged_stream(
+                store, ref_runs, _ref_of, fan_in, options, tracer=tracer
+            )
+            # Merge-join the two id-sorted streams.
+            current_id: str | None = None
+            current_key: KeyAtom = MISSING_KEY
+            id_iter = iter(id_stream)
+            pending = next(id_iter, None)
+            for record in ref_stream:
+                position, reference = _decode_pos_ref(record)
+                while pending is not None:
+                    identifier, key = _decode_id_key(pending)
+                    if identifier > reference:
+                        break
+                    current_id, current_key = identifier, key
+                    pending = next(id_iter, None)
+                key = (
+                    current_key
+                    if current_id == reference
+                    else MISSING_KEY
+                )
+                resolved.append(_encode_pos_key(position, key))
+                device.stats.record_comparisons(1)
 
-    # Pass 2: rewrite the document with the resolved keys attached.
-    def annotated() -> Iterator[Token]:
-        position = -1
-        for event in document.iter_events("idref_scan"):
-            if isinstance(event, StartTag):
-                position += 1
-                key = key_by_position.get(position)
-                if key is not None:
-                    rendered = sortable_atom_string(key)
-                    yield StartTag(
-                        event.tag,
-                        event.attrs + ((RESOLVED_ATTRIBUTE, rendered),),
-                    )
-                    continue
-            yield event
+        # Re-sort the join result by document position.
+        key_by_position: dict[int, KeyAtom] = {}
+        if resolved:
+            pos_runs = _sorted_run(
+                store, iter(resolved), _pos_of, capacity, fan_in, options,
+                _normalize_pos, tracer=tracer, label="positions",
+            )
+            pos_stream = _merged_stream(
+                store, pos_runs, _pos_of, fan_in, options, tracer=tracer
+            )
+            # Pass 2 consumes this stream in document order; buffering the
+            # (position, key) pairs models a co-scan of the annotation run.
+            for record in pos_stream:
+                position, key = _decode_pos_key(record)
+                key_by_position[position] = key
 
-    return Document.from_events(
-        store,
-        annotated(),
-        compaction=document.compaction,
-        category="idref_rewrite",
-    )
+        # Pass 2: rewrite the document with the resolved keys attached.
+        def annotated() -> Iterator[Token]:
+            position = -1
+            for event in document.iter_events("idref_scan"):
+                if isinstance(event, StartTag):
+                    position += 1
+                    key = key_by_position.get(position)
+                    if key is not None:
+                        rendered = sortable_atom_string(key)
+                        yield StartTag(
+                            event.tag,
+                            event.attrs + ((RESOLVED_ATTRIBUTE, rendered),),
+                        )
+                        continue
+                yield event
+
+        return Document.from_events(
+            store,
+            annotated(),
+            compaction=document.compaction,
+            category="idref_rewrite",
+        )
 
 
-def strip_resolved_keys(document: Document) -> Document:
+def strip_resolved_keys(
+    document: Document, tracer: Tracer | None = None
+) -> Document:
     """Remove the temporary resolution attribute (one counted pass)."""
 
     def stripped() -> Iterator[Token]:
@@ -380,12 +402,13 @@ def strip_resolved_keys(document: Document) -> Document:
             else:
                 yield event
 
-    return Document.from_events(
-        document.store,
-        stripped(),
-        compaction=document.compaction,
-        category="idref_strip",
-    )
+    with maybe_span(tracer, "idref-strip"):
+        return Document.from_events(
+            document.store,
+            stripped(),
+            compaction=document.compaction,
+            category="idref_strip",
+        )
 
 
 def nexsort_with_idrefs(
@@ -404,6 +427,7 @@ def nexsort_with_idrefs(
     resolved = resolve_idref_keys(
         document, spec, memory_blocks,
         merge_options=options.get("merge_options"),
+        tracer=options.get("tracer"),
     )
     effective_rules = {
         tag: (
@@ -417,4 +441,7 @@ def nexsort_with_idrefs(
     sorted_document, report = nexsort(
         resolved, effective, memory_blocks=memory_blocks, **options
     )
-    return strip_resolved_keys(sorted_document), report
+    return (
+        strip_resolved_keys(sorted_document, tracer=options.get("tracer")),
+        report,
+    )

@@ -38,6 +38,7 @@ from ..io.bufferpool import BufferPool
 from ..io.stacks import ExternalStack
 from ..keys import KeyEvaluator, SortSpec
 from ..merge.engine import DEFAULT_MERGE_OPTIONS, MergeOptions
+from ..obs.tracer import Tracer, maybe_span
 from ..xml.codec import read_varint, write_varint
 from ..xml.document import Document
 from ..xml.tokens import (
@@ -143,8 +144,18 @@ class NexSorter:
         self.spec = spec
         self.memory_blocks = memory_blocks
 
-    def sort(self, document: Document) -> tuple[Document, NexsortReport]:
-        """Sort ``document``; returns (sorted document, full report)."""
+    def sort(
+        self, document: Document, tracer: Tracer | None = None
+    ) -> tuple[Document, NexsortReport]:
+        """Sort ``document``; returns (sorted document, full report).
+
+        With a :class:`~repro.obs.tracer.Tracer`, the sort opens a
+        ``document-scan`` span over the scanning phase (with nested
+        ``subtree-sort`` / ``flat-element-merge`` spans) and an
+        ``output-walk`` span over the output phase; ``tracer=None`` (the
+        default) takes zero-cost fast paths, so untraced runs remain
+        bit-identical to the paper-faithful counts.
+        """
         compact = (
             document.compaction is not None
             and document.compaction.eliminate_end_tags
@@ -182,6 +193,7 @@ class NexSorter:
                     options.cache_blocks,
                     budget=budget,
                     owner="buffer-pool",
+                    tracer=tracer,
                 )
             )
         data_reservation = budget.reserve_rest("data-stack-and-sorter")
@@ -204,8 +216,10 @@ class NexSorter:
             before_all = device.stats.snapshot()
 
             sorter = SubtreeSorter(
-                store, codec, compact, capacity_bytes, fan_in, options.merge
+                store, codec, compact, capacity_bytes, fan_in, options.merge,
+                tracer=tracer,
             )
+            self._tracer = tracer
             # Graceful-degeneration replacement selection keeps at most one
             # partial-run writer open across flushes (it owns one transfer
             # buffer); (frame, writer) of the open run, or None.
@@ -219,60 +233,70 @@ class NexSorter:
             evaluator = KeyEvaluator(self.spec)
             root_pointer: RunPointer | None = None
 
-            for event in evaluator.annotate(document.iter_events("input_scan")):
-                if isinstance(event, StartTag):
-                    token = StartTag(
-                        event.tag,
-                        event.attrs,
-                        key=event.key if start_keyed else None,
-                        pos=event.pos,
-                        level=event.level if compact else None,
-                    )
-                    encoded = codec.encode(token)
-                    loc = data_stack.push(encoded)
-                    path_stack.push(_encode_path_entry(loc))
-                    frames.append(_OpenFrame(loc, loc + len(encoded)))
-                    device.stats.record_tokens(1)
-                elif isinstance(event, Text):
-                    token = Text(
-                        event.text, level=len(frames) if compact else None
-                    )
-                    data_stack.push(codec.encode(token))
-                    device.stats.record_tokens(1)
-                    self._maybe_flush_partial(
-                        frames, data_stack, codec, store, device, report,
-                        compact, capacity_bytes, depth_limit,
-                    )
-                elif isinstance(event, EndTag):
-                    self._handle_end(
-                        event,
-                        frames,
-                        data_stack,
-                        path_stack,
-                        codec,
-                        store,
-                        device,
-                        sorter,
-                        report,
-                        compact,
-                        threshold,
-                        depth_limit,
-                        fan_in,
-                        start_keyed,
-                    )
-                    if frames:
+            with maybe_span(
+                tracer,
+                "document-scan",
+                threshold=threshold,
+                memory_blocks=self.memory_blocks,
+                depth_limit=depth_limit,
+                flat=options.flat_optimization,
+            ):
+                for event in evaluator.annotate(
+                    document.iter_events("input_scan")
+                ):
+                    if isinstance(event, StartTag):
+                        token = StartTag(
+                            event.tag,
+                            event.attrs,
+                            key=event.key if start_keyed else None,
+                            pos=event.pos,
+                            level=event.level if compact else None,
+                        )
+                        encoded = codec.encode(token)
+                        loc = data_stack.push(encoded)
+                        path_stack.push(_encode_path_entry(loc))
+                        frames.append(_OpenFrame(loc, loc + len(encoded)))
+                        device.stats.record_tokens(1)
+                    elif isinstance(event, Text):
+                        token = Text(
+                            event.text, level=len(frames) if compact else None
+                        )
+                        data_stack.push(codec.encode(token))
+                        device.stats.record_tokens(1)
                         self._maybe_flush_partial(
                             frames, data_stack, codec, store, device, report,
                             compact, capacity_bytes, depth_limit,
                         )
-                else:  # pragma: no cover - evaluator only yields these
-                    raise SortSpecError(f"unexpected event {event!r}")
+                    elif isinstance(event, EndTag):
+                        self._handle_end(
+                            event,
+                            frames,
+                            data_stack,
+                            path_stack,
+                            codec,
+                            store,
+                            device,
+                            sorter,
+                            report,
+                            compact,
+                            threshold,
+                            depth_limit,
+                            fan_in,
+                            start_keyed,
+                        )
+                        if frames:
+                            self._maybe_flush_partial(
+                                frames, data_stack, codec, store, device,
+                                report, compact, capacity_bytes, depth_limit,
+                            )
+                    else:  # pragma: no cover - evaluator only yields these
+                        raise SortSpecError(f"unexpected event {event!r}")
 
-            # The data stack now holds exactly the root pointer.
-            assert self._open_partial is None, "unclosed partial run"
-            root_record = data_stack.pop()
-            root_pointer = codec.decode(root_record)
-            assert isinstance(root_pointer, RunPointer)
+                # The data stack now holds exactly the root pointer.
+                assert self._open_partial is None, "unclosed partial run"
+                root_record = data_stack.pop()
+                root_pointer = codec.decode(root_record)
+                assert isinstance(root_pointer, RunPointer)
             report.data_stack_page_ins = data_stack.page_ins
             report.data_stack_page_outs = data_stack.page_outs
             report.path_stack_page_ins = path_stack.page_ins
@@ -280,13 +304,17 @@ class NexSorter:
             report.sorting_stats = device.stats.since(before_all)
 
             # Output phase: depth-first traversal of the tree of sorted runs.
+            # The span also covers the pool detach so deferred write-backs
+            # are attributed to the phase that deferred them.
             before_output = device.stats.snapshot()
-            handle, output_page_ins, output_page_outs = output_phase(
-                store, root_pointer
-            )
-            # Detach (and flush) the pool before the final snapshots so the
-            # write-back of any still-dirty output blocks is accounted.
-            store.detach_pool()
+            with maybe_span(tracer, "output-walk"):
+                handle, output_page_ins, output_page_outs = output_phase(
+                    store, root_pointer, tracer=tracer
+                )
+                # Detach (and flush) the pool before the final snapshots so
+                # the write-back of any still-dirty output blocks is
+                # accounted.
+                store.detach_pool()
             report.output_stack_page_ins = output_page_ins
             report.output_stack_page_outs = output_page_outs
             report.output_stats = device.stats.since(before_output)
@@ -367,7 +395,20 @@ class NexSorter:
             sort_levels = max(0, depth_limit + 1 - d_s)
         token_records = data_stack.pop_through(frame.loc)
         tokens = [codec.decode(record) for record in token_records]
-        result = sorter.sort_tokens(tokens, size, d_s, sort_levels)
+        with maybe_span(
+            self._tracer,
+            "subtree-sort",
+            id=len(report.subtree_sorts),
+            size=size,
+            level=d_s,
+        ) as span:
+            result = sorter.sort_tokens(tokens, size, d_s, sort_levels)
+            if span is not None:
+                span.set(
+                    internal=result.internal,
+                    units=result.units,
+                    run_blocks=result.run.block_count,
+                )
         report.subtree_sorts.append(
             SubtreeSortInfo(
                 units=result.units,
@@ -455,6 +496,12 @@ class NexSorter:
         owner.partial_runs.append(handle)
         self._run_lengths.append(handle.record_count)
         report.flat_partial_runs += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                "partial-run-flush",
+                records=handle.record_count,
+                blocks=handle.block_count,
+            )
 
     def _write_partial_groups(
         self,
@@ -478,6 +525,12 @@ class NexSorter:
             frame.partial_runs.append(handle)
             self._run_lengths.append(handle.record_count)
             report.flat_partial_runs += 1
+            if self._tracer is not None:
+                self._tracer.event(
+                    "partial-run-flush",
+                    records=handle.record_count,
+                    blocks=handle.block_count,
+                )
             return
         if self._owns_open_partial(frame):
             writer = self._open_partial[1]
@@ -547,29 +600,37 @@ class NexSorter:
             fan_in, self.memory_blocks - 4 - self.options.cache_blocks
         )
 
-        writer = store.create_writer("run_write")
-        clean_start = StartTag(
-            start_token.tag,
-            start_token.attrs,
-            level=d_s if compact else None,
-        )
-        writer.write_record(codec.encode(clean_start))
-        if texts:
-            writer.write_record(
-                codec.encode(
-                    Text("".join(texts), level=d_s if compact else None)
-                )
-            )
-        for group in flat_mod.iter_merged_groups(
-            store, frame.partial_runs, flat_fan_in,
-            options=self.options.merge,
+        with maybe_span(
+            self._tracer,
+            "flat-element-merge",
+            partial_runs=len(frame.partial_runs),
+            level=d_s,
+            fanin=flat_fan_in,
         ):
-            for token_bytes in group.token_bytes:
-                writer.write_record(token_bytes)
-        if not compact:
-            writer.write_record(codec.encode(EndTag(start_token.tag)))
-        handle = writer.finish()
-        report.flat_final_merges += 1
+            writer = store.create_writer("run_write")
+            clean_start = StartTag(
+                start_token.tag,
+                start_token.attrs,
+                level=d_s if compact else None,
+            )
+            writer.write_record(codec.encode(clean_start))
+            if texts:
+                writer.write_record(
+                    codec.encode(
+                        Text("".join(texts), level=d_s if compact else None)
+                    )
+                )
+            for group in flat_mod.iter_merged_groups(
+                store, frame.partial_runs, flat_fan_in,
+                options=self.options.merge,
+                tracer=self._tracer,
+            ):
+                for token_bytes in group.token_bytes:
+                    writer.write_record(token_bytes)
+            if not compact:
+                writer.write_record(codec.encode(EndTag(start_token.tag)))
+            handle = writer.finish()
+            report.flat_final_merges += 1
 
         units = 1 + frame.flat_units
         real = 1 + frame.flat_real
@@ -615,6 +676,7 @@ def nexsort(
     flat_optimization: bool = False,
     cache_blocks: int = 0,
     merge_options: MergeOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[Document, NexsortReport]:
     """Convenience wrapper: sort ``document`` with NEXSORT."""
     options = NexsortOptions(
@@ -624,4 +686,4 @@ def nexsort(
         cache_blocks=cache_blocks,
         merge=merge_options or DEFAULT_MERGE_OPTIONS,
     )
-    return NexSorter(spec, memory_blocks, options).sort(document)
+    return NexSorter(spec, memory_blocks, options).sort(document, tracer)

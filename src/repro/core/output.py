@@ -38,13 +38,15 @@ from ..xml.tokens import RunPointer
 
 
 def output_phase(
-    store: RunStore, root_pointer: RunPointer
+    store: RunStore, root_pointer: RunPointer, tracer=None
 ) -> tuple[RunHandle, int, int]:
     """Expand the tree of sorted runs into the final output document.
 
     Returns (output run handle, output-location-stack page-ins, page-outs).
     The output-location stack uses one block of memory; nested run
     descents deeper than that spill, which is the Lemma 4.13 cost.
+    A tracer records a summary event when the walk completes (the caller
+    owns the enclosing ``output-walk`` span).
     """
     device = store.device
     pool = store.pool
@@ -99,6 +101,14 @@ def output_phase(
     handle = writer.finish()
     for run in finished_runs:
         store.free(run)
+    if tracer is not None:
+        tracer.event(
+            "output-walk-done",
+            runs=len(finished_runs),
+            output_blocks=handle.block_count,
+            stack_page_ins=location_stack.page_ins,
+            stack_page_outs=location_stack.page_outs,
+        )
     return handle, location_stack.page_ins, location_stack.page_outs
 
 

@@ -115,8 +115,21 @@ class NexsortReport:
         return self.stats.merge_comparisons
 
     def io_breakdown(self) -> dict[str, int]:
-        """Per-category total block accesses (reads + writes)."""
-        return {
-            name: counters.total
-            for name, counters in sorted(self.stats.by_category.items())
-        }
+        """Per-category total block accesses (reads + writes).
+
+        When a buffer pool was attached, the pool's aggregate counters
+        ride along under ``cache_hits`` / ``cache_misses`` /
+        ``cache_evictions`` - a hit is an access the pool absorbed, so
+        without them the per-category totals understate what the
+        algorithm asked for.
+        """
+        breakdown = self.stats.io_breakdown()
+        if (
+            self.stats.cache_hits
+            or self.stats.cache_misses
+            or self.stats.cache_evictions
+        ):
+            breakdown["cache_hits"] = self.stats.cache_hits
+            breakdown["cache_misses"] = self.stats.cache_misses
+            breakdown["cache_evictions"] = self.stats.cache_evictions
+        return breakdown

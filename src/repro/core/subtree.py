@@ -38,6 +38,7 @@ from ..baselines.keypath import (
 from ..baselines.merging import merge_to_stream
 from ..errors import CodecError
 from ..io.runs import RunHandle, RunStore
+from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
     DEFAULT_MERGE_OPTIONS,
     MergeOptions,
@@ -336,6 +337,7 @@ class SubtreeSorter:
         capacity_bytes: int,
         fan_in: int,
         options: MergeOptions | None = None,
+        tracer: Tracer | None = None,
     ):
         self.store = store
         self.codec = codec
@@ -343,6 +345,7 @@ class SubtreeSorter:
         self.capacity_bytes = capacity_bytes
         self.fan_in = fan_in
         self.options = options or DEFAULT_MERGE_OPTIONS
+        self.tracer = tracer
         #: Record counts of every formation run written by external
         #: subtree sorts (run-length reporting rides on this).
         self.run_lengths: list[int] = []
@@ -438,14 +441,21 @@ class SubtreeSorter:
         # Run formation under the sorter's memory capacity.
         options = self.options
         embedded = options.embedded_keys
-        former = RunFormer(self.store, self.capacity_bytes, options)
-        for record in records_from_annotated_events(iter(prepared)):
-            encoded = encode_record(record, names)
-            sort_key = record.sort_key()
-            key = normalized_path_key(sort_key) if embedded else sort_key
-            device.stats.record_tokens(1)
-            former.add(key, encoded)
-        runs = former.finish()
+        former = RunFormer(
+            self.store, self.capacity_bytes, options, tracer=self.tracer
+        )
+        with maybe_span(
+            self.tracer, "run-formation", mode=options.run_formation
+        ) as span:
+            for record in records_from_annotated_events(iter(prepared)):
+                encoded = encode_record(record, names)
+                sort_key = record.sort_key()
+                key = normalized_path_key(sort_key) if embedded else sort_key
+                device.stats.record_tokens(1)
+                former.add(key, encoded)
+            runs = former.finish()
+            if span is not None:
+                span.set(runs=len(runs))
         self.run_lengths.extend(former.run_lengths)
 
         if embedded:
@@ -456,7 +466,8 @@ class SubtreeSorter:
                 return decode_record(encoded, names).sort_key()
 
         stream, _passes, _width = merge_to_stream(
-            self.store, runs, key_of, self.fan_in, options=options
+            self.store, runs, key_of, self.fan_in, options=options,
+            tracer=self.tracer,
         )
         if embedded:
             decoded = (

@@ -62,3 +62,12 @@ class SortSpecError(ReproError):
 
 class MergeError(ReproError):
     """Structural merge inputs violate the merge preconditions."""
+
+
+class TraceError(ReproError):
+    """The span tracer was misused or a trace file is malformed.
+
+    Raised when spans are closed out of nesting order, when a finished
+    tracer is asked for more spans, or when ``repro trace diff`` is given
+    a file that is neither JSONL nor Chrome ``trace_event`` output.
+    """

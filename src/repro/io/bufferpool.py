@@ -76,6 +76,9 @@ class BufferPool:
         readahead: blocks a sequential reader should prefetch through this
             pool per extent; ``None`` picks ``DEFAULT_READAHEAD`` capped to
             half the capacity.  Purely advisory - readers consult it.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; write-back
+            flushes open a ``pool-flush`` span so deferred device writes
+            are attributed to the phase that triggered the flush.
     """
 
     def __init__(
@@ -85,6 +88,7 @@ class BufferPool:
         budget: MemoryBudget | None = None,
         owner: str = "buffer-pool",
         readahead: int | None = None,
+        tracer=None,
     ):
         if capacity_blocks < 0:
             raise DeviceError(
@@ -101,6 +105,7 @@ class BufferPool:
         self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
         self._pinned = 0
         self._closed = False
+        self._tracer = tracer
 
     # -- device-shaped proxies ---------------------------------------------
 
@@ -294,6 +299,15 @@ class BufferPool:
             for block_id, entry in self._entries.items()
             if entry.dirty
         )
+        if not dirty:
+            return
+        if self._tracer is not None and not self._tracer.finished:
+            with self._tracer.span("pool-flush", dirty=len(dirty)):
+                self._write_back(dirty)
+        else:
+            self._write_back(dirty)
+
+    def _write_back(self, dirty: list) -> None:
         index = 0
         while index < len(dirty):
             category = dirty[index][1].category

@@ -240,6 +240,16 @@ class IOStats:
         """Counters accumulated since ``snapshot`` was taken."""
         return self.snapshot().minus(snapshot)
 
+    def delta(self, since: "StatsSnapshot") -> "StatsSnapshot":
+        """Alias of :meth:`since` - the span tracer's primitive.
+
+        ``stats.delta(entry_snapshot)`` is everything that happened inside
+        a phase whose entry captured ``entry_snapshot``; the observability
+        subsystem (:mod:`repro.obs`) attributes exactly these deltas to
+        its spans.
+        """
+        return self.since(since)
+
     def summary(self) -> dict[str, dict[str, int]]:
         """Per-category counter dictionary, useful for reports and tests."""
         return {
@@ -334,13 +344,90 @@ class StatsSnapshot:
     def cache_evictions(self) -> int:
         return sum(c.cache_evictions for c in self.by_category.values())
 
+    def plus(self, other: "StatsSnapshot") -> "StatsSnapshot":
+        """Componentwise sum of two snapshots (the inverse of `minus`).
+
+        Used to sum sibling span deltas when checking that a parent span's
+        delta is fully covered by its children plus its own work.
+        """
+        categories: dict[str, CategoryCounters] = {
+            name: CategoryCounters(
+                c.reads,
+                c.writes,
+                c.seq_reads,
+                c.seq_writes,
+                c.cache_hits,
+                c.cache_misses,
+                c.cache_evictions,
+            )
+            for name, c in self.by_category.items()
+        }
+        for name, counters in other.by_category.items():
+            mine = categories.get(name)
+            if mine is None:
+                categories[name] = CategoryCounters(
+                    counters.reads,
+                    counters.writes,
+                    counters.seq_reads,
+                    counters.seq_writes,
+                    counters.cache_hits,
+                    counters.cache_misses,
+                    counters.cache_evictions,
+                )
+            else:
+                categories[name] = mine.merged_with(counters)
+        return StatsSnapshot(
+            by_category=categories,
+            comparisons=self.comparisons + other.comparisons,
+            merge_comparisons=self.merge_comparisons
+            + other.merge_comparisons,
+            tokens=self.tokens + other.tokens,
+            cost_model=self.cost_model,
+        )
+
     def category_total(self, category: str) -> int:
         counters = self.by_category.get(category)
         return counters.total if counters else 0
 
-    def elapsed_seconds(self) -> float:
-        io_time = self.cost_model.io_seconds(
+    def io_breakdown(self) -> dict[str, int]:
+        """Per-category total block accesses (reads + writes)."""
+        return {
+            name: counters.total
+            for name, counters in sorted(self.by_category.items())
+        }
+
+    def io_seconds(self) -> float:
+        """Simulated disk time for the counters in this snapshot."""
+        return self.cost_model.io_seconds(
             self.sequential_ios, self.random_ios
         )
-        cpu_time = self.cost_model.cpu_seconds(self.comparisons, self.tokens)
-        return io_time + cpu_time
+
+    def cpu_seconds(self) -> float:
+        """Simulated CPU time for the counters in this snapshot."""
+        return self.cost_model.cpu_seconds(self.comparisons, self.tokens)
+
+    def elapsed_seconds(self) -> float:
+        return self.io_seconds() + self.cpu_seconds()
+
+    def counter_totals(self) -> dict:
+        """Flat dictionary of every aggregate counter plus simulated times.
+
+        This is the serialization the trace sinks and the trace diff tool
+        agree on; keys are stable across formats.
+        """
+        return {
+            "reads": self.total_reads,
+            "writes": self.total_writes,
+            "total_ios": self.total_ios,
+            "sequential_ios": self.sequential_ios,
+            "random_ios": self.random_ios,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "comparisons": self.comparisons,
+            "merge_comparisons": self.merge_comparisons,
+            "tokens": self.tokens,
+            "io_seconds": self.io_seconds(),
+            "cpu_seconds": self.cpu_seconds(),
+            "seconds": self.elapsed_seconds(),
+        }

@@ -292,11 +292,13 @@ class RunFormer:
         capacity_bytes: int,
         options: MergeOptions,
         write_category: str = "run_write",
+        tracer=None,
     ):
         self.store = store
         self.capacity_bytes = max(1, capacity_bytes)
         self.options = options
         self.write_category = write_category
+        self.tracer = tracer
         self.run_lengths: list[int] = []
         self._runs: list = []
         self._finished = False
@@ -351,6 +353,7 @@ class RunFormer:
         self.run_lengths.append(handle.record_count)
         self._batch = []
         self._batch_bytes = 0
+        self._note_run(handle)
 
     # -- replacement selection ----------------------------------------------
 
@@ -395,6 +398,16 @@ class RunFormer:
         self._runs.append(handle)
         self.run_lengths.append(handle.record_count)
         self._writer = None
+        self._note_run(handle)
+
+    def _note_run(self, handle) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "run-formed",
+                run=len(self._runs) - 1,
+                records=handle.record_count,
+                blocks=handle.block_count,
+            )
 
     def _drain_heap(self) -> None:
         while self._heap:

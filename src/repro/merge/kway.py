@@ -44,8 +44,10 @@ class KWayMergeReport:
 
     @property
     def merge_comparisons(self) -> int:
-        """Key comparisons counted during head selection (0 unless the
-        merger ran with counted accounting)."""
+        """Key comparisons charged during head selection.
+
+        Charged with the same analytic rule under either merge kernel
+        option, so the counter is comparable across configurations."""
         return self.stats.merge_comparisons
 
 
@@ -87,11 +89,10 @@ class KWayMerger:
             input_count=len(documents),
             input_blocks=sum(doc.block_count for doc in documents),
         )
-        self._stats = (
-            device.stats
-            if self.merge_options.counted_comparisons
-            else None
-        )
+        # Head selection always charges its comparisons: previously only
+        # the loser-tree option did, which made ``merge_comparisons``
+        # silently read 0 under the default kernel.
+        self._stats = device.stats
         before = device.stats.snapshot()
 
         cursors = []

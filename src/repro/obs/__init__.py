@@ -1,0 +1,47 @@
+"""Span-based tracing and phase-attributed observability.
+
+The package turns the global :class:`~repro.io.stats.IOStats` counters
+into a *per-phase* account of a sort: :class:`Tracer` opens nested spans
+whose entry/exit snapshots attribute every read, write, cache hit, and
+comparison to the phase that caused it, on the simulated clock.  Sinks
+render the finished trace as JSONL, Chrome ``trace_event`` JSON, or a
+terminal tree; :mod:`repro.obs.diff` compares two trace files for
+regressions.
+"""
+
+from .diff import TraceDiff, diff_files, diff_traces, load_trace
+from .sinks import (
+    TRACE_WRITERS,
+    ChromeTraceSink,
+    JsonlSink,
+    TraceSink,
+    TreeSummarySink,
+    attach_sink,
+    render_tree,
+    write_chrome_trace,
+    write_jsonl,
+    write_tree,
+)
+from .tracer import Span, Trace, TraceEvent, Tracer, maybe_span
+
+__all__ = [
+    "Tracer",
+    "Trace",
+    "Span",
+    "TraceEvent",
+    "maybe_span",
+    "TraceSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "TreeSummarySink",
+    "TRACE_WRITERS",
+    "attach_sink",
+    "render_tree",
+    "write_jsonl",
+    "write_chrome_trace",
+    "write_tree",
+    "TraceDiff",
+    "load_trace",
+    "diff_traces",
+    "diff_files",
+]

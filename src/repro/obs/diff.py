@@ -1,0 +1,241 @@
+"""Trace regression comparator: ``repro trace diff A B``.
+
+Loads two trace files (either JSONL or Chrome ``trace_event`` output -
+the format is auto-detected), aligns spans across the two traces by
+their slash-joined *path* plus occurrence index, and reports per-span
+counter and simulated-time deltas.  Because traces are driven by the
+simulated clock, two runs of the same configuration produce *identical*
+files, so any delta is a real behaviour change - this is the regression
+check the CI trace-smoke job runs against itself (expecting zero).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import TraceError
+
+#: Counter keys compared per span, in report order.  ``seconds`` is the
+#: simulated clock, so it is as deterministic as the integer counters.
+COMPARED_KEYS = (
+    "reads",
+    "writes",
+    "total_ios",
+    "sequential_ios",
+    "random_ios",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "comparisons",
+    "merge_comparisons",
+    "tokens",
+    "seconds",
+)
+
+
+@dataclass
+class SpanRow:
+    """One span as loaded from a trace file, format-independent."""
+
+    path: str
+    occurrence: int
+    io: dict
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.path, self.occurrence)
+
+
+@dataclass
+class LoadedTrace:
+    """A trace file reduced to what the comparator needs."""
+
+    path: str
+    format: str
+    spans: list[SpanRow]
+    totals: dict
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Load a trace file, auto-detecting JSONL vs Chrome ``trace_event``.
+
+    Raises:
+        TraceError: the file is neither format, or is structurally broken
+            (missing totals, spans without I/O dictionaries...).
+    """
+    with open(path, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise TraceError(f"{path}: empty file is not a trace")
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: invalid Chrome trace JSON: {exc}")
+        return _load_chrome(path, document)
+    return _load_jsonl(path, text)
+
+
+def _occurrences(rows: list[SpanRow]) -> list[SpanRow]:
+    """Assign occurrence indices so repeated paths stay distinguishable."""
+    seen: dict[str, int] = {}
+    for row in rows:
+        row.occurrence = seen.get(row.path, 0)
+        seen[row.path] = row.occurrence + 1
+    return rows
+
+
+def _load_jsonl(path: str, text: str) -> LoadedTrace:
+    spans: list[SpanRow] = []
+    totals: dict | None = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}:{number}: not JSONL: {exc}")
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(SpanRow(record["path"], 0, record.get("io", {})))
+        elif kind == "totals":
+            totals = record.get("io", {})
+        elif kind == "meta":
+            if record.get("format") not in (None, "repro-trace-jsonl"):
+                raise TraceError(
+                    f"{path}: unknown JSONL trace format "
+                    f"{record.get('format')!r}"
+                )
+    if totals is None:
+        raise TraceError(f"{path}: JSONL trace has no totals footer")
+    return LoadedTrace(path, "jsonl", _occurrences(spans), totals)
+
+
+def _load_chrome(path: str, document: dict) -> LoadedTrace:
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceError(f"{path}: traceEvents is not a list")
+    spans: list[SpanRow] = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        span_path = args.get("path", event.get("name", "?"))
+        spans.append(SpanRow(span_path, 0, args.get("io", {})))
+    totals = document.get("otherData", {}).get("totals")
+    if totals is None:
+        raise TraceError(f"{path}: Chrome trace has no otherData.totals")
+    return LoadedTrace(path, "chrome", _occurrences(spans), totals)
+
+
+@dataclass
+class SpanDelta:
+    """Counter deltas (B minus A) for one aligned span."""
+
+    path: str
+    occurrence: int
+    deltas: dict
+
+
+@dataclass
+class TraceDiff:
+    """Result of comparing two traces span by span."""
+
+    a: LoadedTrace
+    b: LoadedTrace
+    changed: list[SpanDelta] = field(default_factory=list)
+    only_a: list[SpanRow] = field(default_factory=list)
+    only_b: list[SpanRow] = field(default_factory=list)
+    totals_delta: dict = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return not (
+            self.changed or self.only_a or self.only_b or self.totals_delta
+        )
+
+    def render(self) -> str:
+        """Human-readable report; one line per changed span."""
+        lines = [f"trace diff: {self.a.path} -> {self.b.path}"]
+        if self.identical:
+            lines.append(
+                f"identical: {len(self.a.spans)} spans, no counter deltas"
+            )
+            return "\n".join(lines)
+        for row in self.only_a:
+            lines.append(f"- only in A: {_label(row)}")
+        for row in self.only_b:
+            lines.append(f"+ only in B: {_label(row)}")
+        for entry in self.changed:
+            label = _label(entry)
+            parts = ", ".join(
+                f"{key}: {_fmt(value)}"
+                for key, value in entry.deltas.items()
+            )
+            lines.append(f"~ {label}: {parts}")
+        if self.totals_delta:
+            parts = ", ".join(
+                f"{key}: {_fmt(value)}"
+                for key, value in self.totals_delta.items()
+            )
+            lines.append(f"~ totals: {parts}")
+        lines.append(
+            f"{len(self.changed)} changed, {len(self.only_a)} removed, "
+            f"{len(self.only_b)} added"
+        )
+        return "\n".join(lines)
+
+
+def _label(row) -> str:
+    if row.occurrence:
+        return f"{row.path}#{row.occurrence}"
+    return row.path
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:+.6f}"
+    return f"{value:+d}"
+
+
+def _io_delta(a: dict, b: dict) -> dict:
+    deltas: dict = {}
+    for key in COMPARED_KEYS:
+        before = a.get(key, 0)
+        after = b.get(key, 0)
+        if isinstance(before, float) or isinstance(after, float):
+            if abs(after - before) > 1e-9:
+                deltas[key] = after - before
+        elif after != before:
+            deltas[key] = after - before
+    return deltas
+
+
+def diff_traces(a: LoadedTrace, b: LoadedTrace) -> TraceDiff:
+    """Align spans by (path, occurrence) and compute counter deltas."""
+    result = TraceDiff(a=a, b=b)
+    b_index = {row.key: row for row in b.spans}
+    matched: set[tuple[str, int]] = set()
+    for row in a.spans:
+        other = b_index.get(row.key)
+        if other is None:
+            result.only_a.append(row)
+            continue
+        matched.add(row.key)
+        deltas = _io_delta(row.io, other.io)
+        if deltas:
+            result.changed.append(
+                SpanDelta(row.path, row.occurrence, deltas)
+            )
+    for row in b.spans:
+        if row.key not in matched:
+            result.only_b.append(row)
+    result.totals_delta = _io_delta(a.totals, b.totals)
+    return result
+
+
+def diff_files(path_a: str, path_b: str) -> TraceDiff:
+    """Convenience wrapper: load both files and diff them."""
+    return diff_traces(load_trace(path_a), load_trace(path_b))
