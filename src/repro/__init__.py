@@ -39,13 +39,26 @@ from .core import (
 from .errors import (
     CodecError,
     DeviceError,
+    DeviceFault,
+    FaultPlanError,
     MemoryBudgetExceeded,
     MergeError,
     ReproError,
     RunError,
+    SortRecoveryError,
     SortSpecError,
     StackError,
     XMLSyntaxError,
+)
+from .faults import (
+    Checkpoint,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RecoveryContext,
+    RetryingDevice,
+    RetryPolicy,
+    build_faulty_device,
 )
 from .io import (
     BlockDevice,
@@ -94,15 +107,21 @@ __all__ = [
     "ByChildPath",
     "ByTag",
     "ByText",
+    "Checkpoint",
     "CodecError",
     "CompactionConfig",
     "CostModel",
     "DeviceError",
+    "DeviceFault",
     "Document",
     "DocumentOrder",
     "Element",
     "ExternalMergeSorter",
     "ExternalStack",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
     "IOStats",
     "KeyEvaluator",
     "KeyRule",
@@ -116,14 +135,19 @@ __all__ = [
     "NexSorter",
     "NexsortOptions",
     "NexsortReport",
+    "RecoveryContext",
     "ReproError",
+    "RetryPolicy",
+    "RetryingDevice",
     "RunError",
     "RunStore",
+    "SortRecoveryError",
     "SortSpec",
     "SortSpecError",
     "StackError",
     "XMLSyntaxError",
     "apply_batch",
+    "build_faulty_device",
     "element_to_string",
     "events_to_string",
     "external_merge_sort",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SortSpecError
+from ..errors import DeviceFault, SortSpecError
 from ..io.budget import MemoryBudget
 from ..io.bufferpool import BufferPool
 from ..io.stats import StatsSnapshot
@@ -129,14 +129,35 @@ class ExternalMergeSorter:
         self.merge_options = merge_options or DEFAULT_MERGE_OPTIONS
 
     def sort(
-        self, document: Document, tracer: Tracer | None = None
+        self,
+        document: Document,
+        tracer: Tracer | None = None,
+        recovery=None,
     ) -> tuple[Document, MergeSortReport]:
         """Sort ``document``; returns (sorted document, report).
 
         With a tracer, the phases appear as ``run-formation``,
         ``merge-pass`` (one per materialized pass), and ``output-emit``
         root spans; ``tracer=None`` keeps the untraced fast path.
+
+        With a :class:`~repro.faults.RecoveryContext`, merge passes
+        checkpoint after every completed run and restart on transient
+        device faults; unrecoverable faults surface as
+        :class:`~repro.errors.SortRecoveryError`.
         """
+        if recovery is None:
+            return self._sort(document, tracer, None)
+        try:
+            return self._sort(document, tracer, recovery)
+        except DeviceFault as fault:
+            raise recovery.to_error(fault) from fault
+
+    def _sort(
+        self,
+        document: Document,
+        tracer: Tracer | None,
+        recovery,
+    ) -> tuple[Document, MergeSortReport]:
         store = document.store
         device = store.device
         names = (
@@ -176,7 +197,8 @@ class ExternalMergeSorter:
             )
             records = records_from_annotated_events(annotated)
             former = RunFormer(
-                store, capacity_bytes, options, tracer=tracer
+                store, capacity_bytes, options, tracer=tracer,
+                recovery=recovery,
             )
             with maybe_span(
                 tracer, "run-formation", mode=options.run_formation
@@ -211,7 +233,7 @@ class ExternalMergeSorter:
 
             stream, passes, width = merge_to_stream(
                 store, initial_runs, key_of, fan_in, options=options,
-                tracer=tracer,
+                tracer=tracer, recovery=recovery,
             )
             report.materialized_merge_passes = passes
             report.final_merge_width = width
@@ -265,8 +287,9 @@ def external_merge_sort(
     cache_blocks: int = 0,
     merge_options: MergeOptions | None = None,
     tracer: Tracer | None = None,
+    recovery=None,
 ) -> tuple[Document, MergeSortReport]:
     """Convenience wrapper: sort ``document`` with the baseline."""
     return ExternalMergeSorter(
         spec, memory_blocks, cache_blocks, merge_options
-    ).sort(document, tracer)
+    ).sort(document, tracer, recovery=recovery)

@@ -30,7 +30,7 @@ import heapq
 from math import ceil, log2
 from typing import Callable, Iterable, Iterator
 
-from ..errors import RunError
+from ..errors import DeviceFault, RunError
 from ..io.runs import RunHandle, RunStore
 from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
@@ -138,6 +138,48 @@ def _merge_pass_loser_tree(
     device.stats.record_tokens(sum(run.record_count for run in runs))
 
 
+def _merged_group(
+    store: RunStore,
+    group: list[RunHandle],
+    key_of: Callable[[bytes], object],
+    read_category: str,
+    write_category: str,
+    options: MergeOptions | None,
+    recovery,
+    phase: str,
+    unit: int,
+) -> RunHandle:
+    """Merge one group of runs into a new run, optionally restartably.
+
+    With a :class:`~repro.faults.RecoveryContext`, the group merge runs
+    under a device recovery hold: a transient fault that escapes the
+    retry layer abandons the partial output, restores the input runs the
+    failed attempt already drained and freed, and re-merges the group.
+    The completed run is recorded as a checkpoint.
+    """
+    if recovery is None:
+        writer = store.create_writer(write_category)
+        for record in merge_pass(store, group, key_of, read_category, options):
+            writer.write_record(record)
+        return writer.finish()
+
+    def attempt_once() -> RunHandle:
+        writer = store.create_writer(write_category)
+        try:
+            for record in merge_pass(
+                store, group, key_of, read_category, options
+            ):
+                writer.write_record(record)
+        except DeviceFault:
+            writer.abandon()
+            raise
+        return writer.finish()
+
+    handle = recovery.attempt(phase, unit, attempt_once, device=store.device)
+    recovery.checkpoint(phase, unit, run_id=handle.run_id)
+    return handle
+
+
 def merge_to_single_run(
     store: RunStore,
     runs: list[RunHandle],
@@ -147,6 +189,7 @@ def merge_to_single_run(
     write_category: str = "merge_write",
     options: MergeOptions | None = None,
     tracer: Tracer | None = None,
+    recovery=None,
 ) -> tuple[RunHandle, int]:
     """Repeatedly merge until one run remains; returns (run, passes)."""
     if fan_in < 2:
@@ -167,12 +210,13 @@ def merge_to_single_run(
                 if len(group) == 1:
                     merged.append(group[0])
                     continue
-                writer = store.create_writer(write_category)
-                for record in merge_pass(
-                    store, group, key_of, read_category, options
-                ):
-                    writer.write_record(record)
-                merged.append(writer.finish())
+                merged.append(
+                    _merged_group(
+                        store, group, key_of, read_category,
+                        write_category, options, recovery,
+                        f"merge-pass-{passes}", len(merged),
+                    )
+                )
             current = merged
     return current[0], passes
 
@@ -186,6 +230,7 @@ def merge_to_stream(
     write_category: str = "merge_write",
     options: MergeOptions | None = None,
     tracer: Tracer | None = None,
+    recovery=None,
 ) -> tuple[Iterator[bytes], int, int]:
     """Merge passes until <= fan_in runs remain, then stream the final merge.
 
@@ -224,12 +269,13 @@ def merge_to_stream(
             for size in sizes:
                 group = current[start : start + size]
                 start += size
-                writer = store.create_writer(write_category)
-                for record in merge_pass(
-                    store, group, key_of, read_category, options
-                ):
-                    writer.write_record(record)
-                merged.append(writer.finish())
+                merged.append(
+                    _merged_group(
+                        store, group, key_of, read_category,
+                        write_category, options, recovery,
+                        f"merge-pass-{passes}", len(merged),
+                    )
+                )
             merged.extend(current[start:])
             current = merged
     while len(current) > fan_in:
@@ -244,12 +290,13 @@ def merge_to_stream(
                 if len(group) == 1:
                     merged.append(group[0])
                     continue
-                writer = store.create_writer(write_category)
-                for record in merge_pass(
-                    store, group, key_of, read_category, options
-                ):
-                    writer.write_record(record)
-                merged.append(writer.finish())
+                merged.append(
+                    _merged_group(
+                        store, group, key_of, read_category,
+                        write_category, options, recovery,
+                        f"merge-pass-{passes}", len(merged),
+                    )
+                )
             current = merged
     width = len(current)
     if tracer is not None:

@@ -28,7 +28,8 @@ from .analysis import (
 )
 from .baselines import external_merge_sort, key_path_table, xsort
 from .core import nexsort
-from .errors import ReproError
+from .errors import DeviceFault, ReproError
+from .faults import RecoveryContext, RetryPolicy, build_faulty_device
 from .io import BlockDevice, FileBackedBlockDevice, RunStore
 from .keys import ByAttribute, SortSpec
 from .merge import MergeOptions, merge_preserving_order, structural_merge
@@ -132,6 +133,22 @@ def build_parser() -> argparse.ArgumentParser:
         "merges compare bytes instead of decoding",
     )
     sort_cmd.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="inject deterministic device faults per PLAN, e.g. "
+        "'read@5;write@3*2:persistent;torn@1;rate=0.001;seed=42'",
+    )
+    sort_cmd.add_argument(
+        "--retries", type=int, default=0,
+        help="transparent retries per faulted I/O (backoff charged to "
+        "the simulated clock; default 0)",
+    )
+    sort_cmd.add_argument(
+        "--max-restarts", type=int, default=4,
+        help="restart budget for checkpointed units (merge groups, "
+        "subtree sorts) when a transient fault outlives the retries "
+        "(default 4)",
+    )
+    sort_cmd.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a span trace of the sort (phases, per-phase I/O "
         "deltas, simulated timestamps) and write it to PATH",
@@ -196,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_diff.add_argument("a", help="baseline trace (jsonl or chrome)")
     trace_diff.add_argument("b", help="candidate trace (jsonl or chrome)")
+    trace_diff.add_argument(
+        "--ignore", action="append", default=[], metavar="NAME",
+        help="exclude spans whose path contains this segment "
+        "(repeatable; e.g. --ignore fault-injected)",
+    )
 
     return parser
 
@@ -256,8 +278,21 @@ def _print_stats(label: str, stats_obj, out=sys.stdout) -> None:
 
 
 def cmd_sort(args) -> int:
-    device = _make_device(args)
-    tracer = Tracer(device.stats) if args.trace else None
+    base_device = _make_device(args)
+    tracer = Tracer(base_device.stats) if args.trace else None
+    device, injector, retrier = build_faulty_device(
+        base_device,
+        args.faults,
+        policy=(
+            RetryPolicy(max_retries=args.retries) if args.retries else None
+        ),
+        tracer=tracer,
+    )
+    recovery = (
+        RecoveryContext(max_restarts=args.max_restarts, tracer=tracer)
+        if args.faults
+        else None
+    )
     try:
         store = RunStore(device)
         spec = _make_spec(args)
@@ -276,6 +311,7 @@ def cmd_sort(args) -> int:
                 cache_blocks=args.cache_blocks,
                 merge_options=merge_options,
                 tracer=tracer,
+                recovery=recovery,
             )
         elif args.algorithm == "mergesort":
             result, report = external_merge_sort(
@@ -283,12 +319,19 @@ def cmd_sort(args) -> int:
                 cache_blocks=args.cache_blocks,
                 merge_options=merge_options,
                 tracer=tracer,
+                recovery=recovery,
             )
         else:
             if not merge_options.is_default:
                 print(
                     "note: xsort ignores --run-formation, --merge-kernel "
                     "and --embedded-keys",
+                    file=sys.stderr,
+                )
+            if recovery is not None:
+                print(
+                    "note: xsort has no checkpointed recovery; faults are "
+                    "absorbed by --retries only",
                     file=sys.stderr,
                 )
             # xsort is not instrumented internally; one covering span
@@ -341,10 +384,43 @@ def cmd_sort(args) -> int:
                     f"  breakdown:           {report.io_breakdown()}",
                     file=sys.stderr,
                 )
+            if injector is not None:
+                fault_stats = injector.fault_stats
+                print(
+                    f"  faults injected:     {fault_stats.injected} "
+                    f"(transient {fault_stats.transient}, persistent "
+                    f"{fault_stats.persistent}, torn {fault_stats.torn})",
+                    file=sys.stderr,
+                )
+                if retrier is not None:
+                    retry_stats = retrier.retry_stats
+                    print(
+                        f"  I/O retries:         {retry_stats.retries} "
+                        f"({retry_stats.penalty_seconds:.4f}s simulated "
+                        f"backoff)",
+                        file=sys.stderr,
+                    )
+                if recovery is not None:
+                    print(
+                        f"  unit restarts:       {recovery.restarts}",
+                        file=sys.stderr,
+                    )
+                    print(
+                        f"  checkpoints:         "
+                        f"{len(recovery.checkpoints)} "
+                        f"(last: {recovery.describe_last()})",
+                        file=sys.stderr,
+                    )
         return 0
+    except DeviceFault as fault:
+        # A fault outside any recovery-wrapped phase (document load, the
+        # final emit, or an algorithm without checkpointing).
+        if recovery is not None:
+            raise recovery.to_error(fault) from fault
+        raise
     finally:
-        if isinstance(device, FileBackedBlockDevice):
-            device.close()
+        if isinstance(base_device, FileBackedBlockDevice):
+            base_device.close()
 
 
 def cmd_merge(args) -> int:
@@ -477,7 +553,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    diff = diff_files(args.a, args.b)
+    diff = diff_files(args.a, args.b, ignore=tuple(args.ignore))
     print(diff.render())
     return 0 if diff.identical else 1
 

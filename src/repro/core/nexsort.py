@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import SortSpecError
+from ..errors import DeviceFault, SortSpecError
 from ..io.budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS
 from ..io.bufferpool import BufferPool
 from ..io.stacks import ExternalStack
@@ -145,7 +145,10 @@ class NexSorter:
         self.memory_blocks = memory_blocks
 
     def sort(
-        self, document: Document, tracer: Tracer | None = None
+        self,
+        document: Document,
+        tracer: Tracer | None = None,
+        recovery=None,
     ) -> tuple[Document, NexsortReport]:
         """Sort ``document``; returns (sorted document, full report).
 
@@ -155,7 +158,28 @@ class NexSorter:
         ``output-walk`` span over the output phase; ``tracer=None`` (the
         default) takes zero-cost fast paths, so untraced runs remain
         bit-identical to the paper-faithful counts.
+
+        With a :class:`~repro.faults.RecoveryContext`, subtree sorts and
+        merge passes checkpoint after every completed run and restart on
+        transient device faults; faults that cannot be recovered surface
+        as :class:`~repro.errors.SortRecoveryError` naming the last
+        completed checkpoint.
         """
+        if recovery is None:
+            return self._sort(document, tracer, None)
+        try:
+            return self._sort(document, tracer, recovery)
+        except DeviceFault as fault:
+            # A fault escaped every retry and restartable unit (e.g. in
+            # scan-phase stack paging, which has no restartable unit).
+            raise recovery.to_error(fault) from fault
+
+    def _sort(
+        self,
+        document: Document,
+        tracer: Tracer | None,
+        recovery,
+    ) -> tuple[Document, NexsortReport]:
         compact = (
             document.compaction is not None
             and document.compaction.eliminate_end_tags
@@ -217,7 +241,7 @@ class NexSorter:
 
             sorter = SubtreeSorter(
                 store, codec, compact, capacity_bytes, fan_in, options.merge,
-                tracer=tracer,
+                tracer=tracer, recovery=recovery,
             )
             self._tracer = tracer
             # Graceful-degeneration replacement selection keeps at most one
@@ -677,6 +701,7 @@ def nexsort(
     cache_blocks: int = 0,
     merge_options: MergeOptions | None = None,
     tracer: Tracer | None = None,
+    recovery=None,
 ) -> tuple[Document, NexsortReport]:
     """Convenience wrapper: sort ``document`` with NEXSORT."""
     options = NexsortOptions(
@@ -686,4 +711,6 @@ def nexsort(
         cache_blocks=cache_blocks,
         merge=merge_options or DEFAULT_MERGE_OPTIONS,
     )
-    return NexSorter(spec, memory_blocks, options).sort(document, tracer)
+    return NexSorter(spec, memory_blocks, options).sort(
+        document, tracer, recovery=recovery
+    )

@@ -36,7 +36,7 @@ from ..baselines.keypath import (
     tokens_from_sorted_records,
 )
 from ..baselines.merging import merge_to_stream
-from ..errors import CodecError
+from ..errors import CodecError, DeviceFault
 from ..io.runs import RunHandle, RunStore
 from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
@@ -338,6 +338,7 @@ class SubtreeSorter:
         fan_in: int,
         options: MergeOptions | None = None,
         tracer: Tracer | None = None,
+        recovery=None,
     ):
         self.store = store
         self.codec = codec
@@ -346,9 +347,11 @@ class SubtreeSorter:
         self.fan_in = fan_in
         self.options = options or DEFAULT_MERGE_OPTIONS
         self.tracer = tracer
+        self.recovery = recovery
         #: Record counts of every formation run written by external
         #: subtree sorts (run-length reporting rides on this).
         self.run_lengths: list[int] = []
+        self._sorted_subtrees = 0
 
     def sort_tokens(
         self,
@@ -380,14 +383,9 @@ class SubtreeSorter:
                 root_pos = last.pos if last.pos is not None else root_pos
 
         internal = payload_bytes <= self.capacity_bytes
-        if internal:
-            run, written = self._sort_internal(
-                tokens, base_level, sort_levels
-            )
-        else:
-            run, written = self._sort_external(
-                tokens, base_level, sort_levels
-            )
+        run, written = self._sort_recoverably(
+            tokens, base_level, sort_levels, internal
+        )
         return SubtreeResult(
             run=run,
             units=units,
@@ -397,6 +395,47 @@ class SubtreeSorter:
             root_pos=root_pos,
             internal=internal,
         )
+
+    def _sort_recoverably(
+        self,
+        tokens: list[Token],
+        base_level: int,
+        sort_levels: int | None,
+        internal: bool,
+    ) -> tuple[RunHandle, int]:
+        """Run one subtree sort, restarting it on transient faults.
+
+        A subtree sort regenerates everything from the in-memory token
+        list, so no device hold is needed; a restart only has to clean up
+        what the failed attempt left behind - runs it registered (the
+        external path's formation/merge intermediates) and their
+        ``run_lengths`` entries.
+        """
+        sorter = (
+            self._sort_internal if internal else self._sort_external
+        )
+        unit = self._sorted_subtrees
+        self._sorted_subtrees += 1
+        if self.recovery is None:
+            return sorter(tokens, base_level, sort_levels)
+
+        runs_before = self.store.live_run_ids()
+        lengths_before = len(self.run_lengths)
+
+        def attempt_once() -> tuple[RunHandle, int]:
+            try:
+                return sorter(tokens, base_level, sort_levels)
+            except DeviceFault:
+                for run_id in self.store.live_run_ids() - runs_before:
+                    self.store.free(run_id)
+                del self.run_lengths[lengths_before:]
+                raise
+
+        run, written = self.recovery.attempt(
+            "subtree-sort", unit, attempt_once
+        )
+        self.recovery.checkpoint("subtree-sort", unit, run_id=run.run_id)
+        return run, written
 
     # -- internal-memory path ----------------------------------------------
 
@@ -413,9 +452,13 @@ class SubtreeSorter:
         )
         writer = self.store.create_writer("run_write")
         count = 0
-        for token in serialize_node_tree(root, base_level, self.compact):
-            writer.write_record(self.codec.encode(token))
-            count += 1
+        try:
+            for token in serialize_node_tree(root, base_level, self.compact):
+                writer.write_record(self.codec.encode(token))
+                count += 1
+        except DeviceFault:
+            writer.abandon()
+            raise
         stats.record_tokens(count)
         handle = writer.finish()
         return handle, handle.payload_bytes
@@ -442,7 +485,8 @@ class SubtreeSorter:
         options = self.options
         embedded = options.embedded_keys
         former = RunFormer(
-            self.store, self.capacity_bytes, options, tracer=self.tracer
+            self.store, self.capacity_bytes, options, tracer=self.tracer,
+            recovery=self.recovery,
         )
         with maybe_span(
             self.tracer, "run-formation", mode=options.run_formation
@@ -467,7 +511,7 @@ class SubtreeSorter:
 
         stream, _passes, _width = merge_to_stream(
             self.store, runs, key_of, self.fan_in, options=options,
-            tracer=self.tracer,
+            tracer=self.tracer, recovery=self.recovery,
         )
         if embedded:
             decoded = (
@@ -478,21 +522,25 @@ class SubtreeSorter:
             decoded = (decode_record(record, names) for record in stream)
         writer = self.store.create_writer("run_write")
         count = 0
-        for token in tokens_from_sorted_records(
-            decoded, base_level=base_level, emit_end_tags=not self.compact
-        ):
-            if not self.compact:
-                # Plain-mode run tokens carry no levels.
-                if token.__class__ is StartTag:
-                    token = StartTag(token.tag, token.attrs)
-                elif token.__class__ is RunPointer:
-                    token = RunPointer(
-                        run_id=token.run_id,
-                        element_count=token.element_count,
-                        payload_bytes=token.payload_bytes,
-                    )
-            writer.write_record(self.codec.encode(token))
-            count += 1
+        try:
+            for token in tokens_from_sorted_records(
+                decoded, base_level=base_level, emit_end_tags=not self.compact
+            ):
+                if not self.compact:
+                    # Plain-mode run tokens carry no levels.
+                    if token.__class__ is StartTag:
+                        token = StartTag(token.tag, token.attrs)
+                    elif token.__class__ is RunPointer:
+                        token = RunPointer(
+                            run_id=token.run_id,
+                            element_count=token.element_count,
+                            payload_bytes=token.payload_bytes,
+                        )
+                writer.write_record(self.codec.encode(token))
+                count += 1
+        except DeviceFault:
+            writer.abandon()
+            raise
         device.stats.record_tokens(count)
         handle = writer.finish()
         return handle, handle.payload_bytes

@@ -15,6 +15,62 @@ class DeviceError(ReproError):
     """A block device was used incorrectly (bad block id, bad size...)."""
 
 
+class DeviceFault(DeviceError):
+    """An injected device failure (:mod:`repro.faults`).
+
+    Transient faults succeed when the same operation is attempted again;
+    persistent faults fail every attempt from the first injected one on.
+    Torn faults are transient faults raised by a vectored write after only
+    a prefix of the blocks reached the device.
+
+    Attributes:
+        op: "read", "write", or "torn".
+        category: accounting category of the failed access ("" if the
+            fault is not category-scoped).
+        transient: whether a retry of the same operation can succeed.
+        torn: whether a prefix of a vectored write was persisted.
+        attempt: 1-based attempt index (within the fault plan's counter)
+            at which the fault fired.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: str = "",
+        category: str = "",
+        transient: bool = True,
+        torn: bool = False,
+        attempt: int = 0,
+    ):
+        super().__init__(message)
+        self.op = op
+        self.category = category
+        self.transient = transient
+        self.torn = torn
+        self.attempt = attempt
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan specification string could not be parsed."""
+
+
+class SortRecoveryError(ReproError):
+    """A sort could not recover from device faults.
+
+    Raised when a persistent fault is hit, or when the retry/restart
+    budgets are exhausted.  The message names the last completed
+    checkpoint so operators know where a resumed sort would pick up.
+
+    Attributes:
+        checkpoint: the last completed :class:`repro.faults.Checkpoint`,
+            or None if the sort failed before any unit completed.
+    """
+
+    def __init__(self, message: str, checkpoint=None):
+        super().__init__(message)
+        self.checkpoint = checkpoint
+
+
 class MemoryBudgetExceeded(ReproError):
     """A component tried to reserve more internal-memory blocks than exist.
 

@@ -30,7 +30,13 @@ Semantics:
   device as an ordinary counted write under the category that dirtied it.
 * **pin**: pinned blocks are never evicted - the output phase pins the
   block holding each saved resume offset so the Lemma 4.12 re-read is a
-  guaranteed hit.
+  guaranteed hit.  Pinning a resident block always succeeds (even in a
+  capacity-1 pool); when every entry is pinned, new blocks simply bypass
+  the cache (reads go uncached, writes go write-through) instead of the
+  pin being refused.  Pins are a strict contract: :meth:`unpin` of a
+  block that is not resident or not pinned raises
+  :class:`~repro.errors.DeviceError`, as does :meth:`free_blocks` of a
+  still-pinned block - silent tolerance here masked real pin leaks.
 
 A pool of capacity 0 is a pure pass-through: every call forwards to the
 device and no cache counters move, which keeps the paper's I/O counts
@@ -54,11 +60,18 @@ DEFAULT_READAHEAD = 8
 class _Entry:
     """One cached block."""
 
-    __slots__ = ("data", "category", "dirty", "pins")
+    __slots__ = ("data", "category", "stream", "dirty", "pins")
 
-    def __init__(self, data: bytes, category: str, dirty: bool):
+    def __init__(
+        self,
+        data: bytes,
+        category: str,
+        dirty: bool,
+        stream: str | None = None,
+    ):
         self.data = data
         self.category = category
+        self.stream = stream
         self.dirty = dirty
         self.pins = 0
 
@@ -161,7 +174,7 @@ class BufferPool:
             return entry.data
         data = self._device.read_block(block_id, category, stream=stream)
         self.stats.record_cache_miss(category)
-        self._insert(block_id, data, category, dirty=False)
+        self._insert(block_id, data, category, dirty=False, stream=stream)
         return data
 
     def read_blocks(
@@ -194,7 +207,9 @@ class BufferPool:
             self.stats.record_cache_miss(category, len(missing))
             for block_id, data in zip(missing, fetched):
                 found[block_id] = data
-                self._insert(block_id, data, category, dirty=False)
+                self._insert(
+                    block_id, data, category, dirty=False, stream=stream
+                )
         return [found[block_id] for block_id in block_ids]
 
     def write_block(
@@ -219,14 +234,16 @@ class BufferPool:
         if entry is not None:
             entry.data = data
             entry.category = category
+            entry.stream = stream
             entry.dirty = True
             self._entries.move_to_end(block_id)
             self.stats.record_cache_hit(category)
             return
         self.stats.record_cache_miss(category)
-        if not self._insert(block_id, data, category, dirty=True):
-            # Nothing evictable (everything pinned): write through.
-            self._device.write_block(block_id, data, category)
+        if not self._insert(block_id, data, category, dirty=True, stream=stream):
+            # Nothing evictable (everything pinned): write through, under
+            # the caller's stream so sequentiality is judged correctly.
+            self._device.write_block(block_id, data, category, stream=stream)
 
     def write_blocks(
         self,
@@ -246,31 +263,47 @@ class BufferPool:
             self._device.write_blocks(block_ids, datas, category, stream=stream)
             return
         for block_id, data in zip(block_ids, datas):
-            self.write_block(block_id, data, category)
+            self.write_block(block_id, data, category, stream=stream)
 
     def free_blocks(self, block_ids) -> None:
         """Drop freed blocks from pool and device; dirty data is discarded
-        unwritten (the blocks are dead - this is the write the pool saves)."""
+        unwritten (the blocks are dead - this is the write the pool saves).
+
+        Freeing a still-pinned block raises
+        :class:`~repro.errors.DeviceError` - the pin says someone still
+        needs the block, so the free is a bug, not a cleanup.
+        """
         block_ids = list(block_ids)
         for block_id in block_ids:
-            entry = self._entries.pop(block_id, None)
+            entry = self._entries.get(block_id)
             if entry is not None and entry.pins:
-                self._pinned -= 1
+                raise DeviceError(
+                    f"free of pinned block {block_id} "
+                    f"({entry.pins} pin(s) outstanding)"
+                )
+        holding = getattr(self._device, "holding", False)
+        for block_id in block_ids:
+            entry = self._entries.pop(block_id, None)
+            if entry is not None and entry.dirty and holding:
+                # The device never saw this dirty data (the free elides
+                # the write); stash it so a recovery restart can still
+                # restore the block's contents.
+                self._device.stash_block(block_id, entry.data)
         self._device.free_blocks(block_ids)
 
     # -- pinning -----------------------------------------------------------
 
     def pin(self, block_id: int) -> bool:
-        """Protect a cached block from eviction; False if not possible.
+        """Protect a cached block from eviction; False if not resident.
 
-        A pin fails when the block is not resident or when pinning it would
-        leave no evictable slot (the pool must always be able to make
-        progress).
+        Pinning a resident block always succeeds - even in a capacity-1
+        pool, and even when it pins the last unpinned entry.  A fully
+        pinned pool still makes progress: :meth:`_insert` reports the
+        cache as unavailable and accesses fall back to the device (reads
+        uncached, writes write-through).
         """
         entry = self._entries.get(block_id)
         if entry is None:
-            return False
-        if not entry.pins and self._pinned >= self.capacity - 1:
             return False
         if not entry.pins:
             self._pinned += 1
@@ -278,9 +311,18 @@ class BufferPool:
         return True
 
     def unpin(self, block_id: int) -> None:
+        """Release one pin; raises on a block that is not pinned.
+
+        Unpinning a block that is not resident (or resident but unpinned)
+        raises :class:`~repro.errors.DeviceError`: a silently ignored
+        unpin means some pin() call leaked, and leaked pins quietly shrink
+        the evictable pool.
+        """
         entry = self._entries.get(block_id)
-        if entry is None or not entry.pins:
-            return
+        if entry is None:
+            raise DeviceError(f"unpin of non-resident block {block_id}")
+        if not entry.pins:
+            raise DeviceError(f"unpin of unpinned block {block_id}")
         entry.pins -= 1
         if not entry.pins:
             self._pinned -= 1
@@ -290,9 +332,10 @@ class BufferPool:
     def flush(self) -> None:
         """Write every dirty block back to the device.
 
-        Dirty blocks are flushed in block-id order, grouped per category
-        into vectored writes, so a sequentially written run flushes as
-        sequential device I/O.
+        Dirty blocks are flushed in block-id order, grouped per
+        (category, stream) into vectored writes, so a sequentially
+        written run flushes as sequential device I/O judged under the
+        stream that originally wrote it.
         """
         dirty = sorted(
             (block_id, entry)
@@ -311,18 +354,22 @@ class BufferPool:
         index = 0
         while index < len(dirty):
             category = dirty[index][1].category
+            stream = dirty[index][1].stream
             group_ids: list[int] = []
             group_data: list[bytes] = []
             while (
                 index < len(dirty)
                 and dirty[index][1].category == category
+                and dirty[index][1].stream == stream
             ):
                 block_id, entry = dirty[index]
                 group_ids.append(block_id)
                 group_data.append(entry.data)
                 entry.dirty = False
                 index += 1
-            self._device.write_blocks(group_ids, group_data, category)
+            self._device.write_blocks(
+                group_ids, group_data, category, stream=stream
+            )
 
     def close(self) -> None:
         """Flush dirty blocks, drop the cache, release the reservation."""
@@ -344,13 +391,18 @@ class BufferPool:
     # -- internals ---------------------------------------------------------
 
     def _insert(
-        self, block_id: int, data: bytes, category: str, dirty: bool
+        self,
+        block_id: int,
+        data: bytes,
+        category: str,
+        dirty: bool,
+        stream: str | None = None,
     ) -> bool:
         """Cache a block, evicting if full; False if nothing was evictable."""
         while len(self._entries) >= self.capacity:
             if not self._evict_one():
                 return False
-        entry = _Entry(data, category, dirty)
+        entry = _Entry(data, category, dirty, stream=stream)
         self._entries[block_id] = entry
         return True
 
@@ -362,7 +414,7 @@ class BufferPool:
             self.stats.record_cache_eviction(entry.category)
             if entry.dirty:
                 self._device.write_block(
-                    block_id, entry.data, entry.category
+                    block_id, entry.data, entry.category, stream=entry.stream
                 )
             return True
         return False

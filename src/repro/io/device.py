@@ -57,6 +57,10 @@ class BlockDevice:
         # readahead), so interleaved streams do not turn each other's
         # strictly sequential accesses into charged seeks.
         self._last_by_category: dict[str, int] = {}
+        # Recovery holds (a stack): while a hold is open, freed block
+        # contents are retained so a restarted unit of work can re-read
+        # them.  See push_hold / pop_hold.
+        self._holds: list[dict[int, bytes | None]] = []
 
     # -- allocation --------------------------------------------------------
 
@@ -221,8 +225,18 @@ class BlockDevice:
         Categories whose last access was a freed block forget it, so a
         later access in that category starts a fresh stream instead of
         being judged against a dead block.
+
+        While a recovery hold is open (:meth:`push_hold`), the freed
+        contents are retained in the hold - accounting is unchanged, but
+        :meth:`pop_hold` can restore them if the unit of work restarts.
         """
         block_ids = list(block_ids)
+        if self._holds:
+            hold = self._holds[-1]
+            for block_id in block_ids:
+                data = self._blocks.get(block_id)
+                if data is not None and block_id not in hold:
+                    hold[block_id] = data
         for block_id in block_ids:
             self._blocks.pop(block_id, None)
         self._forget_last_access(block_ids)
@@ -238,6 +252,71 @@ class BlockDevice:
         ]
         for category in stale:
             del self._last_by_category[category]
+
+    # -- recovery holds ----------------------------------------------------
+
+    @property
+    def holding(self) -> bool:
+        """True while at least one recovery hold is open."""
+        return bool(self._holds)
+
+    def push_hold(self) -> None:
+        """Open a recovery hold: retain contents of subsequently freed blocks.
+
+        Holds nest (a stack); frees land in the innermost open hold.
+        Accounting is completely unaffected - frees still forget
+        last-access state and pop the live block exactly as without a
+        hold.  The fault-recovery layer (:mod:`repro.faults`) brackets
+        each restartable unit of work with a hold so a restart can
+        re-read input runs the failed attempt already drained and freed.
+        """
+        self._holds.append({})
+
+    def pop_hold(self, restore: bool) -> None:
+        """Close the innermost hold.
+
+        With ``restore=True`` the held contents become readable again (the
+        restarting unit re-reads them, with those re-reads charged
+        normally); with ``restore=False`` they are dropped for good.
+        """
+        if not self._holds:
+            raise DeviceError("pop_hold with no hold open")
+        held = self._holds.pop()
+        if restore:
+            self._restore_held(held)
+
+    def _restore_held(self, held: dict[int, bytes | None]) -> None:
+        for block_id, data in held.items():
+            if data is not None:
+                self._blocks[block_id] = data
+
+    def stash_block(self, block_id: int, data: bytes) -> None:
+        """Retain ``data`` as ``block_id``'s held contents (uncounted).
+
+        Used by the buffer pool when a *dirty cached* block is freed under
+        an open hold: the device never saw the dirty data (that is the
+        write the pool elides), so the pool hands it over for safekeeping.
+        No-op when no hold is open.
+        """
+        if self._holds:
+            self._holds[-1][block_id] = bytes(data)
+
+    def store_block_raw(self, block_id: int, data: bytes) -> None:
+        """Store block contents without any accounting.
+
+        This is the fault injector's torn-write primitive: a torn vectored
+        write persists a prefix of its payload before failing, and that
+        side effect must not charge the model's counters (the retried
+        write is charged once, in full, exactly like a fault-free one).
+        """
+        if not 0 <= block_id < self._next_block:
+            raise DeviceError(f"raw store to unallocated block {block_id}")
+        if len(data) > self.block_size:
+            raise DeviceError(
+                f"raw store of {len(data)} bytes exceeds block size "
+                f"{self.block_size}"
+            )
+        self._blocks[block_id] = bytes(data)
 
     def _is_sequential(self, category: str, block_id: int) -> bool:
         last = self._last_by_category.get(category)

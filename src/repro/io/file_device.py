@@ -163,9 +163,37 @@ class FileBackedBlockDevice(BlockDevice):
 
     def free_blocks(self, block_ids) -> None:
         block_ids = list(block_ids)
+        if self._holds:
+            # The file still holds the bytes; a None marker is enough to
+            # make the block readable again on restore.
+            hold = self._holds[-1]
+            for block_id in block_ids:
+                if block_id in self._written and block_id not in hold:
+                    hold[block_id] = None
         for block_id in block_ids:
             self._written.discard(block_id)
         self._forget_last_access(block_ids)
+
+    def _restore_held(self, held) -> None:
+        for block_id, data in held.items():
+            if data is not None:
+                # Dirty pool data stashed at free time: put the bytes in
+                # the file (uncounted) before marking the block readable.
+                self.store_block_raw(block_id, data)
+            else:
+                self._written.add(block_id)
+
+    def store_block_raw(self, block_id: int, data: bytes) -> None:
+        if not 0 <= block_id < self._next_block:
+            raise DeviceError(f"raw store to unallocated block {block_id}")
+        size = self.block_size
+        if len(data) > size:
+            raise DeviceError(
+                f"raw store of {len(data)} bytes exceeds block size {size}"
+            )
+        self._file.seek(block_id * size)
+        self._file.write(data + b"\x00" * (size - len(data)))
+        self._written.add(block_id)
 
     @property
     def occupied_blocks(self) -> int:

@@ -130,6 +130,15 @@ class RunStore:
         """Blocks held by all live runs (used to check Lemma 4.8)."""
         return sum(h.block_count for h in self._runs.values())
 
+    def live_run_ids(self) -> set[int]:
+        """Ids of all currently registered runs.
+
+        The recovery layer snapshots this before a restartable unit runs
+        so that, on restart, runs registered by the failed attempt can be
+        found and freed.
+        """
+        return set(self._runs)
+
     def _register(
         self,
         block_ids: list[int],
@@ -195,6 +204,22 @@ class RunWriter:
             self._payload_bytes,
             self._record_count,
         )
+
+    def abandon(self) -> None:
+        """Discard a partially written run (fault-recovery cleanup).
+
+        Frees the blocks already flushed and marks the writer finished
+        without registering a run.  Called when a device fault interrupts
+        the unit of work producing this run; the restarted attempt starts
+        a fresh writer.
+        """
+        if self._finished:
+            raise RunError("run already finished")
+        self._finished = True
+        self._buffer.clear()
+        if self._block_ids:
+            self._device.free_blocks(self._block_ids)
+        self._block_ids = []
 
     @property
     def stream_bytes(self) -> int:

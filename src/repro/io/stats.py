@@ -101,6 +101,7 @@ class IOStats:
         self.comparisons = 0
         self.merge_comparisons = 0
         self.tokens = 0
+        self.penalty_seconds = 0.0
 
     # -- recording -------------------------------------------------------
 
@@ -158,6 +159,18 @@ class IOStats:
     def record_tokens(self, count: int) -> None:
         self.tokens += count
 
+    def record_penalty(self, seconds: float) -> None:
+        """Charge simulated wait time that is not modeled I/O or CPU.
+
+        Retry backoff (:mod:`repro.faults`) lands here: it advances the
+        simulated clock (:meth:`elapsed_seconds`) without perturbing the
+        model-derived counters, so a run that succeeded after retries
+        keeps counters bit-identical to a fault-free run.
+        """
+        if seconds < 0:
+            raise ValueError(f"penalty cannot be negative: {seconds}")
+        self.penalty_seconds += seconds
+
     def _category(self, category: str) -> CategoryCounters:
         counters = self.by_category.get(category)
         if counters is None:
@@ -210,8 +223,8 @@ class IOStats:
         return self.cost_model.cpu_seconds(self.comparisons, self.tokens)
 
     def elapsed_seconds(self) -> float:
-        """Total simulated time (disk + CPU)."""
-        return self.io_seconds() + self.cpu_seconds()
+        """Total simulated time (disk + CPU + fault-retry penalties)."""
+        return self.io_seconds() + self.cpu_seconds() + self.penalty_seconds
 
     # -- snapshots ---------------------------------------------------------
 
@@ -233,6 +246,7 @@ class IOStats:
             comparisons=self.comparisons,
             merge_comparisons=self.merge_comparisons,
             tokens=self.tokens,
+            penalty_seconds=self.penalty_seconds,
             cost_model=self.cost_model,
         )
 
@@ -274,6 +288,7 @@ class StatsSnapshot:
     comparisons: int = 0
     merge_comparisons: int = 0
     tokens: int = 0
+    penalty_seconds: float = 0.0
     cost_model: CostModel = field(default_factory=CostModel)
 
     def minus(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
@@ -307,6 +322,7 @@ class StatsSnapshot:
             merge_comparisons=self.merge_comparisons
             - earlier.merge_comparisons,
             tokens=self.tokens - earlier.tokens,
+            penalty_seconds=self.penalty_seconds - earlier.penalty_seconds,
             cost_model=self.cost_model,
         )
 
@@ -382,6 +398,7 @@ class StatsSnapshot:
             merge_comparisons=self.merge_comparisons
             + other.merge_comparisons,
             tokens=self.tokens + other.tokens,
+            penalty_seconds=self.penalty_seconds + other.penalty_seconds,
             cost_model=self.cost_model,
         )
 
@@ -407,13 +424,25 @@ class StatsSnapshot:
         return self.cost_model.cpu_seconds(self.comparisons, self.tokens)
 
     def elapsed_seconds(self) -> float:
+        return self.io_seconds() + self.cpu_seconds() + self.penalty_seconds
+
+    def model_seconds(self) -> float:
+        """Simulated time derived purely from the model counters.
+
+        Excludes retry-backoff penalties (:attr:`penalty_seconds`), so it
+        is identical between a fault-free run and a run that succeeded
+        after transient-fault retries.
+        """
         return self.io_seconds() + self.cpu_seconds()
 
     def counter_totals(self) -> dict:
         """Flat dictionary of every aggregate counter plus simulated times.
 
         This is the serialization the trace sinks and the trace diff tool
-        agree on; keys are stable across formats.
+        agree on; keys are stable across formats.  ``seconds`` is
+        :meth:`model_seconds` - counter-derived and therefore comparable
+        across fault-free and recovered runs; retry backoff is reported
+        separately as ``penalty_seconds`` (which the diff tool ignores).
         """
         return {
             "reads": self.total_reads,
@@ -429,5 +458,6 @@ class StatsSnapshot:
             "tokens": self.tokens,
             "io_seconds": self.io_seconds(),
             "cpu_seconds": self.cpu_seconds(),
-            "seconds": self.elapsed_seconds(),
+            "penalty_seconds": self.penalty_seconds,
+            "seconds": self.model_seconds(),
         }

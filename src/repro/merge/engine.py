@@ -293,12 +293,14 @@ class RunFormer:
         options: MergeOptions,
         write_category: str = "run_write",
         tracer=None,
+        recovery=None,
     ):
         self.store = store
         self.capacity_bytes = max(1, capacity_bytes)
         self.options = options
         self.write_category = write_category
         self.tracer = tracer
+        self.recovery = recovery
         self.run_lengths: list[int] = []
         self._runs: list = []
         self._finished = False
@@ -407,6 +409,12 @@ class RunFormer:
                 run=len(self._runs) - 1,
                 records=handle.record_count,
                 blocks=handle.block_count,
+            )
+        if self.recovery is not None:
+            # Each formed run is durable: a later fault never has to redo
+            # run formation behind the last completed run.
+            self.recovery.checkpoint(
+                "run-formation", len(self._runs) - 1, run_id=handle.run_id
             )
 
     def _drain_heap(self) -> None:

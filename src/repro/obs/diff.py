@@ -213,12 +213,34 @@ def _io_delta(a: dict, b: dict) -> dict:
     return deltas
 
 
-def diff_traces(a: LoadedTrace, b: LoadedTrace) -> TraceDiff:
-    """Align spans by (path, occurrence) and compute counter deltas."""
+def _filter_ignored(spans: list[SpanRow], ignore) -> list[SpanRow]:
+    """Drop spans whose path contains an ignored segment.
+
+    Filtering is by whole path segment, so ``--ignore pool-flush`` drops
+    every ``pool-flush`` span wherever it nests.  All occurrences of a
+    path are kept or dropped together, so occurrence indices stay aligned.
+    """
+    ignored = set(ignore)
+    return [
+        row
+        for row in spans
+        if not ignored.intersection(row.path.split("/"))
+    ]
+
+
+def diff_traces(a: LoadedTrace, b: LoadedTrace, ignore=()) -> TraceDiff:
+    """Align spans by (path, occurrence) and compute counter deltas.
+
+    ``ignore`` names span path segments excluded from the comparison -
+    e.g. synthetic fault/retry event spans that only one of the traces
+    has by design.  Totals are always compared.
+    """
     result = TraceDiff(a=a, b=b)
-    b_index = {row.key: row for row in b.spans}
+    a_spans = _filter_ignored(a.spans, ignore) if ignore else a.spans
+    b_spans = _filter_ignored(b.spans, ignore) if ignore else b.spans
+    b_index = {row.key: row for row in b_spans}
     matched: set[tuple[str, int]] = set()
-    for row in a.spans:
+    for row in a_spans:
         other = b_index.get(row.key)
         if other is None:
             result.only_a.append(row)
@@ -229,13 +251,13 @@ def diff_traces(a: LoadedTrace, b: LoadedTrace) -> TraceDiff:
             result.changed.append(
                 SpanDelta(row.path, row.occurrence, deltas)
             )
-    for row in b.spans:
+    for row in b_spans:
         if row.key not in matched:
             result.only_b.append(row)
     result.totals_delta = _io_delta(a.totals, b.totals)
     return result
 
 
-def diff_files(path_a: str, path_b: str) -> TraceDiff:
+def diff_files(path_a: str, path_b: str, ignore=()) -> TraceDiff:
     """Convenience wrapper: load both files and diff them."""
-    return diff_traces(load_trace(path_a), load_trace(path_b))
+    return diff_traces(load_trace(path_a), load_trace(path_b), ignore=ignore)

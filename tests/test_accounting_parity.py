@@ -1,0 +1,142 @@
+"""Pooled vs unpooled accounting parity across the MergeOptions grid.
+
+A buffer pool must be *transparent*: giving a sort ``C`` extra memory
+blocks and spending exactly those ``C`` on a pool leaves the sort's
+effective memory - and therefore its run tree, its comparison counts,
+and its output - unchanged.  The pool may only elide device I/O, never
+change what the sort computes:
+
+* the output document is bit-identical;
+* every CPU-side counter (tokens, comparisons, merge comparisons) is
+  identical - caching is invisible to the algorithm;
+* device writes never increase (write-back elides rewrites and
+  freed-dirty writes);
+* every elided read is accounted as a cache hit:
+  ``reads_pooled + cache_hits >= reads_unpooled`` (readahead may
+  overshoot, so reads alone may exceed the unpooled count).
+
+The exhaustive test pins the full run-formation x merge-kernel x
+embedded-keys grid for both sorters; the hypothesis test fuzzes the
+memory budget, pool size, and document shape on top.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import external_merge_sort
+from repro.core import nexsort
+from repro.generators import level_fanout_events
+from repro.io import BlockDevice, RunStore
+from repro.keys import ByAttribute, SortSpec
+from repro.merge.engine import MergeOptions
+from repro.xml.document import Document
+
+SPEC = SortSpec(default=ByAttribute("name"))
+
+GRID = list(
+    itertools.product(
+        ["load-sort", "replacement-selection"],
+        ["heap", "loser-tree"],
+        [False, True],
+    )
+)
+
+
+def sort_once(algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3):
+    device = BlockDevice(block_size=512)
+    store = RunStore(device)
+    document = Document.from_events(
+        store, level_fanout_events(list(fanouts), seed=seed, pad_bytes=24)
+    )
+    sorter = nexsort if algorithm == "nexsort" else external_merge_sort
+    output, _report = sorter(
+        document,
+        SPEC,
+        memory_blocks=memory,
+        cache_blocks=cache,
+        merge_options=options,
+    )
+    return output.to_string(), device.stats.snapshot().counter_totals()
+
+
+def assert_parity(unpooled, pooled):
+    text_u, totals_u = unpooled
+    text_p, totals_p = pooled
+    assert text_p == text_u
+    for key in ("tokens", "comparisons", "merge_comparisons"):
+        assert totals_p[key] == totals_u[key], key
+    assert totals_p["writes"] <= totals_u["writes"]
+    assert (
+        totals_p["reads"] + totals_p["cache_hits"] >= totals_u["reads"]
+    )
+    # The unpooled run must be genuinely unpooled.
+    assert totals_u["cache_hits"] == 0
+    assert totals_u["cache_misses"] == 0
+
+
+class TestMergeOptionsGrid:
+    @pytest.mark.parametrize("algorithm", ["nexsort", "merge_sort"])
+    @pytest.mark.parametrize(
+        "run_formation,merge_kernel,embedded_keys", GRID
+    )
+    def test_pool_is_transparent(
+        self, algorithm, run_formation, merge_kernel, embedded_keys
+    ):
+        options = MergeOptions(
+            run_formation=run_formation,
+            merge_kernel=merge_kernel,
+            embedded_keys=embedded_keys,
+        )
+        cache = 4
+        unpooled = sort_once(algorithm, 12, 0, options)
+        pooled = sort_once(algorithm, 12 + cache, cache, options)
+        assert_parity(unpooled, pooled)
+        # The pool actually did something on this workload.
+        assert pooled[1]["cache_misses"] > 0
+
+
+class TestFuzzedParity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        algorithm=st.sampled_from(["nexsort", "merge_sort"]),
+        run_formation=st.sampled_from(
+            ["load-sort", "replacement-selection"]
+        ),
+        merge_kernel=st.sampled_from(["heap", "loser-tree"]),
+        embedded_keys=st.booleans(),
+        memory=st.integers(min_value=10, max_value=16),
+        cache=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=1, max_value=4),
+        fanouts=st.sampled_from([(6, 6, 6), (4, 5, 6), (3, 4, 4, 3)]),
+    )
+    def test_pool_is_transparent_fuzzed(
+        self,
+        algorithm,
+        run_formation,
+        merge_kernel,
+        embedded_keys,
+        memory,
+        cache,
+        seed,
+        fanouts,
+    ):
+        options = MergeOptions(
+            run_formation=run_formation,
+            merge_kernel=merge_kernel,
+            embedded_keys=embedded_keys,
+        )
+        unpooled = sort_once(
+            algorithm, memory, 0, options, fanouts=fanouts, seed=seed
+        )
+        pooled = sort_once(
+            algorithm,
+            memory + cache,
+            cache,
+            options,
+            fanouts=fanouts,
+            seed=seed,
+        )
+        assert_parity(unpooled, pooled)

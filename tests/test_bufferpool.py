@@ -141,6 +141,58 @@ class TestWriteBack:
         pool.flush()
         assert device.stats.by_category["s"].writes == writes_before + 3
 
+    def test_flush_writes_under_original_stream(self):
+        device, start = make_device()
+        pool = BufferPool(device, 8)
+        # Interleave two streams writing their own sequential extents.
+        pool.write_block(start, b"a0", "s", stream="w1")
+        pool.write_block(start + 4, b"b0", "s", stream="w2")
+        pool.write_block(start + 1, b"a1", "s", stream="w1")
+        pool.write_block(start + 5, b"b1", "s", stream="w2")
+        pool.flush()
+        # Each stream's flush is judged against its own last access, so
+        # all four writes land sequential - exactly as they would have
+        # unpooled.  Before the fix the stream was dropped on the cached
+        # path and the flush interleaved both extents into one stream.
+        baseline = BlockDevice(block_size=256)
+        b_start = baseline.allocate(8)
+        baseline.write_block(b_start, b"a0", "s", stream="w1")
+        baseline.write_block(b_start + 4, b"b0", "s", stream="w2")
+        baseline.write_block(b_start + 1, b"a1", "s", stream="w1")
+        baseline.write_block(b_start + 5, b"b1", "s", stream="w2")
+        assert (
+            device.stats.by_category["s"].seq_writes
+            == baseline.stats.by_category["s"].seq_writes
+        )
+
+    def test_eviction_writes_under_original_stream(self):
+        device, start = make_device()
+        pool = BufferPool(device, 2)
+        pool.write_block(start + 8, b"x", "s", stream="w1")
+        pool.write_block(start + 9, b"y", "s", stream="w1")
+        # Unrelated traffic under the bare category moves its cursor.
+        device.write_block(start, b"z", "s")
+        # Evict both dirty blocks: their write-backs must be judged under
+        # stream w1 (sequential), not the category cursor at start.
+        seq_before = device.stats.by_category["s"].seq_writes
+        pool.read_block(start + 2, "s")
+        pool.read_block(start + 3, "s")
+        assert device.stats.by_category["s"].seq_writes == seq_before + 2
+
+    def test_vectored_write_threads_stream(self):
+        device, start = make_device()
+        pool = BufferPool(device, 2)
+        pool.read_block(start, "s")
+        assert pool.pin(start)
+        pool.read_block(start + 1, "s")
+        assert pool.pin(start + 1)
+        # Fully pinned pool: write_blocks falls through block by block,
+        # and the stream must survive the trip.
+        pool.write_blocks(
+            [start + 4, start + 5], [b"a", b"b"], "s", stream="w"
+        )
+        assert device.stats.by_category["s"].seq_writes >= 2
+
     def test_freed_dirty_block_never_written(self):
         device, start = make_device()
         pool = BufferPool(device, 4)
@@ -200,14 +252,16 @@ class TestPinning:
         pool = BufferPool(device, 2)
         assert not pool.pin(start)
 
-    def test_pin_leaves_one_evictable_slot(self):
+    def test_pinning_every_entry_succeeds(self):
         device, start = make_device()
         pool = BufferPool(device, 2)
         pool.read_block(start, "s")
         pool.read_block(start + 1, "s")
         assert pool.pin(start)
-        # Pinning the second block would wedge the pool.
-        assert not pool.pin(start + 1)
+        # Pinning the last unpinned entry is allowed; the pool degrades
+        # to pass-through rather than refusing the pin.
+        assert pool.pin(start + 1)
+        assert pool.pinned_blocks == 2
 
     def test_pins_nest(self):
         device, start = make_device()
@@ -220,12 +274,65 @@ class TestPinning:
         pool.unpin(start)
         assert pool.pinned_blocks == 0
 
+    def test_capacity_one_pool_can_pin(self):
+        device, start = make_device()
+        pool = BufferPool(device, 1)
+        pool.read_block(start, "s")
+        assert pool.pin(start)
+        assert pool.is_cached(start)
+        # The pinned block stays resident and readable as a hit.
+        before = device.stats.total_reads
+        pool.read_block(start, "s")
+        assert device.stats.total_reads == before
+
     def test_all_pinned_write_falls_through(self):
         device, start = make_device()
         pool = BufferPool(device, 1)
         pool.read_block(start, "s")
-        # capacity 1 means no pin may succeed (no evictable slot left).
-        assert not pool.pin(start)
+        assert pool.pin(start)
+        # Nothing evictable: the new write goes straight to the device.
+        before = device.stats.total_writes
+        pool.write_block(start + 1, b"thru", "s")
+        assert device.stats.total_writes == before + 1
+        assert device.read_block(start + 1).startswith(b"thru")
+        assert not pool.is_cached(start + 1)
+
+    def test_all_pinned_write_through_keeps_stream(self):
+        device, start = make_device()
+        pool = BufferPool(device, 1)
+        pool.read_block(start, "s")
+        assert pool.pin(start)
+        # Sequential writes under one stream stay sequential even on the
+        # write-through path.
+        pool.write_block(start + 1, b"a", "s", stream="w")
+        pool.write_block(start + 2, b"b", "s", stream="w")
+        assert device.stats.by_category["s"].seq_writes == 2
+
+    def test_unpin_of_non_resident_block_raises(self):
+        device, start = make_device()
+        pool = BufferPool(device, 2)
+        with pytest.raises(DeviceError):
+            pool.unpin(start)
+
+    def test_unpin_of_unpinned_block_raises(self):
+        device, start = make_device()
+        pool = BufferPool(device, 2)
+        pool.read_block(start, "s")
+        with pytest.raises(DeviceError):
+            pool.unpin(start)
+
+    def test_free_of_pinned_block_raises(self):
+        device, start = make_device()
+        pool = BufferPool(device, 2)
+        pool.read_block(start, "s")
+        assert pool.pin(start)
+        with pytest.raises(DeviceError):
+            pool.free_blocks([start])
+        # The pin (and the entry) survive the refused free.
+        assert pool.is_cached(start)
+        pool.unpin(start)
+        pool.free_blocks([start])
+        assert not pool.is_cached(start)
 
 
 class TestBudgetCharging:
