@@ -31,6 +31,7 @@ from math import ceil, log2
 from typing import Callable, Iterable, Iterator
 
 from ..errors import DeviceFault, RunError
+from ..io.parallel import MergePrefetcher, supports_prefetch
 from ..io.runs import RunHandle, RunStore
 from ..obs.tracer import Tracer, maybe_span
 from ..merge.engine import (
@@ -105,14 +106,23 @@ def _merge_pass_loser_tree(
     # reads must not be judged against each other, and in a real multi-file
     # setup (one file per run, OS readahead per descriptor) they would not
     # be.  The heap kernel keeps the seed's single-stream judgment.
+    streams = [f"{read_category}:run{run.run_id}" for run in runs]
     readers = [
-        store.open_reader(
-            run,
-            category=read_category,
-            stream=f"{read_category}:run{run.run_id}",
-        )
-        for run in runs
+        store.open_reader(run, category=read_category, stream=stream)
+        for run, stream in zip(runs, streams)
     ]
+
+    # Forecast-driven prefetch (repro.io.parallel): when the I/O target
+    # exposes a prefetch window, keep each live run at most one block
+    # ahead of its reader, prioritized by the loser tree's head keys.
+    # Prefetch only reorders the reads this merge was about to issue, so
+    # counters stay identical with it on or off.
+    prefetcher = None
+    if len(runs) > 1 and supports_prefetch(store.io_target):
+        prefetcher = MergePrefetcher(
+            store.io_target, runs, readers,
+            category=read_category, streams=streams,
+        )
 
     def make_pull(index: int):
         reader = readers[index]
@@ -120,8 +130,14 @@ def _merge_pass_loser_tree(
         def pull():
             record = reader.read_record()
             if record is None:
+                if prefetcher is not None:
+                    prefetcher.exhausted(index)
                 return None
-            return key_of(record), record
+            key = key_of(record)
+            if prefetcher is not None:
+                prefetcher.note_head(index, key)
+                prefetcher.pump()
+            return key, record
 
         return pull
 

@@ -21,6 +21,7 @@ from typing import Callable, Iterable
 from ..baselines.merge_sort import external_merge_sort
 from ..core.nexsort import nexsort
 from ..io.device import BlockDevice
+from ..io.parallel import StripedDevice
 from ..io.runs import RunStore
 from ..keys import ByAttribute, SortSpec
 from ..merge.engine import MergeOptions
@@ -63,11 +64,49 @@ def load_document(
     events: Iterable[Token],
     block_size: int = BENCH_BLOCK_SIZE,
     compaction: CompactionConfig | None = None,
+    disks: int | None = None,
+    prefetch_depth: int = 0,
+    prefetch_policy: str = "forecast",
 ) -> Document:
-    """Put a generated event stream on a fresh device."""
-    device = BlockDevice(block_size=block_size)
+    """Put a generated event stream on a fresh device.
+
+    ``disks=None`` (the default) uses the serial :class:`BlockDevice`.
+    Any integer - including 1 - builds a :class:`StripedDevice` instead,
+    so benchmarks can demonstrate that a 1-disk stripe reproduces the
+    serial goldens bit for bit.
+    """
+    if disks is None:
+        device = BlockDevice(block_size=block_size)
+    else:
+        device = StripedDevice(
+            disks=disks,
+            block_size=block_size,
+            prefetch_depth=prefetch_depth,
+            prefetch_policy=prefetch_policy,
+        )
     store = RunStore(device)
     return Document.from_events(store, events, compaction=compaction)
+
+
+def _parallel_detail(device: BlockDevice, report) -> dict:
+    """Parallel-I/O columns recorded in every bench row (ISSUE 5).
+
+    Serial devices report disks=1, no prefetch, zero overlap/stall and an
+    empty utilization map, so existing benchmark JSON gains only constant
+    columns and stays comparable across configurations.
+    """
+    snap = report.stats
+    return {
+        "disks": getattr(device, "disks", 1),
+        "prefetch_depth": getattr(device, "prefetch_depth", 0),
+        "disk_seconds": snap.disk_seconds(),
+        "overlap_seconds": snap.overlap_seconds(),
+        "stall_seconds": snap.stall_seconds,
+        "disk_utilization": {
+            str(disk): round(value, 4)
+            for disk, value in sorted(snap.disk_utilization().items())
+        },
+    }
 
 
 def run_nexsort(
@@ -76,6 +115,9 @@ def run_nexsort(
     spec: SortSpec = BENCH_SPEC,
     block_size: int = BENCH_BLOCK_SIZE,
     compaction: CompactionConfig | None = None,
+    disks: int | None = None,
+    prefetch_depth: int = 0,
+    prefetch_policy: str = "forecast",
     **options,
 ) -> SortMetrics:
     """One NEXSORT experiment on a fresh device.
@@ -84,7 +126,11 @@ def run_nexsort(
     untraced run bit for bit) and the root-span phase breakdown lands in
     ``detail["phases"]`` - the per-phase section of every ``BENCH_*.json``.
     """
-    document = load_document(events_factory(), block_size, compaction)
+    document = load_document(
+        events_factory(), block_size, compaction,
+        disks=disks, prefetch_depth=prefetch_depth,
+        prefetch_policy=prefetch_policy,
+    )
     tracer = Tracer(document.store.device.stats)
     _output, report = nexsort(
         document, spec, memory_blocks=memory_blocks, tracer=tracer,
@@ -115,6 +161,7 @@ def run_nexsort(
             "cache_hits": report.stats.cache_hits,
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,
+            **_parallel_detail(document.store.device, report),
         },
     )
 
@@ -127,9 +174,16 @@ def run_merge_sort(
     compaction: CompactionConfig | None = None,
     cache_blocks: int = 0,
     merge_options: MergeOptions | None = None,
+    disks: int | None = None,
+    prefetch_depth: int = 0,
+    prefetch_policy: str = "forecast",
 ) -> SortMetrics:
     """One external merge sort experiment on a fresh device."""
-    document = load_document(events_factory(), block_size, compaction)
+    document = load_document(
+        events_factory(), block_size, compaction,
+        disks=disks, prefetch_depth=prefetch_depth,
+        prefetch_policy=prefetch_policy,
+    )
     tracer = Tracer(document.store.device.stats)
     _output, report = external_merge_sort(
         document, spec, memory_blocks=memory_blocks,
@@ -157,6 +211,7 @@ def run_merge_sort(
             "cache_hits": report.stats.cache_hits,
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,
+            **_parallel_detail(document.store.device, report),
         },
     )
 

@@ -30,7 +30,13 @@ from .baselines import external_merge_sort, key_path_table, xsort
 from .core import nexsort
 from .errors import DeviceFault, ReproError
 from .faults import RecoveryContext, RetryPolicy, build_faulty_device
-from .io import BlockDevice, FileBackedBlockDevice, RunStore
+from .io import (
+    BlockDevice,
+    FileBackedBlockDevice,
+    PREFETCH_POLICIES,
+    RunStore,
+    StripedDevice,
+)
 from .keys import ByAttribute, SortSpec
 from .merge import MergeOptions, merge_preserving_order, structural_merge
 from .obs import TRACE_WRITERS, Tracer, diff_files, maybe_span
@@ -112,6 +118,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-blocks", type=int, default=0,
         help="memory blocks spent on the LRU buffer pool (default 0: "
         "no pool, I/O counts match the paper's model exactly)",
+    )
+    sort_cmd.add_argument(
+        "--disks", type=int, default=1,
+        help="stripe the simulated device over this many disks "
+        "(default 1: the paper's serial disk, bit-identical counters)",
+    )
+    sort_cmd.add_argument(
+        "--prefetch-depth", type=int, default=0,
+        help="blocks the striped device may hold in its prefetch window "
+        "(default 0: prefetch off); merges fetch ahead into it",
+    )
+    sort_cmd.add_argument(
+        "--prefetch-policy",
+        choices=sorted(PREFETCH_POLICIES),
+        default="forecast",
+        help="which run gets scarce prefetch slots first: forecast "
+        "(smallest merge head key - the run that drains next) or "
+        "round-robin (naive cycling); default forecast",
     )
     sort_cmd.add_argument(
         "--run-formation",
@@ -247,9 +271,25 @@ def _make_merge_options(args) -> MergeOptions:
 
 
 def _make_device(args):
+    disks = getattr(args, "disks", 1)
+    prefetch_depth = getattr(args, "prefetch_depth", 0)
+    if disks < 1:
+        raise ReproError(f"--disks must be at least 1, got {disks}")
     if args.scratch:
+        if disks > 1 or prefetch_depth:
+            raise ReproError(
+                "--disks/--prefetch-depth model the simulated parallel "
+                "device and cannot be combined with --scratch"
+            )
         return FileBackedBlockDevice(
             args.scratch, block_size=args.block_size
+        )
+    if disks > 1 or prefetch_depth:
+        return StripedDevice(
+            disks=disks,
+            block_size=args.block_size,
+            prefetch_depth=prefetch_depth,
+            prefetch_policy=getattr(args, "prefetch_policy", "forecast"),
         )
     return BlockDevice(block_size=args.block_size)
 
@@ -376,6 +416,33 @@ def cmd_sort(args) -> int:
                     f"{report.stats.cache_evictions}",
                     file=sys.stderr,
                 )
+            if base_device.disks > 1 or base_device.prefetch_depth:
+                snap = report.stats
+                print(
+                    f"  disks:               {base_device.disks} "
+                    f"(prefetch depth {base_device.prefetch_depth}, "
+                    f"policy {base_device.prefetch_policy})",
+                    file=sys.stderr,
+                )
+                print(
+                    f"  disk/overlap time:   {snap.disk_seconds():.4f}s / "
+                    f"{snap.overlap_seconds():.4f}s",
+                    file=sys.stderr,
+                )
+                print(
+                    f"  pipeline stalls:     {snap.stall_seconds:.4f}s",
+                    file=sys.stderr,
+                )
+                utilization = snap.disk_utilization()
+                if utilization:
+                    per_disk = " ".join(
+                        f"disk{d}={u:.0%}"
+                        for d, u in sorted(utilization.items())
+                    )
+                    print(
+                        f"  disk utilization:    {per_disk}",
+                        file=sys.stderr,
+                    )
             if args.algorithm == "nexsort":
                 print(
                     f"  subtree sorts (x):   {report.x}", file=sys.stderr

@@ -31,6 +31,8 @@ class DeviceFault(DeviceError):
         torn: whether a prefix of a vectored write was persisted.
         attempt: 1-based attempt index (within the fault plan's counter)
             at which the fault fired.
+        disk: member disk the rule was scoped to (striped devices), or
+            None for a device-wide fault.
     """
 
     def __init__(
@@ -41,6 +43,7 @@ class DeviceFault(DeviceError):
         transient: bool = True,
         torn: bool = False,
         attempt: int = 0,
+        disk: int | None = None,
     ):
         super().__init__(message)
         self.op = op
@@ -48,6 +51,7 @@ class DeviceFault(DeviceError):
         self.transient = transient
         self.torn = torn
         self.attempt = attempt
+        self.disk = disk
 
 
 class FaultPlanError(ReproError):

@@ -56,6 +56,10 @@ class FaultRule:
         transient: whether retrying can succeed.
         category: restrict the rule to one accounting category (and count
             attempts within that category); None counts device-wide.
+        disk: restrict the rule to one member disk of a striped device
+            (``read@3:disk=2`` fails the 3rd read attempt that touches
+            disk 2); attempts are counted among accesses touching that
+            disk.  None counts across all disks.
     """
 
     op: str
@@ -63,6 +67,7 @@ class FaultRule:
     count: int = 1
     transient: bool = True
     category: str | None = None
+    disk: int | None = None
 
     def __post_init__(self):
         if self.op not in FAULT_OPS:
@@ -71,6 +76,8 @@ class FaultRule:
             raise FaultPlanError(f"fault attempt index must be >= 1: {self.nth}")
         if self.count < 1:
             raise FaultPlanError(f"fault count must be >= 1: {self.count}")
+        if self.disk is not None and self.disk < 0:
+            raise FaultPlanError(f"fault disk cannot be negative: {self.disk}")
 
     def covers(self, attempt: int) -> bool:
         """Does this rule fail the given 1-based attempt index?"""
@@ -81,7 +88,7 @@ class FaultRule:
 
 _CLAUSE = re.compile(
     r"(?P<op>read|write|torn)@(?P<nth>\d+)(?:\*(?P<count>\d+))?"
-    r"(?P<suffixes>(?::[A-Za-z_][\w.-]*)*)"
+    r"(?P<suffixes>(?::[A-Za-z_][\w.=-]*)*)"
 )
 
 
@@ -114,6 +121,9 @@ class FaultPlan:
         * ``read@7:persistent`` - every read attempt from the 7th on fails.
         * ``write@2:run_write`` - the 2nd ``run_write`` write fails; the
           attempt counter is scoped to that category.
+        * ``read@4:disk=2`` - the 4th read attempt touching member disk 2
+          of a striped device fails; the counter is scoped to that disk
+          (combinable with a category: ``read@4:run_read:disk=2``).
         * ``torn@1`` - the 1st vectored write tears: a prefix of its
           blocks is persisted, then the call fails (transient).
         * ``rate=0.001`` / ``seed=42`` - seeded random transient faults.
@@ -146,6 +156,7 @@ class FaultPlan:
                 )
             transient = True
             category: str | None = None
+            disk: int | None = None
             for suffix in match["suffixes"].split(":"):
                 if not suffix:
                     continue
@@ -153,6 +164,17 @@ class FaultPlan:
                     transient = False
                 elif suffix == "transient":
                     transient = True
+                elif suffix.startswith("disk="):
+                    if disk is not None:
+                        raise FaultPlanError(
+                            f"fault clause {clause!r} names two disks"
+                        )
+                    try:
+                        disk = int(suffix[5:])
+                    except ValueError:
+                        raise FaultPlanError(
+                            f"bad fault disk in clause {clause!r}"
+                        ) from None
                 else:
                     if category is not None:
                         raise FaultPlanError(
@@ -166,6 +188,7 @@ class FaultPlan:
                     count=int(match["count"] or 1),
                     transient=transient,
                     category=category,
+                    disk=disk,
                 )
             )
         return cls(rules=tuple(rules), rate=rate, seed=seed)
@@ -180,6 +203,8 @@ class FaultPlan:
                 clause += ":persistent"
             if rule.category:
                 clause += f":{rule.category}"
+            if rule.disk is not None:
+                clause += f":disk={rule.disk}"
             parts.append(clause)
         if self.rate:
             parts.append(f"rate={self.rate}")
@@ -281,6 +306,36 @@ class _DeviceProxy:
     def store_block_raw(self, block_id, data) -> None:
         self._device.store_block_raw(block_id, data)
 
+    # Parallel-disk surface (see repro.io.parallel).
+
+    @property
+    def disks(self) -> int:
+        return getattr(self._device, "disks", 1)
+
+    @property
+    def prefetch_depth(self) -> int:
+        return getattr(self._device, "prefetch_depth", 0)
+
+    @property
+    def prefetch_policy(self):
+        return getattr(self._device, "prefetch_policy", None)
+
+    def disk_of(self, block_id) -> int:
+        disk_of = getattr(self._device, "disk_of", None)
+        return disk_of(block_id) if disk_of is not None else 0
+
+    def prefetch_blocks(self, block_ids, category="other", stream=None):
+        prefetch = getattr(self._device, "prefetch_blocks", None)
+        if prefetch is None:
+            return 0
+        return prefetch(block_ids, category, stream=stream)
+
+    def write_block_behind(self, block_id, data, category="other", stream=None):
+        behind = getattr(
+            self._device, "write_block_behind", self._device.write_block
+        )
+        behind(block_id, data, category, stream=stream)
+
 
 class FaultInjector(_DeviceProxy):
     """Raises :class:`DeviceFault` where a :class:`FaultPlan` says so.
@@ -305,34 +360,78 @@ class FaultInjector(_DeviceProxy):
         self.fault_stats = FaultStats()
         self._tracer = tracer
         self._rng = random.Random(plan.seed)
-        self._attempts: dict[tuple[str, str | None], int] = {}
+        # Attempt counters keyed (op, category scope, disk scope); the
+        # per-disk counters only exist when the plan has disk-scoped
+        # rules, so plain plans pay nothing for the striping support.
+        self._attempts: dict[tuple[str, str | None, int | None], int] = {}
+        self._disk_scoped = any(r.disk is not None for r in plan.rules)
 
     # -- attempt counting --------------------------------------------------
 
-    def _advance(self, op: str, category: str, count: int):
-        """Advance counters; return per-rule-scope attempt ranges."""
+    def _disk_counts(self, block_ids) -> dict[int, int]:
+        """Blocks per member disk, for disk-scoped attempt counting."""
+        if not self._disk_scoped or not block_ids:
+            return {}
+        disk_of = getattr(self._device, "disk_of", None)
+        counts: dict[int, int] = {}
+        for block_id in block_ids:
+            disk = disk_of(block_id) if disk_of is not None else 0
+            counts[disk] = counts.get(disk, 0) + 1
+        return counts
+
+    def _advance(
+        self,
+        op: str,
+        category: str,
+        count: int,
+        disk_counts: dict[int, int],
+    ):
+        """Advance counters; return per-rule-scope attempt ranges.
+
+        The returned map is keyed ``(category scope, disk scope)``; a
+        disk-scoped rule whose disk this access never touched simply has
+        no entry, so it cannot fire.
+        """
         ranges = {}
-        for scope in (None, category):
-            key = (op, scope)
+        for cat_scope in (None, category):
+            key = (op, cat_scope, None)
             start = self._attempts.get(key, 0)
             self._attempts[key] = start + count
-            ranges[scope] = (start + 1, start + count)
+            ranges[(cat_scope, None)] = (start + 1, start + count)
+            for disk, disk_count in disk_counts.items():
+                disk_key = (op, cat_scope, disk)
+                disk_start = self._attempts.get(disk_key, 0)
+                self._attempts[disk_key] = disk_start + disk_count
+                ranges[(cat_scope, disk)] = (
+                    disk_start + 1,
+                    disk_start + disk_count,
+                )
         return ranges
 
-    def _check(self, op: str, category: str, count: int = 1) -> None:
-        ranges = self._advance(op, category, count)
+    def _check(
+        self, op: str, category: str, count: int = 1, block_ids=None
+    ) -> None:
+        ranges = self._advance(
+            op, category, count, self._disk_counts(block_ids)
+        )
         for rule in self.plan.rules:
             if rule.op != op:
                 continue
             if rule.category is not None and rule.category != category:
                 continue
-            first, last = ranges[rule.category]
+            scope = (rule.category, rule.disk)
+            if scope not in ranges:
+                continue
+            first, last = ranges[scope]
             for attempt in range(first, last + 1):
                 if rule.covers(attempt):
-                    self._fault(op, category, attempt, rule.transient)
+                    self._fault(
+                        op, category, attempt, rule.transient,
+                        disk=rule.disk,
+                    )
         if self.plan.rate and op in ("read", "write"):
             if self._rng.random() < self.plan.rate:
-                self._fault(op, category, ranges[None][1], True)
+                self._fault(op, category, ranges[(None, None)][1], True)
 
     def _fault(
         self,
@@ -341,6 +440,7 @@ class FaultInjector(_DeviceProxy):
         attempt: int,
         transient: bool,
         torn: bool = False,
+        disk: int | None = None,
     ) -> None:
         kind = "transient" if transient else "persistent"
         label = "torn " if torn else ""
@@ -353,32 +453,55 @@ class FaultInjector(_DeviceProxy):
                 attempt=attempt,
                 transient=transient,
                 torn=torn,
+                disk=disk,
             )
+        where = f"category={category}"
+        if disk is not None:
+            where += f", disk={disk}"
         raise DeviceFault(
             f"injected {kind} {label}{op} fault at attempt {attempt} "
-            f"(category={category})",
+            f"({where})",
             op=op,
             category=category,
             transient=transient,
             torn=torn,
             attempt=attempt,
+            disk=disk,
         )
 
     # -- faulting access paths ---------------------------------------------
 
     def read_block(self, block_id, category="other", stream=None):
-        self._check("read", category)
+        self._check("read", category, 1, [block_id])
         return self._device.read_block(block_id, category, stream=stream)
 
     def read_blocks(self, block_ids, category="other", stream=None):
         block_ids = list(block_ids)
         if block_ids:
-            self._check("read", category, len(block_ids))
+            self._check("read", category, len(block_ids), block_ids)
         return self._device.read_blocks(block_ids, category, stream=stream)
 
+    def prefetch_blocks(self, block_ids, category="other", stream=None):
+        # Prefetch reads are read attempts: injected read faults hit the
+        # pipeline exactly as they would hit the demand read it replaces.
+        block_ids = list(block_ids)
+        if block_ids:
+            self._check("read", category, len(block_ids), block_ids)
+        prefetch = getattr(self._device, "prefetch_blocks", None)
+        if prefetch is None:
+            return 0
+        return prefetch(block_ids, category, stream=stream)
+
     def write_block(self, block_id, data, category="other", stream=None):
-        self._check("write", category)
+        self._check("write", category, 1, [block_id])
         self._device.write_block(block_id, data, category, stream=stream)
+
+    def write_block_behind(self, block_id, data, category="other", stream=None):
+        self._check("write", category, 1, [block_id])
+        behind = getattr(
+            self._device, "write_block_behind", self._device.write_block
+        )
+        behind(block_id, data, category, stream=stream)
 
     def write_blocks(self, block_ids, datas, category="other", stream=None):
         block_ids = list(block_ids)
@@ -386,24 +509,33 @@ class FaultInjector(_DeviceProxy):
         if len(block_ids) >= 2:
             self._check_torn(block_ids, datas, category)
         if block_ids:
-            self._check("write", category, len(block_ids))
+            self._check("write", category, len(block_ids), block_ids)
         self._device.write_blocks(block_ids, datas, category, stream=stream)
 
     def _check_torn(self, block_ids, datas, category) -> None:
-        ranges = self._advance("torn", category, 1)
+        # One torn attempt per call; disk scopes count a call once per
+        # member disk it touches.
+        torn_counts = {
+            disk: 1 for disk in self._disk_counts(block_ids)
+        }
+        ranges = self._advance("torn", category, 1, torn_counts)
         for rule in self.plan.rules:
             if rule.op != "torn":
                 continue
             if rule.category is not None and rule.category != category:
                 continue
-            attempt = ranges[rule.category][0]
+            scope = (rule.category, rule.disk)
+            if scope not in ranges:
+                continue
+            attempt = ranges[scope][0]
             if rule.covers(attempt):
                 # Tear: persist a prefix (uncounted), then fail the call.
                 prefix = len(block_ids) // 2
                 for block_id, data in zip(block_ids[:prefix], datas[:prefix]):
                     self._device.store_block_raw(block_id, data)
                 self._fault(
-                    "torn", category, attempt, rule.transient, torn=True
+                    "torn", category, attempt, rule.transient, torn=True,
+                    disk=rule.disk,
                 )
 
 
@@ -503,6 +635,17 @@ class RetryingDevice(_DeviceProxy):
             ),
         )
 
+    def prefetch_blocks(self, block_ids, category="other", stream=None):
+        block_ids = list(block_ids)
+        prefetch = getattr(self._device, "prefetch_blocks", None)
+        if prefetch is None:
+            return 0
+        return self._with_retries(
+            "read",
+            category,
+            lambda: prefetch(block_ids, category, stream=stream),
+        )
+
     def write_block(self, block_id, data, category="other", stream=None):
         self._with_retries(
             "write",
@@ -510,6 +653,16 @@ class RetryingDevice(_DeviceProxy):
             lambda: self._device.write_block(
                 block_id, data, category, stream=stream
             ),
+        )
+
+    def write_block_behind(self, block_id, data, category="other", stream=None):
+        behind = getattr(
+            self._device, "write_block_behind", self._device.write_block
+        )
+        self._with_retries(
+            "write",
+            category,
+            lambda: behind(block_id, data, category, stream=stream),
         )
 
     def write_blocks(self, block_ids, datas, category="other", stream=None):

@@ -4,6 +4,12 @@ from .budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS, Reservation
 from .bufferpool import BufferPool, DEFAULT_READAHEAD
 from .device import BlockDevice, DEFAULT_BLOCK_SIZE
 from .file_device import FileBackedBlockDevice
+from .parallel import (
+    MergePrefetcher,
+    PREFETCH_POLICIES,
+    StripedDevice,
+    supports_prefetch,
+)
 from .runs import RunHandle, RunReader, RunStore, RunWriter
 from .stacks import ExternalStack
 from .stats import CategoryCounters, CostModel, IOStats, StatsSnapshot
@@ -20,10 +26,14 @@ __all__ = [
     "IOStats",
     "MemoryBudget",
     "MINIMUM_NEXSORT_BLOCKS",
+    "MergePrefetcher",
+    "PREFETCH_POLICIES",
     "Reservation",
     "RunHandle",
     "RunReader",
     "RunStore",
     "RunWriter",
     "StatsSnapshot",
+    "StripedDevice",
+    "supports_prefetch",
 ]

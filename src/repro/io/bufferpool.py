@@ -140,6 +140,70 @@ class BufferPool:
     def bytes_to_blocks(self, nbytes: int) -> int:
         return self._device.bytes_to_blocks(nbytes)
 
+    # -- parallel-disk surface (forwarded; see repro.io.parallel) ----------
+
+    @property
+    def disks(self) -> int:
+        return getattr(self._device, "disks", 1)
+
+    @property
+    def prefetch_depth(self) -> int:
+        return getattr(self._device, "prefetch_depth", 0)
+
+    @property
+    def prefetch_policy(self) -> str | None:
+        return getattr(self._device, "prefetch_policy", None)
+
+    def disk_of(self, block_id: int) -> int:
+        disk_of = getattr(self._device, "disk_of", None)
+        return disk_of(block_id) if disk_of is not None else 0
+
+    def prefetch_blocks(
+        self,
+        block_ids,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> int:
+        """Prefetch through the pool: cached blocks count as already issued.
+
+        A block resident in the pool needs no device prefetch (the demand
+        read will be a hit), so it is reported as satisfied rather than
+        making the prefetcher believe the device window is full.
+        """
+        block_ids = list(block_ids)
+        if self.capacity:
+            uncached = [b for b in block_ids if b not in self._entries]
+        else:
+            uncached = block_ids
+        satisfied = len(block_ids) - len(uncached)
+        if not uncached:
+            return satisfied
+        prefetch = getattr(self._device, "prefetch_blocks", None)
+        if prefetch is None:
+            return satisfied
+        return satisfied + prefetch(uncached, category, stream=stream)
+
+    def write_block_behind(
+        self,
+        block_id: int,
+        data: bytes,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> None:
+        """Write-behind through the pool.
+
+        With caching on, the pool's write-back already defers the device
+        write, which is a stronger form of write-behind; a capacity-0
+        (pass-through) pool forwards to the device's pipeline.
+        """
+        if self.capacity == 0:
+            behind = getattr(
+                self._device, "write_block_behind", self._device.write_block
+            )
+            behind(block_id, data, category, stream=stream)
+            return
+        self.write_block(block_id, data, category, stream=stream)
+
     # -- observers ---------------------------------------------------------
 
     @property

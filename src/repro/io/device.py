@@ -21,7 +21,12 @@ are not allowed to use for free*, not literally a spinning platter.
 from __future__ import annotations
 
 from ..errors import DeviceError
-from .stats import CostModel, IOStats
+from .stats import (
+    CostModel,
+    IOStats,
+    classify_extent,
+    is_sequential_access,
+)
 
 DEFAULT_BLOCK_SIZE = 4096
 
@@ -38,6 +43,14 @@ class BlockDevice:
             keep the same ``N/B`` and ``M/B`` ratios.
         cost_model: disk/CPU time parameters for simulated-seconds reporting.
     """
+
+    #: Parallel-disk surface (see :mod:`repro.io.parallel`): a plain
+    #: device is one disk with no prefetch pipeline.  Striped devices
+    #: shadow these, and everything layered above (pools, fault proxies,
+    #: run writers) can query them without isinstance checks.
+    disks = 1
+    prefetch_depth = 0
+    prefetch_policy: str | None = None
 
     def __init__(
         self,
@@ -160,8 +173,6 @@ class BlockDevice:
             return []
         key = stream or category
         out: list[bytes] = []
-        last = self._last_by_category.get(key)
-        sequential = 0
         for block_id in block_ids:
             if not 0 <= block_id < self._next_block:
                 raise DeviceError(f"read of unallocated block {block_id}")
@@ -171,9 +182,9 @@ class BlockDevice:
                     f"read of never-written block {block_id}"
                 )
             out.append(data)
-            if last is None or block_id == last + 1:
-                sequential += 1
-            last = block_id
+        sequential, last = classify_extent(
+            block_ids, self._last_by_category.get(key)
+        )
         self.stats.record_reads(category, len(block_ids), sequential)
         self._last_by_category[key] = last
         return out
@@ -200,8 +211,6 @@ class BlockDevice:
         if not block_ids:
             return
         key = stream or category
-        last = self._last_by_category.get(key)
-        sequential = 0
         for block_id, data in zip(block_ids, datas):
             if not 0 <= block_id < self._next_block:
                 raise DeviceError(f"write of unallocated block {block_id}")
@@ -211,9 +220,9 @@ class BlockDevice:
                     f"{self.block_size}"
                 )
             self._blocks[block_id] = bytes(data)
-            if last is None or block_id == last + 1:
-                sequential += 1
-            last = block_id
+        sequential, last = classify_extent(
+            block_ids, self._last_by_category.get(key)
+        )
         self.stats.record_writes(category, len(block_ids), sequential)
         self._last_by_category[key] = last
 
@@ -319,10 +328,43 @@ class BlockDevice:
         self._blocks[block_id] = bytes(data)
 
     def _is_sequential(self, category: str, block_id: int) -> bool:
-        last = self._last_by_category.get(category)
-        if last is None:
-            return True
-        return block_id == last + 1
+        return is_sequential_access(
+            self._last_by_category.get(category), block_id
+        )
+
+    # -- parallel-disk surface ---------------------------------------------
+
+    def disk_of(self, block_id: int) -> int:
+        """Member disk holding ``block_id``; always 0 on a serial device."""
+        return 0
+
+    def prefetch_blocks(
+        self,
+        block_ids,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> int:
+        """Issue asynchronous reads ahead of demand; returns blocks issued.
+
+        A serial device has no prefetch pipeline, so this is a no-op that
+        issues nothing - callers fall back to demand reads, keeping
+        counters identical to pre-prefetch behaviour.
+        """
+        return 0
+
+    def write_block_behind(
+        self,
+        block_id: int,
+        data: bytes,
+        category: str = "other",
+        stream: str | None = None,
+    ) -> None:
+        """Write-behind: queue a write without waiting for completion.
+
+        On a serial device there is no pipeline to hide the write in, so
+        this degenerates to a plain (identically accounted) write.
+        """
+        self.write_block(block_id, data, category, stream=stream)
 
     # -- convenience -------------------------------------------------------
 

@@ -14,7 +14,7 @@ import os
 
 from ..errors import DeviceError
 from .device import BlockDevice, DEFAULT_BLOCK_SIZE
-from .stats import CostModel
+from .stats import CostModel, classify_extent
 
 
 class FileBackedBlockDevice(BlockDevice):
@@ -95,8 +95,6 @@ class FileBackedBlockDevice(BlockDevice):
             return []
         size = self.block_size
         key = stream or category
-        last = self._last_by_category.get(key)
-        sequential = 0
         for block_id in block_ids:
             if not 0 <= block_id < self._next_block:
                 raise DeviceError(f"read of unallocated block {block_id}")
@@ -104,9 +102,9 @@ class FileBackedBlockDevice(BlockDevice):
                 raise DeviceError(
                     f"read of never-written block {block_id}"
                 )
-            if last is None or block_id == last + 1:
-                sequential += 1
-            last = block_id
+        sequential, last = classify_extent(
+            block_ids, self._last_by_category.get(key)
+        )
         out: list[bytes] = []
         for start, length in _contiguous_extents(block_ids):
             self._file.seek(start * size)
@@ -136,8 +134,6 @@ class FileBackedBlockDevice(BlockDevice):
             return
         size = self.block_size
         key = stream or category
-        last = self._last_by_category.get(key)
-        sequential = 0
         for block_id, data in zip(block_ids, datas):
             if not 0 <= block_id < self._next_block:
                 raise DeviceError(f"write of unallocated block {block_id}")
@@ -145,9 +141,9 @@ class FileBackedBlockDevice(BlockDevice):
                 raise DeviceError(
                     f"write of {len(data)} bytes exceeds block size {size}"
                 )
-            if last is None or block_id == last + 1:
-                sequential += 1
-            last = block_id
+        sequential, last = classify_extent(
+            block_ids, self._last_by_category.get(key)
+        )
         cursor = 0
         for start, length in _contiguous_extents(block_ids):
             self._file.seek(start * size)

@@ -232,7 +232,11 @@ class RunWriter:
 
     def _flush_block(self, data: bytes) -> None:
         block_id = self._device.allocate(1, pool=self._category)
-        self._device.write_block(block_id, data, self._category)
+        # Write-behind: on a striped device the flush is queued (double
+        # buffered) so run output overlaps with compute and reads; on a
+        # serial device or through a caching pool this is the identically
+        # accounted plain write.
+        self._device.write_block_behind(block_id, data, self._category)
         self._block_ids.append(block_id)
 
 
@@ -267,12 +271,25 @@ class RunReader:
         self._pos = offset
         self._block_index = -1
         self._block: bytes = b""
-        self._readahead = max(0, readahead)
+        # Readahead deeper than the run is meaningless: clamp it to the
+        # run's block count so no extent can ever charge reads past
+        # end-of-run, no matter how generous the pool's advisory depth is.
+        self._readahead = max(0, min(readahead, handle.block_count))
         self._prefetched_until = 0
 
     @property
     def handle(self) -> RunHandle:
         return self._handle
+
+    @property
+    def block_index(self) -> int:
+        """Run-relative index of the buffered block (-1 before any read).
+
+        The merge prefetcher (:class:`~repro.io.parallel.MergePrefetcher`)
+        uses this as each run's read frontier: ``block_index + 1`` is the
+        next block this reader will demand.
+        """
+        return self._block_index
 
     def tell(self) -> int:
         """Framed-stream offset of the next record."""
@@ -332,6 +349,8 @@ class RunReader:
                 # be charged twice (once fetched ahead, once on arrival).
                 self._readahead = 0
         if self._readahead and index >= self._prefetched_until:
+            # Clamp the extent at end-of-run: the final extent covers
+            # exactly the remaining blocks, never charging reads past it.
             end = min(index + self._readahead, len(block_ids))
             extent = self._device.read_blocks(
                 block_ids[index:end], self._category, stream=self._stream

@@ -41,9 +41,45 @@ class CostModel:
         total = sequential + random
         return total * self.transfer_seconds + random * self.seek_seconds
 
+    def access_seconds(self, sequential: bool) -> float:
+        """Simulated service time of one block access (seek + transfer)."""
+        if sequential:
+            return self.transfer_seconds
+        return self.transfer_seconds + self.seek_seconds
+
     def cpu_seconds(self, comparisons: int, tokens: int) -> float:
         """Simulated CPU time for the given operation counts."""
         return comparisons * self.compare_seconds + tokens * self.token_seconds
+
+
+def is_sequential_access(last: int | None, block_id: int) -> bool:
+    """The model's sequentiality judgment for a single block access.
+
+    An access is sequential when it immediately follows the stream's last
+    accessed block (or starts a fresh stream) - the judgment that decides
+    whether :attr:`CostModel.seek_seconds` is charged.  Shared by every
+    device implementation so the seek/transfer arithmetic lives in exactly
+    one place.
+    """
+    return last is None or block_id == last + 1
+
+
+def classify_extent(
+    block_ids, last: int | None
+) -> tuple[int, int | None]:
+    """Judge a vectored access: ``(sequential_count, new_last)``.
+
+    Each block is judged against the one before it in the call (the first
+    against ``last``, the stream's previous access), exactly as an
+    equivalent loop of single-block accesses would be - so vectored and
+    scalar I/O charge identical seek/transfer costs.
+    """
+    sequential = 0
+    for block_id in block_ids:
+        if is_sequential_access(last, block_id):
+            sequential += 1
+        last = block_id
+    return sequential, last
 
 
 @dataclass
@@ -102,6 +138,11 @@ class IOStats:
         self.merge_comparisons = 0
         self.tokens = 0
         self.penalty_seconds = 0.0
+        # Parallel-disk accounting (repro.io.parallel): per-disk busy
+        # seconds and consumer stall seconds.  Both stay empty/zero on a
+        # serial device, keeping its serialization bit-identical.
+        self.disk_busy: dict[int, float] = {}
+        self.stall_seconds = 0.0
 
     # -- recording -------------------------------------------------------
 
@@ -171,6 +212,22 @@ class IOStats:
             raise ValueError(f"penalty cannot be negative: {seconds}")
         self.penalty_seconds += seconds
 
+    def record_disk_busy(self, disk: int, seconds: float) -> None:
+        """Charge service time to one member disk of a striped device."""
+        self.disk_busy[disk] = self.disk_busy.get(disk, 0.0) + seconds
+
+    def record_stall(self, seconds: float) -> None:
+        """Record time the consumer spent waiting on in-flight I/O.
+
+        Stall is *overlap diagnostics*, not a new cost: the underlying
+        seek/transfer charges are already in the per-category counters.
+        A fully overlapped pipeline shows near-zero stall; a serial
+        consumer stalls for every access's full service time.
+        """
+        if seconds < 0:
+            raise ValueError(f"stall cannot be negative: {seconds}")
+        self.stall_seconds += seconds
+
     def _category(self, category: str) -> CategoryCounters:
         counters = self.by_category.get(category)
         if counters is None:
@@ -226,6 +283,32 @@ class IOStats:
         """Total simulated time (disk + CPU + fault-retry penalties)."""
         return self.io_seconds() + self.cpu_seconds() + self.penalty_seconds
 
+    def disk_seconds(self) -> float:
+        """Busy time of the busiest member disk (= serial io_seconds on D=1).
+
+        On a serial device nothing populates :attr:`disk_busy`, and the
+        single disk is busy for exactly :meth:`io_seconds`.
+        """
+        if not self.disk_busy:
+            return self.io_seconds()
+        return max(self.disk_busy.values())
+
+    def overlap_seconds(self) -> float:
+        """I/O time hidden by disk parallelism: serial io minus max busy."""
+        if not self.disk_busy:
+            return 0.0
+        return max(0.0, self.io_seconds() - self.disk_seconds())
+
+    def disk_utilization(self) -> dict[int, float]:
+        """Per-disk busy time as a fraction of the busiest disk's."""
+        peak = self.disk_seconds()
+        if not self.disk_busy or peak <= 0:
+            return {}
+        return {
+            disk: busy / peak
+            for disk, busy in sorted(self.disk_busy.items())
+        }
+
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> "StatsSnapshot":
@@ -247,6 +330,8 @@ class IOStats:
             merge_comparisons=self.merge_comparisons,
             tokens=self.tokens,
             penalty_seconds=self.penalty_seconds,
+            disk_busy=dict(self.disk_busy),
+            stall_seconds=self.stall_seconds,
             cost_model=self.cost_model,
         )
 
@@ -289,6 +374,8 @@ class StatsSnapshot:
     merge_comparisons: int = 0
     tokens: int = 0
     penalty_seconds: float = 0.0
+    disk_busy: dict[int, float] = field(default_factory=dict)
+    stall_seconds: float = 0.0
     cost_model: CostModel = field(default_factory=CostModel)
 
     def minus(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
@@ -316,6 +403,13 @@ class StatsSnapshot:
                 or diff.cache_evictions
             ):
                 categories[name] = diff
+        busy: dict[int, float] = {}
+        for disk in set(self.disk_busy) | set(earlier.disk_busy):
+            delta = self.disk_busy.get(disk, 0.0) - earlier.disk_busy.get(
+                disk, 0.0
+            )
+            if delta:
+                busy[disk] = delta
         return StatsSnapshot(
             by_category=categories,
             comparisons=self.comparisons - earlier.comparisons,
@@ -323,6 +417,8 @@ class StatsSnapshot:
             - earlier.merge_comparisons,
             tokens=self.tokens - earlier.tokens,
             penalty_seconds=self.penalty_seconds - earlier.penalty_seconds,
+            disk_busy=busy,
+            stall_seconds=self.stall_seconds - earlier.stall_seconds,
             cost_model=self.cost_model,
         )
 
@@ -392,6 +488,9 @@ class StatsSnapshot:
                 )
             else:
                 categories[name] = mine.merged_with(counters)
+        busy = dict(self.disk_busy)
+        for disk, seconds in other.disk_busy.items():
+            busy[disk] = busy.get(disk, 0.0) + seconds
         return StatsSnapshot(
             by_category=categories,
             comparisons=self.comparisons + other.comparisons,
@@ -399,6 +498,8 @@ class StatsSnapshot:
             + other.merge_comparisons,
             tokens=self.tokens + other.tokens,
             penalty_seconds=self.penalty_seconds + other.penalty_seconds,
+            disk_busy=busy,
+            stall_seconds=self.stall_seconds + other.stall_seconds,
             cost_model=self.cost_model,
         )
 
@@ -435,6 +536,28 @@ class StatsSnapshot:
         """
         return self.io_seconds() + self.cpu_seconds()
 
+    def disk_seconds(self) -> float:
+        """Busy time of the busiest member disk (= serial io_seconds on D=1)."""
+        if not self.disk_busy:
+            return self.io_seconds()
+        return max(self.disk_busy.values())
+
+    def overlap_seconds(self) -> float:
+        """I/O time hidden by disk parallelism: serial io minus max busy."""
+        if not self.disk_busy:
+            return 0.0
+        return max(0.0, self.io_seconds() - self.disk_seconds())
+
+    def disk_utilization(self) -> dict[int, float]:
+        """Per-disk busy time as a fraction of the busiest disk's."""
+        peak = self.disk_seconds()
+        if not self.disk_busy or peak <= 0:
+            return {}
+        return {
+            disk: busy / peak
+            for disk, busy in sorted(self.disk_busy.items())
+        }
+
     def counter_totals(self) -> dict:
         """Flat dictionary of every aggregate counter plus simulated times.
 
@@ -443,8 +566,11 @@ class StatsSnapshot:
         :meth:`model_seconds` - counter-derived and therefore comparable
         across fault-free and recovered runs; retry backoff is reported
         separately as ``penalty_seconds`` (which the diff tool ignores).
+        The parallel-disk keys appear only when a striped device recorded
+        per-disk busy time, so serial-device traces stay bit-identical to
+        pre-striping output.
         """
-        return {
+        totals = {
             "reads": self.total_reads,
             "writes": self.total_writes,
             "total_ios": self.total_ios,
@@ -461,3 +587,12 @@ class StatsSnapshot:
             "penalty_seconds": self.penalty_seconds,
             "seconds": self.model_seconds(),
         }
+        if self.disk_busy:
+            totals["disk_busy"] = {
+                str(disk): seconds
+                for disk, seconds in sorted(self.disk_busy.items())
+            }
+            totals["disk_seconds"] = self.disk_seconds()
+            totals["overlap_seconds"] = self.overlap_seconds()
+            totals["stall_seconds"] = self.stall_seconds
+        return totals

@@ -188,8 +188,9 @@ class Trace:
                 phases[span.name] = phases[span.name].plus(span.delta)
             else:
                 phases[span.name] = span.delta
-        return {
-            name: {
+        breakdown = {}
+        for name, delta in phases.items():
+            entry = {
                 "ios": delta.total_ios,
                 "reads": delta.total_reads,
                 "writes": delta.total_writes,
@@ -198,8 +199,15 @@ class Trace:
                 "comparisons": delta.comparisons,
                 "seconds": round(delta.elapsed_seconds(), 9),
             }
-            for name, delta in phases.items()
-        }
+            if delta.disk_busy:
+                # Parallel-device phases additionally attribute how much
+                # of the phase's I/O overlapped across disks or stalled
+                # the pipeline; serial phases keep the seed's exact keys.
+                entry["disk_seconds"] = round(delta.disk_seconds(), 9)
+                entry["overlap_seconds"] = round(delta.overlap_seconds(), 9)
+                entry["stall_seconds"] = round(delta.stall_seconds, 9)
+            breakdown[name] = entry
+        return breakdown
 
 
 class Tracer:

@@ -153,6 +153,54 @@ class TestStore:
         assert device.stats.by_category["my_read"].reads == 2
 
 
+class TestReadaheadClamp:
+    """Adaptive readahead never charges reads past end-of-run."""
+
+    def _make_run(self, nrecords=8):
+        device, store = make_store(block_size=128)
+        writer = store.create_writer()
+        # 60-byte payloads frame to 64 bytes: 2 records per 128B block.
+        writer.write_records(bytes([i]) * 60 for i in range(nrecords))
+        handle = writer.finish()
+        return device, store, handle
+
+    def _attach_pool(self, device, store, capacity=8):
+        from repro.io import BufferPool
+
+        store.attach_pool(BufferPool(device, capacity))
+
+    def test_readahead_clamped_at_construction(self):
+        device, store, handle = self._make_run()
+        self._attach_pool(device, store)
+        reader = store.open_reader(handle, readahead=100)
+        assert reader._readahead == handle.block_count
+
+    def test_oversized_readahead_charges_exactly_block_count(self):
+        device, store, handle = self._make_run()
+        self._attach_pool(device, store)
+        before = device.stats.snapshot()
+        records = list(store.open_reader(handle, readahead=100))
+        assert len(records) == 8
+        delta = device.stats.since(before)
+        # One read per run block, not one per readahead slot: the extent
+        # is clamped at the run's end, so nothing past it is touched.
+        assert delta.total_reads == handle.block_count
+
+    def test_tail_resume_reads_only_remaining_blocks(self):
+        device, store, handle = self._make_run()
+        # Probe unpooled so the pool starts cold for the resumed reader.
+        probe = store.open_reader(handle, readahead=0)
+        for _ in range(5):
+            probe.read_record()
+        offset = probe.tell()  # inside block 2 of 4
+        self._attach_pool(device, store)
+        before = device.stats.snapshot()
+        rest = list(store.open_reader(handle, offset=offset, readahead=100))
+        assert len(rest) == 3
+        delta = device.stats.since(before)
+        assert delta.total_reads == 2  # blocks 2 and 3, nothing beyond
+
+
 class TestHypothesisRoundTrip:
     @settings(max_examples=50, deadline=None)
     @given(
