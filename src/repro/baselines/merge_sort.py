@@ -16,6 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.columnar import (
+    emit_output_columnar,
+    fast_path_key,
+    form_runs_columnar,
+)
 from ..errors import DeviceFault, SortSpecError
 from ..io.budget import MemoryBudget
 from ..io.bufferpool import BufferPool
@@ -43,6 +48,9 @@ from .merging import merge_to_stream
 #: Memory blocks not available for run formation: one block each for the
 #: input scan buffer and the run output buffer.
 _RESERVED_BLOCKS = 2
+
+#: Records per grouped writer call on the fused columnar output path.
+_EMIT_CHUNK = 1024
 
 
 @dataclass
@@ -191,11 +199,6 @@ class ExternalMergeSorter:
             # Pass 1: scan the input, form sorted initial runs.
             options = self.merge_options
             embedded = options.embedded_keys
-            evaluator = KeyEvaluator(self.spec)
-            annotated = evaluator.annotate(
-                document.iter_events("input_scan")
-            )
-            records = records_from_annotated_events(annotated)
             former = RunFormer(
                 store, capacity_bytes, options, tracer=tracer,
                 recovery=recovery,
@@ -203,16 +206,31 @@ class ExternalMergeSorter:
             with maybe_span(
                 tracer, "run-formation", mode=options.run_formation
             ) as span:
-                for record in records:
-                    encoded = encode_record(record, names)
-                    sort_key = record.sort_key()
-                    key = (
-                        normalized_path_key(sort_key)
-                        if embedded
-                        else sort_key
+                # Columnar kernel: fused scan - tokenize, key-evaluate,
+                # and encode by byte splicing in one loop, feeding the
+                # former normalized bytes keys (order-faithful, so run
+                # contents match the scalar tuple keys record for
+                # record).  Falls back to the scalar pipeline for
+                # storage it does not cover (compacted documents).
+                fused = options.columnar and form_runs_columnar(
+                    document, self.spec, former, device
+                )
+                if not fused:
+                    evaluator = KeyEvaluator(self.spec)
+                    annotated = evaluator.annotate(
+                        document.iter_events("input_scan")
                     )
-                    device.stats.record_tokens(1)
-                    former.add(key, encoded)
+                    records = records_from_annotated_events(annotated)
+                    for record in records:
+                        encoded = encode_record(record, names)
+                        sort_key = record.sort_key()
+                        key = (
+                            normalized_path_key(sort_key)
+                            if embedded
+                            else sort_key
+                        )
+                        device.stats.record_tokens(1)
+                        former.add(key, encoded)
                 initial_runs = former.finish()
                 if span is not None:
                     span.set(runs=len(initial_runs))
@@ -226,6 +244,10 @@ class ExternalMergeSorter:
             # Merge passes, streaming the final merge into the decoder.
             if embedded:
                 key_of = embedded_key_of
+            elif options.columnar:
+                # Path-only parse into normalized bytes: same ordering
+                # as the decoded tuple key, no tag/attr/text decode.
+                key_of = fast_path_key
             else:
 
                 def key_of(encoded: bytes) -> tuple:
@@ -250,20 +272,33 @@ class ExternalMergeSorter:
                 tracer, "output-emit", final_merge_width=width
             ):
                 writer = store.create_writer("output")
-                if embedded:
-                    decoded = (
-                        decode_record(strip_embedded_key(record), names)
-                        for record in stream
+                if options.columnar and names is None and emit_ends:
+                    # Fused output: records back to stored tokens by byte
+                    # splicing (splice == re-encode for the plain codec).
+                    emit_output_columnar(
+                        stream, writer, device,
+                        strip_embedded=embedded,
+                        chunk_records=(
+                            _EMIT_CHUNK
+                            if store.pool is None and recovery is None
+                            else 0
+                        ),
                     )
                 else:
-                    decoded = (
-                        decode_record(record, names) for record in stream
-                    )
-                for token in tokens_from_sorted_records(
-                    decoded, emit_end_tags=emit_ends
-                ):
-                    writer.write_record(codec.encode(token))
-                    device.stats.record_tokens(1)
+                    if embedded:
+                        decoded = (
+                            decode_record(strip_embedded_key(record), names)
+                            for record in stream
+                        )
+                    else:
+                        decoded = (
+                            decode_record(record, names) for record in stream
+                        )
+                    for token in tokens_from_sorted_records(
+                        decoded, emit_end_tags=emit_ends
+                    ):
+                        writer.write_record(codec.encode(token))
+                        device.stats.record_tokens(1)
                 handle = writer.finish()
 
                 # Flush the pool before the snapshot so deferred

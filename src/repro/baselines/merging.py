@@ -27,9 +27,21 @@ merge pass, it just slices bytes.
 from __future__ import annotations
 
 import heapq
+from itertools import islice
 from math import ceil, log2
 from typing import Callable, Iterable, Iterator
 
+from ..core.columnar import (
+    batch_keys_for,
+    fast_path_key,
+    have_numpy,
+    keyed_puller,
+    merge_sidecars,
+    record_puller,
+    replay_merge,
+    replay_merge_to_writer,
+    run_sidecar,
+)
 from ..errors import DeviceFault, RunError
 from ..io.parallel import MergePrefetcher, supports_prefetch
 from ..io.runs import RunHandle, RunStore
@@ -38,8 +50,12 @@ from ..merge.engine import (
     DEFAULT_MERGE_OPTIONS,
     LoserTree,
     MergeOptions,
+    embedded_key_of,
     sort_with_accounting,
 )
+
+#: Records per grouped writer call on the columnar merge path.
+_WRITE_CHUNK = 1024
 
 
 def merge_pass(
@@ -48,15 +64,22 @@ def merge_pass(
     key_of: Callable[[bytes], object],
     read_category: str = "merge_read",
     options: MergeOptions | None = None,
+    keyed: bool = False,
 ) -> Iterator[bytes]:
     """Stream the records of ``runs`` merged into one sorted sequence.
 
     The caller guarantees the fan-in fits its memory budget.  Consumed runs
-    are freed as they drain.
+    are freed as they drain.  With ``keyed`` (columnar internals only) the
+    stream yields ``(normalized key, record)`` pairs so the consumer can
+    capture the output run's key sidecar without re-evaluating keys.
     """
     if options is not None and options.loser_tree:
-        return _merge_pass_loser_tree(store, runs, key_of, read_category)
-    return _merge_pass_heap(store, runs, key_of, read_category)
+        return _merge_pass_loser_tree(
+            store, runs, key_of, read_category, options, keyed
+        )
+    return _merge_pass_heap(
+        store, runs, key_of, read_category, options, keyed
+    )
 
 
 def _merge_pass_heap(
@@ -64,17 +87,71 @@ def _merge_pass_heap(
     runs: list[RunHandle],
     key_of: Callable[[bytes], object],
     read_category: str,
+    options: MergeOptions | None = None,
+    keyed: bool = False,
 ) -> Iterator[bytes]:
     if not runs:
         return
     device = store.device
+    columnar = options is not None and options.columnar
     comparisons_per_record = max(1, ceil(log2(len(runs)))) if len(
         runs
     ) > 1 else 0
+    if columnar and len(runs) > 1 and have_numpy():
+        # Vectorized replay: when every input run carries a key sidecar,
+        # the merged order is one stable argsort of the concatenated
+        # sidecars (a heap merge with (key, run-index) tie-break IS the
+        # stable sort of the run-order concatenation), and the pass just
+        # replays record pulls in that order.  Pull interleaving, free
+        # timing, and charge totals match the heap loop below exactly.
+        sidecars = merge_sidecars(store, runs, key_of)
+        if sidecars is not None:
+            readers = [
+                store.open_reader(run, category=read_category)
+                for run in runs
+            ]
+            yield from replay_merge(
+                store, runs, readers, sidecars, comparisons_per_record,
+                keyed=keyed, prefix_width=options.keys.prefix_width,
+            )
+            return
     readers = [
         store.open_reader(run, category=read_category) for run in runs
     ]
     heap: list[tuple[object, int, bytes]] = []
+    if columnar:
+        # Columnar kernel: drain each reader's buffered block in one
+        # batched parse and compute its keys in one batch-kernel call
+        # (or serve them straight from the run's sidecar when present).
+        # Block loads still happen at the same pull index a scalar
+        # reader would issue them, so I/O counters are untouched.
+        batch_keys = batch_keys_for(key_of)
+        pulls = [
+            keyed_puller(
+                reader, batch_keys, run_sidecar(store, run, key_of)
+            )
+            for run, reader in zip(runs, readers)
+        ]
+        for index, pull in enumerate(pulls):
+            entry = pull()
+            if entry is not None:
+                heap.append((entry[0], index, entry[1]))
+        heapq.heapify(heap)
+        stats = device.stats
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            key, index, record = heappop(heap)
+            if comparisons_per_record:
+                stats.record_merge_comparisons(comparisons_per_record)
+            yield (key, record) if keyed else record
+            entry = pulls[index]()
+            if entry is not None:
+                heappush(heap, (entry[0], index, entry[1]))
+            else:
+                store.free(runs[index])
+        device.stats.record_tokens(sum(run.record_count for run in runs))
+        return
     for index, reader in enumerate(readers):
         record = reader.read_record()
         if record is not None:
@@ -98,10 +175,13 @@ def _merge_pass_loser_tree(
     runs: list[RunHandle],
     key_of: Callable[[bytes], object],
     read_category: str,
+    options: MergeOptions | None = None,
+    keyed: bool = False,
 ) -> Iterator[bytes]:
     if not runs:
         return
     device = store.device
+    columnar = options is not None and options.columnar
     # Each input run is its own sequential stream: interleaved per-run
     # reads must not be judged against each other, and in a real multi-file
     # setup (one file per run, OS readahead per descriptor) they would not
@@ -124,8 +204,32 @@ def _merge_pass_loser_tree(
             category=read_category, streams=streams,
         )
 
+    batch_keys = batch_keys_for(key_of) if columnar else None
+
     def make_pull(index: int):
         reader = readers[index]
+        if columnar:
+            # Columnar kernel: loser-tree sift pulls come from batch-
+            # parsed blocks with batch-computed (or sidecar-served)
+            # keys; the tournament (and its counted comparisons) is
+            # untouched.
+            pairs = keyed_puller(
+                reader, batch_keys,
+                run_sidecar(store, runs[index], key_of),
+            )
+
+            def pull():
+                entry = pairs()
+                if entry is None:
+                    if prefetcher is not None:
+                        prefetcher.exhausted(index)
+                    return None
+                if prefetcher is not None:
+                    prefetcher.note_head(index, entry[0])
+                    prefetcher.pump()
+                return entry
+
+            return pull
 
         def pull():
             record = reader.read_record()
@@ -149,8 +253,12 @@ def _merge_pass_loser_tree(
         stats=device.stats,
         on_exhausted=on_exhausted,
     )
-    for _key, record in tree:
-        yield record
+    if keyed:
+        for key, record in tree:
+            yield key, record
+    else:
+        for _key, record in tree:
+            yield record
     device.stats.record_tokens(sum(run.record_count for run in runs))
 
 
@@ -173,23 +281,100 @@ def _merged_group(
     failed attempt already drained and freed, and re-merges the group.
     The completed run is recorded as a checkpoint.
     """
+    columnar = options is not None and options.columnar
+    # Capture the output run's key sidecar while writing: the merged
+    # stream already knows every record's normalized key, so the next
+    # pass over this run can skip key evaluation (or replay outright).
+    # Only the two normalized-bytes key functions qualify - custom keys
+    # would poison later sidecar consumers.
+    collect = columnar and (
+        key_of is fast_path_key or key_of is embedded_key_of
+    )
     if recovery is None:
+        if (
+            collect
+            and not options.loser_tree
+            and store.pool is None
+            and len(group) > 1
+            and have_numpy()
+        ):
+            # Heap kernel only: the loser tree *counts* its tournament
+            # comparisons and reads each run as its own stream, neither
+            # of which a replay reproduces.
+            sidecars = merge_sidecars(store, group, key_of)
+            if sidecars is not None:
+                # Fully-replayed materialized pass: merged order from the
+                # sidecar argsort, grouped reads and writes, and the
+                # output sidecar comes straight from the sorted keys.
+                writer = store.create_writer(write_category)
+                readers = [
+                    store.open_reader(run, category=read_category)
+                    for run in group
+                ]
+                keys = replay_merge_to_writer(
+                    store, group, readers, sidecars,
+                    max(1, ceil(log2(len(group)))), writer,
+                    _WRITE_CHUNK, options.keys.prefix_width,
+                )
+                handle = writer.finish()
+                store.key_sidecars[handle.run_id] = keys
+                return handle
         writer = store.create_writer(write_category)
-        for record in merge_pass(store, group, key_of, read_category, options):
-            writer.write_record(record)
-        return writer.finish()
+        stream = merge_pass(
+            store, group, key_of, read_category, options, keyed=collect
+        )
+        keys: list = []
+        if columnar and store.pool is None:
+            # Grouped writer calls reorder output writes relative to the
+            # merge's input reads.  Without a shared buffer pool (eviction
+            # order observes the global access sequence) or a recovery
+            # context (fault points interact with the partial writer
+            # state) that reordering is invisible to every counter: each
+            # stream's own access sequence - and every per-category fault
+            # trigger index - is unchanged.
+            while True:
+                batch = list(islice(stream, _WRITE_CHUNK))
+                if not batch:
+                    break
+                if collect:
+                    keys.extend(entry[0] for entry in batch)
+                    writer.write_records([entry[1] for entry in batch])
+                else:
+                    writer.write_records(batch)
+        elif collect:
+            for key, record in stream:
+                keys.append(key)
+                writer.write_record(record)
+        else:
+            for record in stream:
+                writer.write_record(record)
+        handle = writer.finish()
+        if collect:
+            store.key_sidecars[handle.run_id] = keys
+        return handle
 
     def attempt_once() -> RunHandle:
         writer = store.create_writer(write_category)
+        keys: list = []
         try:
-            for record in merge_pass(
-                store, group, key_of, read_category, options
-            ):
-                writer.write_record(record)
+            stream = merge_pass(
+                store, group, key_of, read_category, options,
+                keyed=collect,
+            )
+            if collect:
+                for key, record in stream:
+                    writer.write_record(record)
+                    keys.append(key)
+            else:
+                for record in stream:
+                    writer.write_record(record)
         except DeviceFault:
             writer.abandon()
             raise
-        return writer.finish()
+        handle = writer.finish()
+        if collect:
+            store.key_sidecars[handle.run_id] = keys
+        return handle
 
     handle = recovery.attempt(phase, unit, attempt_once, device=store.device)
     recovery.checkpoint(phase, unit, run_id=handle.run_id)
@@ -320,9 +505,21 @@ def merge_to_stream(
         # consumes the iterator.  Mark where it begins.
         tracer.event("final-merge-stream", width=width, passes=passes)
     if width == 1:
-        stream = iter(store.open_reader(current[0], category=read_category))
-        return stream, passes, width
+        reader = store.open_reader(current[0], category=read_category)
+        if options is not None and options.columnar:
+            return _drained(reader), passes, width
+        return iter(reader), passes, width
     return merge_pass(store, current, key_of, read_category, options), passes, width
+
+
+def _drained(reader) -> Iterator[bytes]:
+    """Iterate a single run with block-drain batched record parsing."""
+    pull = record_puller(reader)
+    while True:
+        record = pull()
+        if record is None:
+            return
+        yield record
 
 
 def write_sorted_run(
@@ -346,6 +543,11 @@ def write_sorted_run(
     )
     store.device.stats.record_tokens(len(batch))
     writer = store.create_writer(write_category)
-    for record in batch:
-        writer.write_record(record)
+    if options.columnar:
+        # Post-sort the whole batch is in memory either way; one grouped
+        # call issues the identical per-stream write sequence.
+        writer.write_records(batch)
+    else:
+        for record in batch:
+            writer.write_record(record)
     return writer.finish()

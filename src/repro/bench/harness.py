@@ -15,6 +15,8 @@ workload sizes for longer, smoother curves.
 from __future__ import annotations
 
 import os
+import sys
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -54,10 +56,29 @@ class SortMetrics:
     simulated_seconds: float
     total_ios: int
     detail: dict
+    wall_seconds: float = 0.0
 
     @property
     def ios_per_block(self) -> float:
         return self.total_ios / max(1, self.input_blocks)
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, or None if unmeasurable.
+
+    Uses :mod:`resource` (POSIX); ``ru_maxrss`` is kilobytes on Linux and
+    bytes on macOS.  Returns None on platforms without the module so
+    benchmark rows degrade to ``"peak_rss_bytes": null`` instead of
+    failing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak
+    return peak * 1024
 
 
 def load_document(
@@ -132,10 +153,12 @@ def run_nexsort(
         prefetch_policy=prefetch_policy,
     )
     tracer = Tracer(document.store.device.stats)
+    wall_start = time.perf_counter()
     _output, report = nexsort(
         document, spec, memory_blocks=memory_blocks, tracer=tracer,
         **options,
     )
+    wall_seconds = time.perf_counter() - wall_start
     trace = tracer.finish()
     return SortMetrics(
         algorithm="nexsort",
@@ -161,8 +184,10 @@ def run_nexsort(
             "cache_hits": report.stats.cache_hits,
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,
+            "peak_rss_bytes": peak_rss_bytes(),
             **_parallel_detail(document.store.device, report),
         },
+        wall_seconds=wall_seconds,
     )
 
 
@@ -185,11 +210,13 @@ def run_merge_sort(
         prefetch_policy=prefetch_policy,
     )
     tracer = Tracer(document.store.device.stats)
+    wall_start = time.perf_counter()
     _output, report = external_merge_sort(
         document, spec, memory_blocks=memory_blocks,
         cache_blocks=cache_blocks, merge_options=merge_options,
         tracer=tracer,
     )
+    wall_seconds = time.perf_counter() - wall_start
     trace = tracer.finish()
     return SortMetrics(
         algorithm="merge_sort",
@@ -211,8 +238,10 @@ def run_merge_sort(
             "cache_hits": report.stats.cache_hits,
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,
+            "peak_rss_bytes": peak_rss_bytes(),
             **_parallel_detail(document.store.device, report),
         },
+        wall_seconds=wall_seconds,
     )
 
 

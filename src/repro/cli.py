@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .analysis import (
     ModelGeometry,
@@ -157,6 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
         "merges compare bytes instead of decoding",
     )
     sort_cmd.add_argument(
+        "--kernel",
+        choices=["scalar", "columnar"],
+        default="scalar",
+        help="record hot-path implementation: scalar (one record at a "
+        "time) or columnar (batched normalized-key kernels, identical "
+        "counters, much faster wall clock)",
+    )
+    sort_cmd.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="run the sort under cProfile and write stats (sorted by "
+        "cumulative time) to PATH",
+    )
+    sort_cmd.add_argument(
         "--faults", metavar="PLAN", default=None,
         help="inject deterministic device faults per PLAN, e.g. "
         "'read@5;write@3*2:persistent;torn@1;rate=0.001;seed=42'",
@@ -267,6 +281,7 @@ def _make_merge_options(args) -> MergeOptions:
         run_formation=getattr(args, "run_formation", "load-sort"),
         merge_kernel=getattr(args, "merge_kernel", "heap"),
         embedded_keys=getattr(args, "embedded_keys", False),
+        kernel=getattr(args, "kernel", "scalar"),
     )
 
 
@@ -340,6 +355,14 @@ def cmd_sort(args) -> int:
         with maybe_span(tracer, "document-load", input=args.input):
             document = _load(store, args.input, compaction)
         merge_options = _make_merge_options(args)
+        profiler = None
+        if getattr(args, "profile", None):
+            import cProfile
+
+            profiler = cProfile.Profile()
+        wall_start = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
         if args.algorithm == "nexsort":
             result, report = nexsort(
                 document,
@@ -364,8 +387,8 @@ def cmd_sort(args) -> int:
         else:
             if not merge_options.is_default:
                 print(
-                    "note: xsort ignores --run-formation, --merge-kernel "
-                    "and --embedded-keys",
+                    "note: xsort ignores --run-formation, --merge-kernel, "
+                    "--embedded-keys and --kernel",
                     file=sys.stderr,
                 )
             if recovery is not None:
@@ -381,6 +404,17 @@ def cmd_sort(args) -> int:
                     document, spec, args.target, memory_blocks=args.memory,
                     cache_blocks=args.cache_blocks,
                 )
+        if profiler is not None:
+            profiler.disable()
+        wall_seconds = time.perf_counter() - wall_start
+        if profiler is not None:
+            import pstats
+
+            with open(args.profile, "w", encoding="utf-8") as handle:
+                pstats.Stats(profiler, stream=handle).sort_stats(
+                    "cumulative"
+                ).print_stats()
+            print(f"profile: stats -> {args.profile}", file=sys.stderr)
         if tracer is not None:
             trace = tracer.finish()
             with open(args.trace, "w", encoding="utf-8") as handle:
@@ -393,7 +427,19 @@ def cmd_sort(args) -> int:
             )
         _emit(result, args.output)
         if args.stats:
+            from .bench.harness import peak_rss_bytes
+
             _print_stats(args.algorithm, report, out=sys.stderr)
+            print(
+                f"  wall seconds:        {wall_seconds:.4f}",
+                file=sys.stderr,
+            )
+            rss = peak_rss_bytes()
+            if rss is not None:
+                print(
+                    f"  peak RSS:            {rss / (1 << 20):.1f} MiB",
+                    file=sys.stderr,
+                )
             if args.algorithm in ("nexsort", "mergesort"):
                 print(
                     f"  run length avg/max:  "

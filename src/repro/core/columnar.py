@@ -1,0 +1,1063 @@
+"""Batch-columnar kernels for the record hot path (ROADMAP item 5).
+
+The reference ("scalar") implementation moves one record at a time through
+tokenize -> key-evaluate -> encode -> form-runs -> merge -> decode, which is
+bit-faithful to the paper's accounting but pays Python interpreter overhead
+per element - the reproduction topped out around 10^6 elements.  This
+module provides the batch kernels behind ``MergeOptions(kernel="columnar")``:
+
+* :class:`ColumnarBatch` - a run-formation batch held column-wise: one
+  contiguous fixed-width array of normalized-key *prefixes* (numpy
+  ``uint8`` matrix when numpy is importable, ``bytearray`` otherwise),
+  plus offset/payload arrays (:mod:`array`/``bytes``), so the formation
+  sort is an argsort over machine integers instead of a million tuple
+  comparisons;
+* :func:`argsort_normalized` - prefix argsort with a full-key tie-break
+  on equal prefixes, producing exactly the order - including stability -
+  of the scalar ``list.sort`` over the same keys;
+* :func:`fast_path_key` - normalized key bytes straight from an encoded
+  key-path record, parsing only the path prefix (merge passes never
+  decode tags/attributes/text);
+* :func:`record_puller` / :func:`batched_pulls` - block-drain batched run
+  reading for the heap and loser-tree merge kernels;
+* :func:`form_runs_columnar` / :func:`emit_output_columnar` - fused block
+  encode/decode of the compact token format for the external merge sort
+  scan and output phases.
+
+**Parity guarantee.**  Every kernel here is counter-transparent: device
+accesses are issued in the same per-stream order at the same consumption
+points as the scalar path (draining an already-buffered block is free in
+the device model either way), comparison charges use the same analytic
+formulas (and counted mode keeps the scalar counting sort), and token
+charges are batched sums of the same per-record units.  Normalized keys
+are order- and equality-faithful (:mod:`repro.merge.engine`), so every
+comparison *outcome* - and therefore every sort order, tie-break, run
+boundary, and merge pop sequence - is identical.  The accounting-parity
+suite pins this across the full MergeOptions grid.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Callable, Iterable
+
+try:  # pragma: no cover - exercised via both-backends tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from ..errors import CodecError, RunError, SortSpecError
+from ..merge.engine import DEFAULT_KEY_OPTIONS, embedded_key_of
+from ..xml.codec import (
+    TYPE_END,
+    TYPE_POINTER,
+    TYPE_START,
+    TYPE_TEXT,
+    encode_key_atom,
+    read_varint,
+    write_varint,
+)
+from ..xml.tokens import StartTag
+
+_DOUBLE_LE = struct.Struct("<d")
+_DOUBLE_BE = struct.Struct(">d")
+_U64 = struct.Struct(">Q")
+
+#: Keep the start-key memo bounded on high-cardinality documents.
+_MEMO_LIMIT = 1 << 16
+
+#: Single-byte varints, indexed by value.
+_VARINT1 = [bytes([value]) for value in range(128)]
+
+#: Batches smaller than this sort faster with the pure-Python stable
+#: sort (memcmp-based timsort) than with the numpy prefix argsort,
+#: whose per-call cost is dominated by building the padded prefix
+#: buffer; the vectorized path pulls ahead on merge-pass-sized inputs.
+_SMALL_ARGSORT = 1 << 16
+
+
+def have_numpy() -> bool:
+    """True when the vectorized argsort backend is active."""
+    return _np is not None
+
+
+# -- small codec helpers ------------------------------------------------------
+
+
+def varint_bytes(value: int) -> bytes:
+    out = bytearray()
+    write_varint(out, value)
+    return bytes(out)
+
+
+def _read_varint_fast(data: bytes, pos: int) -> tuple[int, int]:
+    """Inline-friendly LEB128 read (single-byte fast path)."""
+    value = data[pos]
+    pos += 1
+    if value < 0x80:
+        return value, pos
+    value &= 0x7F
+    shift = 7
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+
+
+def normalized_atom_bytes(atom: tuple) -> bytes:
+    """Byte-comparable form of one key atom (engine normalization)."""
+    from ..merge.engine import _normalize_atom
+
+    out = bytearray()
+    _normalize_atom(out, atom)
+    return bytes(out)
+
+
+def encoded_atom_bytes(atom: tuple) -> bytes:
+    """Codec encoding of one key atom (as stored in key-path records)."""
+    out = bytearray()
+    encode_key_atom(out, atom)
+    return bytes(out)
+
+
+def _normalize_number(value: float) -> bytes:
+    if value == 0.0:
+        value = 0.0  # collapse -0.0, as engine normalization does
+    (bits,) = _U64.unpack(_DOUBLE_BE.pack(value))
+    if bits & (1 << 63):
+        bits ^= (1 << 64) - 1
+    else:
+        bits ^= 1 << 63
+    return b"\x01" + _U64.pack(bits)
+
+
+def fast_path_key(record: bytes) -> bytes:
+    """Normalized sort key of an encoded key-path record, path-only parse.
+
+    Equivalent to ``normalized_path_key(decode_record(record).sort_key())``
+    but skips the tag/attribute/text payload entirely - this is what merge
+    passes call per record per pass when keys are not embedded.  Works for
+    element and pointer records, with or without a name dictionary (path
+    atoms are dictionary-independent).  Varint reads are inlined: this
+    runs once per record per merge pass, the hottest loop in the sort.
+    """
+    byte = record[1]
+    pos = 2
+    if byte < 0x80:
+        depth = byte
+    else:
+        depth, pos = _read_varint_fast(record, 1)
+    parts = []
+    append = parts.append
+    for _ in range(depth):
+        kind = record[pos]
+        pos += 1
+        if kind == 2:  # string atom
+            length = record[pos]
+            pos += 1
+            if length >= 0x80:
+                length, pos = _read_varint_fast(record, pos - 1)
+            end = pos + length
+            raw = record[pos:end]
+            pos = end
+            if b"\x00" in raw:
+                raw = raw.replace(b"\x00", b"\x00\xff")
+            append(b"\x02" + raw + b"\x00")
+        elif kind == 1:  # number atom
+            append(_normalize_number(_DOUBLE_LE.unpack_from(record, pos)[0]))
+            pos += 8
+        elif kind == 0:  # missing atom
+            append(b"\x00")
+        else:
+            raise CodecError(f"unknown key atom kind {kind}")
+        position = record[pos]
+        pos += 1
+        if position >= 0x80:
+            position &= 0x7F
+            shift = 7
+            while True:
+                byte = record[pos]
+                pos += 1
+                position |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+        append(position.to_bytes(8, "big"))
+    return b"".join(parts)
+
+
+def batch_path_keys(records: list[bytes]) -> list[bytes]:
+    """:func:`fast_path_key` of every record in a drained block."""
+    key = fast_path_key
+    return [key(record) for record in records]
+
+
+def batch_embedded_keys(records: list[bytes]) -> list[bytes]:
+    """Embedded normalized-key prefixes of a drained block of records."""
+    out = []
+    append = out.append
+    for record in records:
+        length = record[0]
+        if length < 0x80:
+            append(record[1 : 1 + length])
+        else:
+            length, pos = _read_varint_fast(record, 0)
+            append(record[pos : pos + length])
+    return out
+
+
+# -- columnar batches and the prefix argsort ----------------------------------
+
+
+class ColumnarBatch:
+    """Normalized keys and payloads of one batch, held column-wise.
+
+    Layout (``n`` records, prefix width ``W``):
+
+    * ``prefix`` - one contiguous ``n x W`` byte buffer of key prefixes
+      (after stripping the batch-wide common key prefix), zero-padded;
+      a numpy ``uint8`` matrix when available, else a ``bytearray``;
+    * ``keys`` - the full normalized key of every record (tie-break and
+      fallback comparisons);
+    * ``payload`` / ``offsets`` - record payloads packed into one blob
+      with an ``array('Q')`` offset column.
+    """
+
+    __slots__ = ("keys", "payload", "offsets", "prefix", "width", "strip")
+
+    def __init__(self, keys: list[bytes], payloads: list[bytes],
+                 prefix_width: int | None = None):
+        width = (
+            prefix_width
+            if prefix_width is not None
+            else DEFAULT_KEY_OPTIONS.prefix_width
+        )
+        self.keys = keys
+        self.width = width
+        self.strip = _common_prefix_length(keys)
+        blob = bytearray()
+        offsets = array("Q", [0]) if payloads else array("Q")
+        for payload in payloads:
+            blob += payload
+            offsets.append(len(blob))
+        self.payload = bytes(blob)
+        self.offsets = offsets
+        self.prefix = _prefix_buffer(keys, self.strip, width)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def record(self, index: int) -> bytes:
+        return self.payload[self.offsets[index] : self.offsets[index + 1]]
+
+    def compare(self, a: int, b: int) -> int:
+        """-1/0/1 ordering of two rows (full-key comparison)."""
+        ka, kb = self.keys[a], self.keys[b]
+        return -1 if ka < kb else (0 if ka == kb else 1)
+
+    def argsort(self) -> list[int]:
+        """Row order sorting the batch by full normalized key, stably."""
+        return argsort_normalized(
+            self.keys, self.width, strip=self.strip, prefix=self.prefix
+        )
+
+    def sorted_records(self) -> list[bytes]:
+        record = self.record
+        return [record(index) for index in self.argsort()]
+
+
+def _common_prefix_length(keys: list[bytes]) -> int:
+    """Length of the byte prefix shared by every key in the batch.
+
+    Stripping it before building the prefix array keeps the fixed-width
+    window over the *discriminating* bytes - key paths share their root
+    component, which would otherwise waste most of the window.
+    """
+    if not keys:
+        return 0
+    prefix = keys[0]
+    for key in keys:
+        if key.startswith(prefix):
+            continue
+        limit = min(len(prefix), len(key))
+        i = 0
+        while i < limit and prefix[i] == key[i]:
+            i += 1
+        prefix = prefix[:i]
+        if not prefix:
+            return 0
+    return len(prefix)
+
+
+def _prefix_buffer(keys: list[bytes], strip: int, width: int):
+    """The contiguous zero-padded prefix matrix (numpy or bytearray)."""
+    end = strip + width
+    if _np is None:
+        padded = b"".join(
+            key[strip:end].ljust(width, b"\x00") for key in keys
+        )
+        return bytearray(padded)
+    # numpy's S-dtype constructor truncates long entries and NUL-pads
+    # short ones - exactly the ljust window above, built in C.
+    trimmed = [key[strip:end] for key in keys] if strip else keys
+    rows = _np.array(trimmed, dtype=f"S{width}")
+    return rows.view(_np.uint8).reshape(len(keys), width)
+
+
+def argsort_normalized(
+    keys: list[bytes],
+    prefix_width: int | None = None,
+    strip: int | None = None,
+    prefix=None,
+) -> list[int]:
+    """Stable argsort of normalized-key bytes via the prefix matrix.
+
+    With numpy: the zero-padded prefix matrix is viewed as one
+    fixed-width bytes (``S<width>``) column and ordered with a single
+    stable ``argsort`` - numpy's bytes comparison is memcmp with
+    lowest-ranked implicit trailing NULs, exactly the order of the
+    zero-padded prefixes; groups of rows with identical padded prefixes
+    are then re-ordered by their full keys with a stable Python sort.
+    Without numpy
+    the whole argsort falls back to a stable sort on the full keys.
+    Either way the result equals the order a stable scalar sort of the
+    keys produces, which is what keeps the columnar kernel's run
+    contents bit-identical.
+    """
+    n = len(keys)
+    if n <= 1:
+        return list(range(n))
+    if _np is None or (n < _SMALL_ARGSORT and prefix is None):
+        # Below a few hundred rows the fixed numpy dispatch overhead
+        # (buffer build, argsort setup) loses to a straight stable sort
+        # of the bytes keys; the order is identical either way.
+        return sorted(range(n), key=keys.__getitem__)
+    width = (
+        prefix_width
+        if prefix_width is not None
+        else DEFAULT_KEY_OPTIONS.prefix_width
+    )
+    if strip is None:
+        strip = _common_prefix_length(keys)
+    if prefix is None:
+        prefix = _prefix_buffer(keys, strip, width)
+    rows = prefix.view(f"S{width}").ravel()
+    order = rows.argsort(kind="stable")
+    # Tie-break equal padded prefixes on the full key.  The argsort is
+    # stable, so rows inside a tie group arrive in ascending original
+    # index; the stable Python sort below therefore preserves input
+    # order on fully equal keys, exactly like the scalar timsort.
+    sorted_rows = rows[order]
+    changed = sorted_rows[1:] != sorted_rows[:-1]
+    order = order.tolist()
+    if not changed.all():
+        starts = [0] + [int(i) + 1 for i in _np.flatnonzero(changed)]
+        starts.append(n)
+        out: list[int] = []
+        for begin, end in zip(starts, starts[1:]):
+            group = order[begin:end]
+            if len(group) > 1:
+                group.sort(key=keys.__getitem__)
+            out.extend(group)
+        return out
+    return order
+
+
+def argsort_keyed_batch(
+    batch: list[tuple[bytes, bytes]], prefix_width: int | None = None
+) -> list[tuple[bytes, bytes]]:
+    """Sort a run-formation ``(normalized key, payload)`` batch.
+
+    Drop-in for the scalar ``sort_keyed_batch`` ordering (the caller
+    charges comparisons); returns a new sorted list.
+    """
+    keys = [key for key, _payload in batch]
+    order = argsort_normalized(keys, prefix_width)
+    return [batch[index] for index in order]
+
+
+# -- batched run reading ------------------------------------------------------
+
+
+def record_puller(reader) -> Callable[[], bytes | None]:
+    """Record-at-a-time pull over a RunReader with block-drain batching.
+
+    Serves every record of the currently buffered block from one batched
+    parse; the record that needs the next block is fetched through
+    ``read_record`` so the block load happens at exactly the pull index a
+    scalar reader would issue it - the property merge prefetchers, pool
+    eviction order, and interleaved-stream seek judgments depend on.
+    """
+    queue: list[bytes] = []
+    index = 0
+
+    def pull() -> bytes | None:
+        nonlocal queue, index
+        if index >= len(queue):
+            queue = reader.read_available_records()
+            index = 0
+            if not queue:
+                return reader.read_record()
+        record = queue[index]
+        index += 1
+        return record
+
+    return pull
+
+
+def batched_pulls(readers) -> list[Callable[[], bytes | None]]:
+    """Block-drain pull functions for a bank of merge input readers.
+
+    The loser tree refills leaves through these, so its sift pulls come
+    from batch-parsed blocks ("loser-tree sift in batches") while the
+    tournament itself - and its counted comparisons - is untouched.
+    """
+    return [record_puller(reader) for reader in readers]
+
+
+def batch_keys_for(key_of) -> Callable[[list[bytes]], list]:
+    """The batched form of a merge key function.
+
+    The two key functions the columnar sorter installs have dedicated
+    batch kernels; anything else (custom key functions from NEXSORT's
+    degeneration mode) is wrapped, which still amortizes the pull
+    machinery even though the key calls stay element-wise.
+    """
+    if key_of is fast_path_key:
+        return batch_path_keys
+    if key_of is embedded_key_of:
+        return batch_embedded_keys
+
+    def generic(records: list[bytes]) -> list:
+        return [key_of(record) for record in records]
+
+    return generic
+
+
+def keyed_puller(reader, batch_keys, sidecar=None) -> Callable[[], tuple | None]:
+    """Like :func:`record_puller`, but yields ``(key, record)`` pairs.
+
+    Keys for a drained block are computed in one ``batch_keys`` call -
+    this is where the merge passes' per-record key cost collapses into a
+    batch kernel.  With a key ``sidecar`` (the run's normalized keys in
+    record order, captured when the run was written) keys are not even
+    recomputed, just indexed.  Block-load timing is the same as the
+    scalar reader's (see :func:`record_puller`).
+    """
+    queue: list[bytes] = []
+    keys: list = []
+    index = 0
+    consumed = 0
+
+    if sidecar is not None:
+
+        def pull() -> tuple | None:
+            nonlocal queue, index, consumed
+            if index >= len(queue):
+                queue = reader.read_available_records()
+                if not queue:
+                    record = reader.read_record()
+                    if record is None:
+                        return None
+                    queue = [record]
+                index = 0
+            entry = (sidecar[consumed], queue[index])
+            index += 1
+            consumed += 1
+            return entry
+
+        return pull
+
+    def pull() -> tuple | None:
+        nonlocal queue, keys, index
+        if index >= len(queue):
+            queue = reader.read_available_records()
+            if not queue:
+                record = reader.read_record()
+                if record is None:
+                    return None
+                queue = [record]
+            keys = batch_keys(queue)
+            index = 0
+        entry = (keys[index], queue[index])
+        index += 1
+        return entry
+
+    return pull
+
+
+def run_sidecar(store, run, key_of):
+    """The run's key sidecar if it is valid for ``key_of``, else None.
+
+    A sidecar holds the normalized key bytes of a run's records in record
+    order, captured host-side when the run was written.  It only stands
+    in for ``key_of`` when that function *is* one of the two normalized-
+    bytes key functions - custom key functions (NEXSORT's degeneration
+    merges) have different key semantics and must be evaluated.
+    """
+    if key_of is not fast_path_key and key_of is not embedded_key_of:
+        return None
+    keys = store.key_sidecars.get(run.run_id)
+    if keys is not None and len(keys) != run.record_count:
+        return None
+    return keys
+
+
+def merge_sidecars(store, runs, key_of) -> list[list] | None:
+    """Key sidecars for every run of a merge group, or None if any miss."""
+    sidecars = []
+    for run in runs:
+        keys = run_sidecar(store, run, key_of)
+        if keys is None:
+            return None
+        sidecars.append(keys)
+    return sidecars
+
+
+def _replay_order(runs, sidecars, prefix_width):
+    """(concatenated keys, merged order, run index per merged record).
+
+    A k-way merge of sorted runs with the heap's ``(key, run index)``
+    tie-break is exactly a *stable sort* of the runs' concatenation in
+    run order.  The concatenation is a sequence of ``w`` presorted
+    ascending runs - timsort's best case: it detects each run and
+    galloping-merges them in near-linear memcmp comparisons, which
+    measures several times faster here than the prefix argsort (the
+    argsort cannot exploit presortedness).  ``prefix_width`` is kept
+    for callers but unused on this path.
+    """
+    all_keys: list[bytes] = []
+    for keys in sidecars:
+        all_keys.extend(keys)
+    order = sorted(range(len(all_keys)), key=all_keys.__getitem__)
+    counts = [len(keys) for keys in sidecars]
+    if _np is not None:
+        run_of = _np.repeat(
+            _np.arange(len(runs), dtype=_np.int64), counts
+        )[_np.asarray(order, dtype=_np.int64)].tolist()
+    else:
+        ids: list[int] = []
+        for index, count in enumerate(counts):
+            ids.extend([index] * count)
+        run_of = [ids[j] for j in order]
+    return all_keys, order, run_of
+
+
+def _replay_heads(readers):
+    """Initial head record of every reader, pulled in index order.
+
+    Matches the scalar heap's heapify-time reads: one ``read_record``
+    per reader, loading each run's first block in run order.  Returns
+    (heads, queues, indices) - the inlined drain state the replay loops
+    advance without closure calls.
+    """
+    heads: list = []
+    queues: list = []
+    indices: list[int] = []
+    for reader in readers:
+        queue = reader.read_available_records()
+        if queue:
+            heads.append(queue[0])
+            queues.append(queue)
+            indices.append(1)
+        else:
+            heads.append(reader.read_record())
+            queues.append(())
+            indices.append(0)
+    return heads, queues, indices
+
+
+def replay_merge(
+    store,
+    runs,
+    readers,
+    sidecars,
+    comparisons_per_record: int,
+    keyed: bool = False,
+    prefix_width: int | None = None,
+):
+    """Heap-kernel merge pass replayed from precomputed key sidecars.
+
+    With every run's normalized keys already in memory
+    (:func:`_replay_order`), the merge just *replays* record pulls in
+    the merged order.  No per-record key evaluation, no heap ops.
+
+    Counter parity with the scalar heap kernel:
+
+    * records are pulled from each run strictly sequentially, and the
+      *global* interleaving of pulls across runs is the merged order -
+      identical to the heap's, so the shared merge-read stream sees the
+      same access sequence (same seq/random judgments, same pool
+      evictions, same fault trigger points); each run's next block load
+      still fires right after its current record is emitted, exactly
+      when the heap would refill;
+    * runs are freed at the pull that discovers their exhaustion, never
+      at init, matching the heap (empty runs are never freed by either);
+    * the analytic ``ceil(log2 w)`` charge per emitted record is flushed
+      incrementally on exit, so a device fault or early close mid-merge
+      leaves exactly the scalar charge total.
+    """
+    all_keys, order, run_of = _replay_order(runs, sidecars, prefix_width)
+    heads, queues, indices = _replay_heads(readers)
+    stats = store.device.stats
+    free = store.free
+    yielded = 0
+    try:
+        steps = zip(order, run_of) if keyed else run_of
+        for step in steps:
+            if keyed:
+                j, r = step
+            else:
+                r = step
+            record = heads[r]
+            if record is None:
+                raise RunError(
+                    "merge key sidecar out of sync with run contents"
+                )
+            yielded += 1
+            if keyed:
+                yield all_keys[j], record
+            else:
+                yield record
+            index = indices[r]
+            queue = queues[r]
+            if index < len(queue):
+                heads[r] = queue[index]
+                indices[r] = index + 1
+            else:
+                reader = readers[r]
+                queue = reader.read_available_records()
+                if queue:
+                    heads[r] = queue[0]
+                    queues[r] = queue
+                    indices[r] = 1
+                else:
+                    head = reader.read_record()
+                    heads[r] = head
+                    if head is None:
+                        free(runs[r])
+    finally:
+        if comparisons_per_record and yielded:
+            stats.record_merge_comparisons(
+                comparisons_per_record * yielded
+            )
+    stats.record_tokens(sum(run.record_count for run in runs))
+
+
+def replay_merge_to_writer(
+    store,
+    runs,
+    readers,
+    sidecars,
+    comparisons_per_record: int,
+    writer,
+    chunk_records: int,
+    prefix_width: int | None = None,
+) -> list[bytes]:
+    """Materialized merge pass, fully replayed into grouped writer calls.
+
+    The no-pool, no-recovery fast path of a materialized heap-kernel
+    merge: observationally identical to consuming :func:`replay_merge`
+    through ``chunk_records``-sized ``write_records`` groups, minus the
+    generator machinery.  Returns the output run's key sidecar (the
+    merged key order) - no per-record key collection needed.
+    """
+    all_keys, order, run_of = _replay_order(runs, sidecars, prefix_width)
+    heads, queues, indices = _replay_heads(readers)
+    stats = store.device.stats
+    free = store.free
+    write_records = writer.write_records
+    out: list[bytes] = []
+    append = out.append
+    emitted = 0
+    try:
+        for r in run_of:
+            record = heads[r]
+            if record is None:
+                raise RunError(
+                    "merge key sidecar out of sync with run contents"
+                )
+            emitted += 1
+            append(record)
+            if len(out) >= chunk_records:
+                write_records(out)
+                out = []
+                append = out.append
+            index = indices[r]
+            queue = queues[r]
+            if index < len(queue):
+                heads[r] = queue[index]
+                indices[r] = index + 1
+            else:
+                reader = readers[r]
+                queue = reader.read_available_records()
+                if queue:
+                    heads[r] = queue[0]
+                    queues[r] = queue
+                    indices[r] = 1
+                else:
+                    head = reader.read_record()
+                    heads[r] = head
+                    if head is None:
+                        free(runs[r])
+        if out:
+            write_records(out)
+    finally:
+        if comparisons_per_record and emitted:
+            stats.record_merge_comparisons(
+                comparisons_per_record * emitted
+            )
+    stats.record_tokens(sum(run.record_count for run in runs))
+    return [all_keys[j] for j in order]
+
+
+# -- fused scan: stored tokens -> key-path records -> run formation -----------
+
+
+class _StartKeyCache:
+    """Memoized start-tag key evaluation over raw ``tag+attrs`` bytes.
+
+    The memo key is the encoded tag+attributes slice of the stored start
+    token, which is exactly the information a start-computable rule may
+    use - so one cache serves every rule shape with the evaluator's exact
+    semantics (including numeric coercion and missing-attribute
+    fallbacks).  Entries hold the normalized and codec-encoded atom
+    bytes, never token objects.
+    """
+
+    __slots__ = ("spec", "memo")
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.memo: dict[bytes, tuple[bytes, bytes]] = {}
+
+    def key_for(self, tag_attrs: bytes) -> tuple[bytes, bytes]:
+        entry = self.memo.get(tag_attrs)
+        if entry is not None:
+            return entry
+        tag, attrs = _decode_tag_attrs(tag_attrs)
+        atom = self.spec.rule_for(tag).key_from_start(
+            StartTag(tag, attrs)
+        )
+        entry = (normalized_atom_bytes(atom), encoded_atom_bytes(atom))
+        if len(self.memo) >= _MEMO_LIMIT:
+            self.memo.clear()
+        self.memo[tag_attrs] = entry
+        return entry
+
+
+def _decode_tag_attrs(
+    data: bytes,
+) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """Decode a plain (no name dictionary) tag+attrs byte slice."""
+    length, pos = _read_varint_fast(data, 0)
+    end = pos + length
+    tag = data[pos:end].decode("utf-8")
+    count, pos = _read_varint_fast(data, end)
+    attrs = []
+    for _ in range(count):
+        length, pos = _read_varint_fast(data, pos)
+        end = pos + length
+        name = data[pos:end].decode("utf-8")
+        length, pos = _read_varint_fast(data, end)
+        end = pos + length
+        attrs.append((name, data[pos:end].decode("utf-8")))
+        pos = end
+    return tag, tuple(attrs)
+
+
+def _encode_tag_attrs(tag: str, attrs) -> bytes:
+    out = bytearray()
+    encoded = tag.encode("utf-8")
+    write_varint(out, len(encoded))
+    out += encoded
+    write_varint(out, len(attrs))
+    for name, value in attrs:
+        encoded = name.encode("utf-8")
+        write_varint(out, len(encoded))
+        out += encoded
+        encoded = value.encode("utf-8")
+        write_varint(out, len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+_ELEMENT_HEADS = [b"\x01" + varint_bytes(depth) for depth in range(64)]
+
+
+def _element_head(depth: int) -> bytes:
+    if depth < 64:
+        return _ELEMENT_HEADS[depth]
+    return b"\x01" + varint_bytes(depth)
+
+
+def form_runs_columnar(document, spec, former, device) -> bool:
+    """Fused scan of a stored document into run formation.
+
+    One loop replaces ``iter_events -> KeyEvaluator.annotate ->
+    records_from_annotated_events -> encode_record``: stored token records
+    are drained block-wise, key-path records are assembled by splicing the
+    already-encoded tag/attribute/text bytes, and the former receives
+    normalized ``bytes`` keys.  Emission order (element end-tag order),
+    record bytes, token charges, and input-scan block reads are identical
+    to the scalar pipeline.
+
+    Returns False - caller must run the scalar path - for storage the
+    fused parser does not cover (compacted documents) or non-start-
+    computable specs.  Raises the scalar path's own error for streams it
+    rejects (annotated pointers, unbalanced nesting).
+    """
+    if document.compaction is not None or not spec.start_computable:
+        return False
+    reader = document.store.open_reader(
+        document.handle, category="input_scan"
+    )
+    read_available = reader.read_available_records
+    read_one = reader.read_record
+    cache = _StartKeyCache(spec)
+    key_for = cache.key_for
+    add = former.bulk_adder()
+    join = b"".join
+
+    # Per-open-element stacks.  norm/enc hold the *cumulative* path of
+    # the open element (parent path + own component), so closing an
+    # element never re-derives ancestors.
+    norm_stack: list[bytes] = [b""]
+    enc_stack: list[bytes] = [b""]
+    ta_stack: list[bytes] = []
+    text_stack: list = []
+    next_pos = 0
+    records = 0
+
+    while True:
+        # Drain the buffered block in one batched parse; the record that
+        # needs the next block goes through read_record so the block
+        # load fires at the identical pull index (see record_puller).
+        chunk = read_available()
+        if not chunk:
+            record = read_one()
+            if record is None:
+                break
+            chunk = (record,)
+        for record in chunk:
+            token_type = record[0]
+            if token_type == TYPE_START:
+                if record[1]:
+                    # Annotated start (rare outside compaction): decode, then
+                    # re-encode the bare tag+attrs the record layout needs.
+                    token = document.codec.decode(record)
+                    tag_attrs = _encode_tag_attrs(token.tag, token.attrs)
+                else:
+                    tag_attrs = record[2:]
+                pos = next_pos
+                next_pos += 1
+                norm_atom, enc_atom = key_for(tag_attrs)
+                if pos < 0x80:
+                    pos_varint = _VARINT1[pos]
+                else:
+                    value = pos
+                    encoded = bytearray()
+                    while value >= 0x80:
+                        encoded.append(value & 0x7F | 0x80)
+                        value >>= 7
+                    encoded.append(value)
+                    pos_varint = bytes(encoded)
+                norm_stack.append(
+                    norm_stack[-1] + norm_atom + pos.to_bytes(8, "big")
+                )
+                enc_stack.append(enc_stack[-1] + enc_atom + pos_varint)
+                ta_stack.append(tag_attrs)
+                text_stack.append(None)
+            elif token_type == TYPE_END:
+                if not ta_stack:
+                    raise CodecError("unbalanced end tag during columnar scan")
+                tag_attrs = ta_stack.pop()
+                pending = text_stack.pop()
+                norm = norm_stack.pop()
+                enc = enc_stack.pop()
+                if pending is None:
+                    text_frame = b"\x00"
+                elif type(pending) is list:
+                    joined = join(
+                        [_frame_payload(frame) for frame in pending]
+                    )
+                    text_frame = varint_bytes(len(joined)) + joined
+                else:
+                    text_frame = pending
+                depth = len(ta_stack) + 1
+                add(
+                    norm,
+                    join(
+                        (_element_head(depth), enc, tag_attrs, text_frame)
+                    ),
+                )
+                records += 1
+            elif token_type == TYPE_TEXT:
+                if record[1]:
+                    token = document.codec.decode(record)
+                    frame = _frame_string(token.text)
+                else:
+                    frame = record[2:]
+                if text_stack:
+                    pending = text_stack[-1]
+                    if pending is None:
+                        text_stack[-1] = frame
+                    elif type(pending) is list:
+                        pending.append(frame)
+                    else:
+                        text_stack[-1] = [pending, frame]
+            elif token_type == TYPE_POINTER:
+                # Scalar scan rejects pointers too (KeyEvaluator.annotate).
+                raise SortSpecError(
+                    "unexpected run pointer in a document scan"
+                )
+            else:
+                raise CodecError(f"unknown token type byte {token_type}")
+    if ta_stack:
+        raise CodecError("unbalanced event stream during columnar scan")
+    device.stats.record_tokens(records)
+    return True
+
+
+def _frame_payload(frame: bytes) -> bytes:
+    """Strip the varint length header of a string frame."""
+    _, pos = _read_varint_fast(frame, 0)
+    return frame[pos:]
+
+
+def _frame_string(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return varint_bytes(len(encoded)) + encoded
+
+
+# -- fused output: sorted records -> stored output tokens ---------------------
+
+
+def emit_output_columnar(
+    stream: Iterable[bytes],
+    writer,
+    device,
+    strip_embedded: bool = False,
+    chunk_records: int = 0,
+) -> None:
+    """Fused output phase for plain (uncompacted) documents.
+
+    Turns path-sorted element records back into the stored token stream by
+    splicing: the output start/text/end token encodings are byte slices of
+    the record plus constant headers, so no token objects, string decodes,
+    or re-encodes happen.  Token counts and the emitted byte stream are
+    identical to ``tokens_from_sorted_records`` + ``codec.encode``.
+
+    ``chunk_records > 0`` additionally groups writer calls (safe only when
+    no buffer pool or recovery context is attached - grouping reorders
+    writes relative to the final merge's reads, which a shared pool would
+    observe); 0 writes token-at-a-time, preserving the exact global
+    device-access interleaving.
+    """
+    stats = device.stats
+    open_tags: list[bytes] = []
+    out: list[bytes] = []
+    append = out.append
+    pending_tokens = 0
+
+    def flush() -> None:
+        nonlocal pending_tokens
+        if out:
+            # write_records frames the payloads synchronously, so the
+            # list can be reused (keeps `append` a stable bound method).
+            writer.write_records(out)
+            stats.record_tokens(pending_tokens)
+            out.clear()
+            pending_tokens = 0
+
+    level_tails: dict[int, bytes] = {}
+    for record in stream:
+        if strip_embedded:
+            length = record[0]
+            if length < 0x80:
+                record = record[1 + length :]
+            else:
+                length, pos = _read_varint_fast(record, 0)
+                record = record[pos + length :]
+        if record[0] != 1:  # element records only on this path
+            raise CodecError(
+                "columnar output emit expects element key-path records"
+            )
+        depth = record[1]
+        pos = 2
+        if depth >= 0x80:
+            depth, pos = _read_varint_fast(record, 1)
+        if depth == 0:
+            raise CodecError("key-path record with empty path")
+        # Skip the (atom, position) path components; varints inlined -
+        # this loop runs once per output element.
+        for _ in range(depth):
+            kind = record[pos]
+            pos += 1
+            if kind == 2:
+                length = record[pos]
+                pos += 1
+                if length >= 0x80:
+                    length, pos = _read_varint_fast(record, pos - 1)
+                pos += length
+            elif kind == 1:
+                pos += 8
+            elif kind != 0:
+                raise CodecError(f"unknown key atom kind {kind}")
+            while record[pos] >= 0x80:
+                pos += 1
+            pos += 1
+        tag_start = pos
+        length = record[pos]
+        pos += 1
+        if length >= 0x80:
+            length, pos = _read_varint_fast(record, pos - 1)
+        pos += length
+        tag_frame = record[tag_start:pos]
+        count = record[pos]
+        pos += 1
+        if count >= 0x80:
+            count, pos = _read_varint_fast(record, pos - 1)
+        for _ in range(2 * count):
+            length = record[pos]
+            pos += 1
+            if length >= 0x80:
+                length, pos = _read_varint_fast(record, pos - 1)
+            pos += length
+        tag_attrs = record[tag_start:pos]
+        text_frame = record[pos:]
+
+        while len(open_tags) >= depth:
+            append(b"\x03\x00" + open_tags.pop())
+            pending_tokens += 1
+        if len(open_tags) != depth - 1:
+            raise CodecError(
+                "key-path records out of order: jumped from depth "
+                f"{len(open_tags)} to {depth}"
+            )
+        # Output starts carry their absolute level (base level 1 ->
+        # level == depth), exactly as tokens_from_sorted_records emits.
+        tail = level_tails.get(depth)
+        if tail is None:
+            tail = varint_bytes(depth)
+            level_tails[depth] = tail
+        append(b"\x01\x04" + tag_attrs + tail)
+        pending_tokens += 1
+        if text_frame != b"\x00":
+            append(b"\x02\x00" + text_frame)
+            pending_tokens += 1
+        open_tags.append(tag_frame)
+
+        if chunk_records:
+            if len(out) >= chunk_records:
+                flush()
+        else:
+            flush()
+    while open_tags:
+        append(b"\x03\x00" + open_tags.pop())
+        pending_tokens += 1
+    flush()

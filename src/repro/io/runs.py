@@ -66,6 +66,12 @@ class RunStore:
         self._pool = None
         self._runs: dict[int, RunHandle] = {}
         self._next_id = 0
+        # Columnar-kernel key sidecars: run_id -> the normalized key bytes
+        # of the run's records, in record order.  Host-side acceleration
+        # only - sidecars never touch the simulated device, they just let
+        # later merge passes skip re-deriving keys the producing pass
+        # already had in hand.  Dropped when the run is freed.
+        self.key_sidecars: dict[int, list] = {}
 
     @property
     def pool(self):
@@ -125,6 +131,7 @@ class RunStore:
         handle = self.get(run) if isinstance(run, int) else run
         self.io_target.free_blocks(handle.block_ids)
         self._runs.pop(handle.run_id, None)
+        self.key_sidecars.pop(handle.run_id, None)
 
     def total_run_blocks(self) -> int:
         """Blocks held by all live runs (used to check Lemma 4.8)."""
@@ -187,8 +194,40 @@ class RunWriter:
             del self._buffer[:size]
 
     def write_records(self, payloads: Iterable[bytes]) -> None:
+        """Append many records with one framing pass.
+
+        Device-sequence-identical to a loop of :meth:`write_record` calls:
+        the framed stream is byte-for-byte the same, so blocks fill - and
+        flush, in order - at exactly the same stream offsets.  Only the
+        Python-side overhead (per-record struct packing and buffer
+        growth) is batched away.
+        """
+        if self._finished:
+            raise RunError("write to a finished run")
+        payloads = (
+            payloads if isinstance(payloads, list) else list(payloads)
+        )
+        if not payloads:
+            return
+        pack = _LEN.pack
+        parts: list[bytes] = []
+        payload_bytes = 0
         for payload in payloads:
-            self.write_record(payload)
+            parts.append(pack(len(payload)))
+            parts.append(payload)
+            payload_bytes += len(payload)
+        framed = b"".join(parts)
+        self._buffer += framed
+        self._stream_bytes += len(framed)
+        self._payload_bytes += payload_bytes
+        self._record_count += len(payloads)
+        size = self._device.block_size
+        buffer = self._buffer
+        if len(buffer) >= size:
+            full = len(buffer) - (len(buffer) % size)
+            for start in range(0, full, size):
+                self._flush_block(bytes(buffer[start : start + size]))
+            del buffer[:full]
 
     def finish(self) -> RunHandle:
         """Flush the tail block and register the run."""
@@ -313,6 +352,42 @@ class RunReader:
             if record is None:
                 return
             yield record
+
+    def read_available_records(self) -> list[bytes]:
+        """Every record servable from the buffered block without new I/O.
+
+        Returns the (possibly empty) list of records whose header and
+        payload lie entirely inside the currently loaded block.  The next
+        record - one that needs a block load, or the first record before
+        any block is buffered - is *not* read; fetching it via
+        :meth:`read_record` performs the load at exactly the moment a
+        record-at-a-time reader would.  This is what keeps batched readers
+        bit-identical in I/O order: draining a loaded block is free in
+        the device model, exactly as the scalar fast path of
+        :meth:`_read_bytes` is.
+        """
+        out: list[bytes] = []
+        end = self._handle.stream_bytes
+        if self._pos >= end or self._block_index < 0:
+            return out
+        size = self._device.block_size
+        block = self._block
+        base = self._block_index * size
+        intra = self._pos - base
+        if intra < 0 or intra >= size:
+            return out
+        unpack_from = _LEN.unpack_from
+        header = _LEN.size
+        limit = min(size, end - base)
+        while intra + header <= limit:
+            (length,) = unpack_from(block, intra)
+            record_end = intra + header + length
+            if record_end > limit:
+                break
+            out.append(block[intra + header : record_end])
+            intra = record_end
+        self._pos = base + intra
+        return out
 
     def _read_bytes(self, count: int) -> bytes:
         if self._pos + count > self._handle.stream_bytes:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import ceil, log2
 from typing import Callable, Iterable, Iterator
 
@@ -44,9 +44,49 @@ from ..xml.tokens import KEY_MISSING, KEY_NUMBER, KEY_STRING
 
 RUN_FORMATION_MODES = ("load-sort", "replacement-selection")
 MERGE_KERNELS = ("heap", "loser-tree")
+SORT_KERNELS = ("scalar", "columnar")
+
+#: Widest key prefix the columnar kernel will materialize per record.
+#: Beyond this, a prefix array stops paying for itself (the full-key
+#: tie-break handles the tail either way).
+MAX_PREFIX_WIDTH = 256
 
 _DOUBLE = struct.Struct(">d")
 _U64 = struct.Struct(">Q")
+
+
+@dataclass(frozen=True)
+class KeyOptions:
+    """Knobs of the normalized-key representation.
+
+    Attributes:
+        prefix_width: bytes of normalized key the columnar kernel packs
+            into its fixed-width prefix array (argsort discriminates on
+            the prefix; equal prefixes fall back to full-key comparison).
+            Clamped to a multiple of 8 in ``[8, MAX_PREFIX_WIDTH]`` so the
+            prefix matrix views cleanly as big-endian u64 columns.
+    """
+
+    prefix_width: int = 24
+
+    def __post_init__(self):
+        if not isinstance(self.prefix_width, int):
+            raise SortSpecError(
+                f"prefix_width must be an int, got "
+                f"{type(self.prefix_width).__name__}"
+            )
+        if self.prefix_width < 1:
+            raise SortSpecError(
+                f"prefix_width must be positive, got {self.prefix_width}"
+            )
+        # Clamp rather than reject: any positive width is a valid request,
+        # the kernel just rounds it to the nearest supported geometry.
+        width = min(self.prefix_width, MAX_PREFIX_WIDTH)
+        width = ((width + 7) // 8) * 8
+        object.__setattr__(self, "prefix_width", width)
+
+
+DEFAULT_KEY_OPTIONS = KeyOptions()
 
 
 @dataclass(frozen=True)
@@ -65,11 +105,19 @@ class MergeOptions:
             *counted* comparisons - and counted in-memory sorts too).
         embedded_keys: prefix run records with a byte-comparable normalized
             key so merge passes never decode records.
+        kernel: ``scalar`` (the element-at-a-time reference path) or
+            ``columnar`` (batch kernels over contiguous normalized-key
+            buffers, :mod:`repro.core.columnar`).  The kernel choice is an
+            *implementation* knob: every I/O, comparison, and token counter
+            stays bit-identical between the two.
+        keys: normalized-key layout knobs (:class:`KeyOptions`).
     """
 
     run_formation: str = "load-sort"
     merge_kernel: str = "heap"
     embedded_keys: bool = False
+    kernel: str = "scalar"
+    keys: KeyOptions = field(default_factory=KeyOptions)
 
     def __post_init__(self):
         if self.run_formation not in RUN_FORMATION_MODES:
@@ -81,6 +129,11 @@ class MergeOptions:
             raise SortSpecError(
                 f"unknown merge kernel {self.merge_kernel!r}; "
                 f"choose from {MERGE_KERNELS}"
+            )
+        if self.kernel not in SORT_KERNELS:
+            raise SortSpecError(
+                f"unknown sort kernel {self.kernel!r}; "
+                f"choose from {SORT_KERNELS}"
             )
 
     @property
@@ -95,6 +148,10 @@ class MergeOptions:
     def counted_comparisons(self) -> bool:
         """Real counted comparisons ride with the loser-tree kernel."""
         return self.loser_tree
+
+    @property
+    def columnar(self) -> bool:
+        return self.kernel == "columnar"
 
     @property
     def is_default(self) -> bool:
@@ -330,6 +387,38 @@ class RunFormer:
         for key, payload in keyed:
             self.add(key, payload)
 
+    def bulk_adder(self):
+        """A per-record add callable with the mode checks hoisted.
+
+        Same behaviour as :meth:`add`; fused scans call this once and
+        then feed millions of records through the returned closure, so
+        the per-record option lookups are paid once here instead.
+        """
+        if self.options.replacement_selection:
+            if not self.options.embedded_keys:
+                return self._add_replacement
+
+            def add_embedded_replacement(key, payload: bytes) -> None:
+                self._add_replacement(key, embed_key(key, payload))
+
+            return add_embedded_replacement
+        embedded = self.options.embedded_keys
+        capacity = self.capacity_bytes
+        batch_append = self._batch.append
+
+        def add(key, payload: bytes) -> None:
+            nonlocal batch_append
+            if embedded:
+                payload = embed_key(key, payload)
+            batch_append((key, payload))
+            total = self._batch_bytes + len(payload)
+            self._batch_bytes = total
+            if total >= capacity:
+                self._flush_batch()
+                batch_append = self._batch.append
+
+        return add
+
     def finish(self) -> list:
         """Flush whatever is pending; returns the run handles in order."""
         if self._finished:
@@ -344,13 +433,43 @@ class RunFormer:
 
     def _flush_batch(self) -> None:
         batch = self._batch
-        sort_keyed_batch(
-            batch, self.store.device.stats, self.options.counted_comparisons
-        )
+        stats = self.store.device.stats
+        if (
+            self.options.columnar
+            and not self.options.counted_comparisons
+            and len(batch) > 1
+            and type(batch[0][0]) is bytes
+        ):
+            # Columnar fast path: argsort over the fixed-width normalized
+            # key prefixes, full-key tie-break.  Ordering is identical to
+            # the scalar sort (keys are order-faithful bytes), and so is
+            # the analytic comparison charge.  Counted mode stays on the
+            # scalar sort so the recorded count is the one the comparison
+            # sequence actually produces.
+            from ..core.columnar import argsort_keyed_batch
+
+            batch = argsort_keyed_batch(
+                batch, self.options.keys.prefix_width
+            )
+            count = len(batch)
+            stats.record_comparisons(count * max(1, ceil(log2(count))))
+        else:
+            sort_keyed_batch(
+                batch, stats, self.options.counted_comparisons
+            )
         writer = self.store.create_writer(self.write_category)
-        for _key, payload in batch:
-            writer.write_record(payload)
+        writer.write_records([payload for _key, payload in batch])
         handle = writer.finish()
+        if (
+            self.options.columnar
+            and batch
+            and type(batch[0][0]) is bytes
+        ):
+            # Key sidecar (host memory only): merge passes over this run
+            # can reuse these keys instead of re-parsing every record.
+            self.store.key_sidecars[handle.run_id] = [
+                key for key, _payload in batch
+            ]
         self._runs.append(handle)
         self.run_lengths.append(handle.record_count)
         self._batch = []
@@ -383,9 +502,16 @@ class RunFormer:
             self._close_open_run()
             self._writer = self.store.create_writer(self.write_category)
             self._writer_records = 0
+            self._writer_keys = (
+                []
+                if self.options.columnar and type(key) is bytes
+                else None
+            )
             self._run_index = run
         self._writer.write_record(payload)
         self._writer_records += 1
+        if self._writer_keys is not None:
+            self._writer_keys.append(key)
         self._last_key = key
         self._have_last = True
 
@@ -397,6 +523,10 @@ class RunFormer:
         if writer is None:
             return
         handle = writer.finish()
+        keys = getattr(self, "_writer_keys", None)
+        if keys is not None:
+            self.store.key_sidecars[handle.run_id] = keys
+            self._writer_keys = None
         self._runs.append(handle)
         self.run_lengths.append(handle.record_count)
         self._writer = None

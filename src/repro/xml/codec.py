@@ -21,7 +21,7 @@ stream level, not here: a compacted stream simply contains no
 from __future__ import annotations
 
 import struct
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from ..errors import CodecError
 from .tokens import (
@@ -44,6 +44,14 @@ _TYPE_START = 1
 _TYPE_TEXT = 2
 _TYPE_END = 3
 _TYPE_POINTER = 4
+
+#: Public aliases of the record type bytes, for batch decoders
+#: (:mod:`repro.core.columnar`) that dispatch on the raw leading byte
+#: without materializing token objects.
+TYPE_START = _TYPE_START
+TYPE_TEXT = _TYPE_TEXT
+TYPE_END = _TYPE_END
+TYPE_POINTER = _TYPE_POINTER
 
 # Flag bits shared by start/end/pointer encodings.
 _FLAG_KEY = 1
@@ -162,6 +170,16 @@ class TokenCodec:
     def encoded_size(self, token: Token) -> int:
         """Size of ``encode(token)`` (used for threshold arithmetic)."""
         return len(self.encode(token))
+
+    def encode_batch(self, tokens: Iterable[Token]) -> list[bytes]:
+        """Encode many tokens; one bound-method lookup for the batch."""
+        encode = self.encode
+        return [encode(token) for token in tokens]
+
+    def decode_batch(self, records: Iterable[bytes]) -> list[Token]:
+        """Decode many records; one bound-method lookup for the batch."""
+        decode = self.decode
+        return [decode(record) for record in records]
 
     def _flags(self, token) -> int:
         flags = 0

@@ -18,6 +18,14 @@ change what the sort computes:
 The exhaustive test pins the full run-formation x merge-kernel x
 embedded-keys grid for both sorters; the hypothesis test fuzzes the
 memory budget, pool size, and document shape on top.
+
+The columnar kernel (ISSUE 6) has a stricter contract than the pool:
+``kernel="columnar"`` must leave *every* counter - reads, writes,
+sequential/random classification, tokens, comparisons, merge
+comparisons, cache traffic - and the per-phase trace breakdown
+bit-identical to the scalar path.  :class:`TestKernelParity` pins that
+across the same grid, pooled and unpooled, and the fuzz suite draws the
+kernel axis too.
 """
 
 import itertools
@@ -32,6 +40,7 @@ from repro.generators import level_fanout_events
 from repro.io import BlockDevice, RunStore
 from repro.keys import ByAttribute, SortSpec
 from repro.merge.engine import MergeOptions
+from repro.obs import Tracer
 from repro.xml.document import Document
 
 SPEC = SortSpec(default=ByAttribute("name"))
@@ -60,6 +69,33 @@ def sort_once(algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3):
         merge_options=options,
     )
     return output.to_string(), device.stats.snapshot().counter_totals()
+
+
+def sort_traced(
+    algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3
+):
+    """Like sort_once, plus the per-phase trace breakdown."""
+    device = BlockDevice(block_size=512)
+    store = RunStore(device)
+    document = Document.from_events(
+        store, level_fanout_events(list(fanouts), seed=seed, pad_bytes=24)
+    )
+    tracer = Tracer(device.stats)
+    sorter = nexsort if algorithm == "nexsort" else external_merge_sort
+    output, _report = sorter(
+        document,
+        SPEC,
+        memory_blocks=memory,
+        cache_blocks=cache,
+        merge_options=options,
+        tracer=tracer,
+    )
+    trace = tracer.finish()
+    return (
+        output.to_string(),
+        device.stats.snapshot().counter_totals(),
+        trace.phase_breakdown(),
+    )
 
 
 def assert_parity(unpooled, pooled):
@@ -98,6 +134,66 @@ class TestMergeOptionsGrid:
         assert pooled[1]["cache_misses"] > 0
 
 
+class TestKernelParity:
+    """``kernel="columnar"`` is counter-transparent, bit for bit.
+
+    Unlike the pool contract (which may trade reads for hits), the
+    kernel axis allows no drift at all: same output bytes, same counter
+    totals including the sequential/random I/O split, same per-phase
+    breakdown.
+    """
+
+    @pytest.mark.parametrize("algorithm", ["nexsort", "merge_sort"])
+    @pytest.mark.parametrize(
+        "run_formation,merge_kernel,embedded_keys", GRID
+    )
+    def test_columnar_matches_scalar_unpooled(
+        self, algorithm, run_formation, merge_kernel, embedded_keys
+    ):
+        scalar = sort_traced(
+            algorithm,
+            12,
+            0,
+            MergeOptions(
+                run_formation=run_formation,
+                merge_kernel=merge_kernel,
+                embedded_keys=embedded_keys,
+                kernel="scalar",
+            ),
+        )
+        columnar = sort_traced(
+            algorithm,
+            12,
+            0,
+            MergeOptions(
+                run_formation=run_formation,
+                merge_kernel=merge_kernel,
+                embedded_keys=embedded_keys,
+                kernel="columnar",
+            ),
+        )
+        assert columnar[0] == scalar[0]  # output document
+        assert columnar[1] == scalar[1]  # every counter total
+        assert columnar[2] == scalar[2]  # per-phase breakdown
+
+    @pytest.mark.parametrize("algorithm", ["nexsort", "merge_sort"])
+    def test_columnar_matches_scalar_pooled(self, algorithm):
+        for kernel_options in ({}, {"embedded_keys": True}):
+            scalar = sort_traced(
+                algorithm,
+                16,
+                4,
+                MergeOptions(kernel="scalar", **kernel_options),
+            )
+            columnar = sort_traced(
+                algorithm,
+                16,
+                4,
+                MergeOptions(kernel="columnar", **kernel_options),
+            )
+            assert columnar == scalar
+
+
 class TestFuzzedParity:
     @settings(max_examples=12, deadline=None)
     @given(
@@ -107,6 +203,7 @@ class TestFuzzedParity:
         ),
         merge_kernel=st.sampled_from(["heap", "loser-tree"]),
         embedded_keys=st.booleans(),
+        kernel=st.sampled_from(["scalar", "columnar"]),
         memory=st.integers(min_value=10, max_value=16),
         cache=st.integers(min_value=1, max_value=5),
         seed=st.integers(min_value=1, max_value=4),
@@ -118,6 +215,7 @@ class TestFuzzedParity:
         run_formation,
         merge_kernel,
         embedded_keys,
+        kernel,
         memory,
         cache,
         seed,
@@ -127,6 +225,7 @@ class TestFuzzedParity:
             run_formation=run_formation,
             merge_kernel=merge_kernel,
             embedded_keys=embedded_keys,
+            kernel=kernel,
         )
         unpooled = sort_once(
             algorithm, memory, 0, options, fanouts=fanouts, seed=seed
@@ -140,3 +239,44 @@ class TestFuzzedParity:
             seed=seed,
         )
         assert_parity(unpooled, pooled)
+
+    @settings(max_examples=16, deadline=None)
+    @given(
+        algorithm=st.sampled_from(["nexsort", "merge_sort"]),
+        run_formation=st.sampled_from(
+            ["load-sort", "replacement-selection"]
+        ),
+        merge_kernel=st.sampled_from(["heap", "loser-tree"]),
+        embedded_keys=st.booleans(),
+        memory=st.integers(min_value=10, max_value=16),
+        cache=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=1, max_value=4),
+        fanouts=st.sampled_from([(6, 6, 6), (4, 5, 6), (3, 4, 4, 3)]),
+    )
+    def test_kernels_bit_identical_fuzzed(
+        self,
+        algorithm,
+        run_formation,
+        merge_kernel,
+        embedded_keys,
+        memory,
+        cache,
+        seed,
+        fanouts,
+    ):
+        def run(kernel):
+            return sort_traced(
+                algorithm,
+                memory + cache,
+                cache,
+                MergeOptions(
+                    run_formation=run_formation,
+                    merge_kernel=merge_kernel,
+                    embedded_keys=embedded_keys,
+                    kernel=kernel,
+                ),
+                fanouts=fanouts,
+                seed=seed,
+            )
+
+        assert run("columnar") == run("scalar")

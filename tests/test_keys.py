@@ -289,3 +289,116 @@ class TestByAttributes:
         doc = Document.from_element(store, tree)
         result, _ = nexsort(doc, spec, memory_blocks=8)
         assert result.to_element() == sort_element(tree, spec)
+
+
+class TestNormalizedKeyEdgeCases:
+    """Normalized-key ordering edge cases the columnar argsort leans on.
+
+    The columnar kernel discriminates on a fixed-width prefix of these
+    bytes and tie-breaks on the full key, so the byte order must be total
+    and match tuple-key order exactly - including empty strings,
+    multi-byte UTF-8, and keys longer than the embedded prefix width.
+    """
+
+    def test_empty_text_sorts_before_everything(self):
+        from repro.merge.engine import normalized_path_key
+
+        empty = normalized_path_key((((KEY_STRING, ""), 0),))
+        space = normalized_path_key((((KEY_STRING, " "), 0),))
+        word = normalized_path_key((((KEY_STRING, "a"), 0),))
+        assert empty < space < word
+        # ... but missing still sorts before the empty string, matching
+        # tuple order (KEY_MISSING=0 < KEY_STRING=2).
+        missing = normalized_path_key((((0, 0.0), 0),))
+        assert missing < empty
+
+    def test_multibyte_utf8_orders_by_codepoint(self):
+        from repro.merge.engine import normalized_string_key
+
+        # UTF-8 byte order == codepoint order; check across 1-, 2-, 3-
+        # and 4-byte encodings.
+        values = ["z", "é", "Ł", "中", "\U0001f600"]
+        normalized = sorted(normalized_string_key(v) for v in values)
+        by_codepoint = [
+            normalized_string_key(v) for v in sorted(values)
+        ]
+        assert normalized == by_codepoint
+        assert normalized_string_key("z") < normalized_string_key(
+            "é"
+        )
+
+    def test_keys_longer_than_prefix_tiebreak_on_tail(self):
+        from repro.core.columnar import argsort_normalized
+        from repro.merge.engine import (
+            DEFAULT_KEY_OPTIONS,
+            normalized_path_key,
+        )
+
+        width = DEFAULT_KEY_OPTIONS.prefix_width
+        shared = "x" * (width + 8)  # identical well past the prefix
+        keys = [
+            normalized_path_key((((KEY_STRING, shared + tail), 0),))
+            for tail in ("d", "b", "c", "a", "b")
+        ]
+        assert all(len(key) > width for key in keys)
+        order = argsort_normalized(keys, width)
+        assert order == sorted(range(len(keys)), key=keys.__getitem__)
+        # Stability: the two equal keys keep input order.
+        assert order.index(1) < order.index(4)
+
+    def test_numeric_keys_order_including_negatives_and_zero(self):
+        from repro.merge.engine import normalized_path_key
+
+        def key(value):
+            return normalized_path_key((((KEY_NUMBER, value), 0),))
+
+        assert key(-0.0) == key(0.0)
+        increasing = [-1e300, -2.5, 0.0, 1.0, float("inf")]
+        normalized = [key(v) for v in increasing]
+        assert normalized == sorted(normalized)
+        assert len(set(normalized)) == len(normalized)
+
+    def test_parent_is_strict_prefix_of_child(self):
+        from repro.merge.engine import normalized_path_key
+
+        parent = (((KEY_STRING, "a"), 1),)
+        child = parent + (((KEY_STRING, "b"), 2),)
+        parent_key = normalized_path_key(parent)
+        child_key = normalized_path_key(child)
+        assert child_key.startswith(parent_key)
+        assert parent_key < child_key
+
+
+class TestKeyOptions:
+    def test_default_width(self):
+        from repro.merge.engine import KeyOptions
+
+        assert KeyOptions().prefix_width == 24
+
+    @pytest.mark.parametrize(
+        "requested,clamped",
+        [(1, 8), (8, 8), (9, 16), (24, 24), (25, 32)],
+    )
+    def test_width_rounds_up_to_multiple_of_8(self, requested, clamped):
+        from repro.merge.engine import KeyOptions
+
+        assert KeyOptions(prefix_width=requested).prefix_width == clamped
+
+    def test_width_clamped_to_maximum(self):
+        from repro.merge.engine import KeyOptions, MAX_PREFIX_WIDTH
+
+        huge = KeyOptions(prefix_width=10**6)
+        assert huge.prefix_width == MAX_PREFIX_WIDTH
+
+    @pytest.mark.parametrize("bad", [0, -1, -24])
+    def test_nonpositive_width_rejected(self, bad):
+        from repro.merge.engine import KeyOptions
+
+        with pytest.raises(SortSpecError):
+            KeyOptions(prefix_width=bad)
+
+    def test_non_int_width_rejected(self):
+        from repro.merge.engine import KeyOptions
+
+        with pytest.raises(SortSpecError):
+            KeyOptions(prefix_width=24.0)
