@@ -272,9 +272,10 @@ class ExternalMergeSorter:
                 tracer, "output-emit", final_merge_width=width
             ):
                 writer = store.create_writer("output")
-                if options.columnar and names is None and emit_ends:
+                if options.columnar:
                     # Fused output: records back to stored tokens by byte
-                    # splicing (splice == re-encode for the plain codec).
+                    # splicing (splice == re-encode in either name
+                    # dialect, with or without end-tag elimination).
                     emit_output_columnar(
                         stream, writer, device,
                         strip_embedded=embedded,
@@ -283,6 +284,8 @@ class ExternalMergeSorter:
                             if store.pool is None and recovery is None
                             else 0
                         ),
+                        names_coded=names is not None,
+                        emit_ends=emit_ends,
                     )
                 else:
                     if embedded:

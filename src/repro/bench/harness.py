@@ -15,12 +15,14 @@ workload sizes for longer, smoother curves.
 from __future__ import annotations
 
 import os
+import platform as _platform
 import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..baselines.merge_sort import external_merge_sort
+from ..core import columnar as _columnar
 from ..core.nexsort import nexsort
 from ..io.device import BlockDevice
 from ..io.parallel import StripedDevice
@@ -79,6 +81,22 @@ def peak_rss_bytes() -> int | None:
     if sys.platform == "darwin":  # pragma: no cover
         return peak
     return peak * 1024
+
+
+def environment_detail() -> dict:
+    """Host-environment columns recorded in every bench row (ISSUE 7).
+
+    ``numpy_version`` is None exactly when the columnar kernels run on
+    their pure-Python fallback, so a JSON diff across hosts shows at a
+    glance whether two wall-clock columns used the same backend.
+    """
+    return {
+        "python_version": _platform.python_version(),
+        "numpy_version": (
+            _columnar._np.__version__ if _columnar.have_numpy() else None
+        ),
+        "platform": _platform.platform(),
+    }
 
 
 def load_document(
@@ -185,6 +203,7 @@ def run_nexsort(
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,
             "peak_rss_bytes": peak_rss_bytes(),
+            **environment_detail(),
             **_parallel_detail(document.store.device, report),
         },
         wall_seconds=wall_seconds,
@@ -239,6 +258,7 @@ def run_merge_sort(
             "cache_misses": report.stats.cache_misses,
             "cache_evictions": report.stats.cache_evictions,
             "peak_rss_bytes": peak_rss_bytes(),
+            **environment_detail(),
             **_parallel_detail(document.store.device, report),
         },
         wall_seconds=wall_seconds,

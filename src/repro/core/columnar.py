@@ -21,8 +21,14 @@ module provides the batch kernels behind ``MergeOptions(kernel="columnar")``:
 * :func:`record_puller` / :func:`batched_pulls` - block-drain batched run
   reading for the heap and loser-tree merge kernels;
 * :func:`form_runs_columnar` / :func:`emit_output_columnar` - fused block
-  encode/decode of the compact token format for the external merge sort
-  scan and output phases.
+  encode/decode of the token format for the external merge sort scan and
+  output phases, covering plain, dictionary-coded, and end-tag-eliminated
+  (level-annotated) storage;
+* :func:`argsort_groups` / :func:`sort_subtree_records` - NEXSORT's
+  in-memory subtree sorts as batch kernels: sibling groups are gathered
+  into one prefixed key batch and ordered with a single stable argsort,
+  and a popped subtree's raw data-stack records are parsed, sorted, and
+  re-serialized by byte splicing without ever materializing tokens.
 
 **Parity guarantee.**  Every kernel here is counter-transparent: device
 accesses are issued in the same per-stream order at the same consumption
@@ -40,6 +46,7 @@ from __future__ import annotations
 
 import struct
 from array import array
+from math import ceil, log2
 from typing import Callable, Iterable
 
 try:  # pragma: no cover - exercised via both-backends tests
@@ -63,6 +70,7 @@ from ..xml.tokens import StartTag
 _DOUBLE_LE = struct.Struct("<d")
 _DOUBLE_BE = struct.Struct(">d")
 _U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
 
 #: Keep the start-key memo bounded on high-cardinality documents.
 _MEMO_LIMIT = 1 << 16
@@ -378,6 +386,59 @@ def argsort_keyed_batch(
     keys = [key for key, _payload in batch]
     order = argsort_normalized(keys, prefix_width)
     return [batch[index] for index in order]
+
+
+#: Sibling groups at least this large get a dedicated argsort call;
+#: smaller groups are concatenated into one prefixed batch so a subtree
+#: with thousands of small sibling lists pays one sort dispatch, not
+#: thousands.
+_GROUP_SOLO = 4096
+
+
+def argsort_groups(
+    groups: list[list[bytes]], prefix_width: int | None = None
+) -> list[list[int]]:
+    """Per-group stable argsorts of many key lists, batched into one call.
+
+    Semantically ``[argsort_normalized(g) for g in groups]`` - this is
+    how NEXSORT's sibling-group sorts run as a batch kernel.  Small
+    groups are concatenated with a fixed-width big-endian *group-index
+    prefix* and ordered with a single stable :func:`argsort_normalized`:
+    the distinct ascending prefixes keep each group's rows contiguous in
+    the output (groups never interleave), so slicing the global order
+    back apart and rebasing indices recovers every group's local order,
+    including stability (equal keys inside a group keep their relative
+    input order because the global sort is stable and their prefixed
+    keys are adjacent duplicates).
+    """
+    orders: list[list[int] | None] = [None] * len(groups)
+    batch: list[tuple[int, int, int]] = []  # (group index, base, n)
+    batch_keys: list[bytes] = []
+    base = 0
+    for index, keys in enumerate(groups):
+        n = len(keys)
+        if n <= 1:
+            orders[index] = list(range(n))
+        elif n >= _GROUP_SOLO:
+            orders[index] = argsort_normalized(keys, prefix_width)
+        else:
+            batch.append((index, base, n))
+            batch_keys.extend(keys)
+            base += n
+    if len(batch) == 1:
+        index, _base, _n = batch[0]
+        orders[index] = argsort_normalized(batch_keys, prefix_width)
+    elif batch:
+        pack = _U32.pack
+        prefixed: list[bytes] = []
+        extend = prefixed.extend
+        for slot, (_index, lo, n) in enumerate(batch):
+            tag = pack(slot)
+            extend([tag + key for key in batch_keys[lo : lo + n]])
+        order = argsort_normalized(prefixed, prefix_width)
+        for _slot, (index, lo, n) in enumerate(batch):
+            orders[index] = [order[lo + i] - lo for i in range(n)]
+    return orders
 
 
 # -- batched run reading ------------------------------------------------------
@@ -729,17 +790,18 @@ class _StartKeyCache:
     bytes, never token objects.
     """
 
-    __slots__ = ("spec", "memo")
+    __slots__ = ("spec", "names", "memo")
 
-    def __init__(self, spec):
+    def __init__(self, spec, names=None):
         self.spec = spec
+        self.names = names
         self.memo: dict[bytes, tuple[bytes, bytes]] = {}
 
     def key_for(self, tag_attrs: bytes) -> tuple[bytes, bytes]:
         entry = self.memo.get(tag_attrs)
         if entry is not None:
             return entry
-        tag, attrs = _decode_tag_attrs(tag_attrs)
+        tag, attrs = _decode_tag_attrs(tag_attrs, self.names)
         atom = self.spec.rule_for(tag).key_from_start(
             StartTag(tag, attrs)
         )
@@ -750,10 +812,61 @@ class _StartKeyCache:
         return entry
 
 
+class ScanSpliceCache:
+    """Memoized splice pieces for the fused NEXSORT document scan.
+
+    Keyed like :class:`_StartKeyCache` by the raw ``tag+attrs`` slice of
+    a stored start record, but holding the pieces the scanning phase
+    splices onto the data stack: the codec-*encoded* key atom (the
+    annotated start carries the atom itself, not a normalized key) and
+    the encoded name field (an end-tag record's name is exactly the
+    tag+attrs prefix, in either name dialect).
+    """
+
+    __slots__ = ("spec", "names", "names_coded", "memo")
+
+    def __init__(self, spec, names=None):
+        self.spec = spec
+        self.names = names
+        self.names_coded = names is not None
+        self.memo: dict[bytes, tuple[bytes, bytes]] = {}
+
+    def pieces_for(self, tag_attrs: bytes) -> tuple[bytes, bytes]:
+        entry = self.memo.get(tag_attrs)
+        if entry is not None:
+            return entry
+        tag, attrs = _decode_tag_attrs(tag_attrs, self.names)
+        atom = self.spec.rule_for(tag).key_from_start(
+            StartTag(tag, attrs)
+        )
+        name_field = tag_attrs[
+            : _name_field_end(tag_attrs, 0, self.names_coded)
+        ]
+        entry = (encoded_atom_bytes(atom), name_field)
+        if len(self.memo) >= _MEMO_LIMIT:
+            self.memo.clear()
+        self.memo[tag_attrs] = entry
+        return entry
+
+
 def _decode_tag_attrs(
-    data: bytes,
+    data: bytes, names=None
 ) -> tuple[str, tuple[tuple[str, str], ...]]:
-    """Decode a plain (no name dictionary) tag+attrs byte slice."""
+    """Decode a tag+attrs byte slice (plain or dictionary-coded names)."""
+    if names is not None:
+        tag_id, pos = _read_varint_fast(data, 0)
+        count, pos = _read_varint_fast(data, pos)
+        ids = [tag_id]
+        values = []
+        for _ in range(count):
+            name_id, pos = _read_varint_fast(data, pos)
+            ids.append(name_id)
+            length, pos = _read_varint_fast(data, pos)
+            end = pos + length
+            values.append(data[pos:end].decode("utf-8"))
+            pos = end
+        resolved = names.names_of(ids)
+        return resolved[0], tuple(zip(resolved[1:], values))
     length, pos = _read_varint_fast(data, 0)
     end = pos + length
     tag = data[pos:end].decode("utf-8")
@@ -770,8 +883,17 @@ def _decode_tag_attrs(
     return tag, tuple(attrs)
 
 
-def _encode_tag_attrs(tag: str, attrs) -> bytes:
+def _encode_tag_attrs(tag: str, attrs, names=None) -> bytes:
     out = bytearray()
+    if names is not None:
+        out += names.intern_frame(tag)
+        write_varint(out, len(attrs))
+        for name, value in attrs:
+            out += names.intern_frame(name)
+            encoded = value.encode("utf-8")
+            write_varint(out, len(encoded))
+            out += encoded
+        return bytes(out)
     encoded = tag.encode("utf-8")
     write_varint(out, len(encoded))
     out += encoded
@@ -784,6 +906,86 @@ def _encode_tag_attrs(tag: str, attrs) -> bytes:
         write_varint(out, len(encoded))
         out += encoded
     return bytes(out)
+
+
+def _skip_frame(data: bytes, pos: int) -> int:
+    """End offset of a length-framed field starting at ``pos``."""
+    length = data[pos]
+    pos += 1
+    if length >= 0x80:
+        length, pos = _read_varint_fast(data, pos - 1)
+    return pos + length
+
+
+def _skip_varint(data: bytes, pos: int) -> int:
+    while data[pos] >= 0x80:
+        pos += 1
+    return pos + 1
+
+
+def _name_field_end(data: bytes, pos: int, names_coded: bool) -> int:
+    """End offset of one encoded name (id varint or string frame)."""
+    if names_coded:
+        return _skip_varint(data, pos)
+    return _skip_frame(data, pos)
+
+
+def _skip_tag_attrs(data: bytes, pos: int, names_coded: bool) -> int:
+    """End offset of a record's tag+attributes fields starting at ``pos``."""
+    if names_coded:
+        pos = _skip_varint(data, pos)  # tag id
+        count, pos = _read_varint_fast(data, pos)
+        for _ in range(count):
+            pos = _skip_varint(data, pos)  # attr name id
+            pos = _skip_frame(data, pos)  # attr value
+        return pos
+    pos = _skip_frame(data, pos)  # tag
+    count, pos = _read_varint_fast(data, pos)
+    for _ in range(count):
+        pos = _skip_frame(data, pos)  # attr name
+        pos = _skip_frame(data, pos)  # attr value
+    return pos
+
+
+def _skip_atom(data: bytes, pos: int) -> int:
+    """End offset of one codec-encoded key atom starting at ``pos``."""
+    kind = data[pos]
+    pos += 1
+    if kind == 0:
+        return pos
+    if kind == 1:
+        return pos + 8
+    if kind == 2:
+        return _skip_frame(data, pos)
+    raise CodecError(f"unknown key atom kind {kind}")
+
+
+def _normalize_encoded_atom(data: bytes, pos: int) -> tuple[bytes, int]:
+    """(normalized key bytes, end offset) of a codec-encoded key atom.
+
+    Same normalization as the merge engine's ``_normalize_atom``, driven
+    straight off the encoded bytes (no atom tuple is built).
+    """
+    kind = data[pos]
+    pos += 1
+    if kind == 2:
+        length = data[pos]
+        pos += 1
+        if length >= 0x80:
+            length, pos = _read_varint_fast(data, pos - 1)
+        end = pos + length
+        raw = data[pos:end]
+        if b"\x00" in raw:
+            raw = raw.replace(b"\x00", b"\x00\xff")
+        return b"\x02" + raw + b"\x00", end
+    if kind == 1:
+        return (
+            _normalize_number(_DOUBLE_LE.unpack_from(data, pos)[0]),
+            pos + 8,
+        )
+    if kind == 0:
+        return b"\x00", pos
+    raise CodecError(f"unknown key atom kind {kind}")
 
 
 _ELEMENT_HEADS = [b"\x01" + varint_bytes(depth) for depth in range(64)]
@@ -806,19 +1008,27 @@ def form_runs_columnar(document, spec, former, device) -> bool:
     record bytes, token charges, and input-scan block reads are identical
     to the scalar pipeline.
 
-    Returns False - caller must run the scalar path - for storage the
-    fused parser does not cover (compacted documents) or non-start-
-    computable specs.  Raises the scalar path's own error for streams it
-    rejects (annotated pointers, unbalanced nesting).
+    Every storage dialect is covered: plain, dictionary-coded names
+    (tag+attrs slices splice verbatim - key-path records use the same
+    name encoding), and end-tag-eliminated streams (a dedicated loop
+    synthesizes element closes from level transitions with
+    ``restore_end_tags``' exact rules).  Returns False - caller must run
+    the scalar path - only for non-start-computable specs.  Raises the
+    scalar path's own error for streams it rejects (annotated pointers,
+    unbalanced nesting).
     """
-    if document.compaction is not None or not spec.start_computable:
+    if not spec.start_computable:
         return False
+    compaction = document.compaction
+    names = compaction.names if compaction is not None else None
+    if compaction is not None and compaction.eliminate_end_tags:
+        return _form_runs_compact(document, spec, former, device, names)
     reader = document.store.open_reader(
         document.handle, category="input_scan"
     )
     read_available = reader.read_available_records
     read_one = reader.read_record
-    cache = _StartKeyCache(spec)
+    cache = _StartKeyCache(spec, names)
     key_for = cache.key_for
     add = former.bulk_adder()
     join = b"".join
@@ -850,7 +1060,7 @@ def form_runs_columnar(document, spec, former, device) -> bool:
                     # Annotated start (rare outside compaction): decode, then
                     # re-encode the bare tag+attrs the record layout needs.
                     token = document.codec.decode(record)
-                    tag_attrs = _encode_tag_attrs(token.tag, token.attrs)
+                    tag_attrs = _encode_tag_attrs(token.tag, token.attrs, names)
                 else:
                     tag_attrs = record[2:]
                 pos = next_pos
@@ -923,6 +1133,135 @@ def form_runs_columnar(document, spec, former, device) -> bool:
     return True
 
 
+def _form_runs_compact(document, spec, former, device, names) -> bool:
+    """Fused scan of an end-tag-eliminated document into run formation.
+
+    The compacted twin of the plain loop in :func:`form_runs_columnar`:
+    there are no stored end tags, so element closes are synthesized from
+    level transitions with ``restore_end_tags``' exact rules (a start or
+    pointer at level ``l`` closes opens at levels ``>= l``; a text at
+    level ``l`` closes opens deeper than ``l``; end of stream closes
+    everything).  Emission order, record bytes, and token charges match
+    the scalar ``restore_end_tags -> annotate -> records -> encode``
+    pipeline.
+    """
+    names_coded = names is not None
+    reader = document.store.open_reader(
+        document.handle, category="input_scan"
+    )
+    read_available = reader.read_available_records
+    read_one = reader.read_record
+    cache = _StartKeyCache(spec, names)
+    key_for = cache.key_for
+    add = former.bulk_adder()
+    join = b"".join
+
+    norm_stack: list[bytes] = [b""]
+    enc_stack: list[bytes] = [b""]
+    ta_stack: list[bytes] = []
+    text_stack: list = []
+    open_levels: list[int] = []
+    next_pos = 0
+    records = 0
+
+    def close_top() -> None:
+        nonlocal records
+        tag_attrs = ta_stack.pop()
+        pending = text_stack.pop()
+        if pending is None:
+            text_frame = b"\x00"
+        elif type(pending) is list:
+            joined = join([_frame_payload(frame) for frame in pending])
+            text_frame = varint_bytes(len(joined)) + joined
+        else:
+            text_frame = pending
+        depth = len(ta_stack) + 1
+        norm = norm_stack.pop()
+        enc = enc_stack.pop()
+        add(norm, join((_element_head(depth), enc, tag_attrs, text_frame)))
+        open_levels.pop()
+        records += 1
+
+    while True:
+        chunk = read_available()
+        if not chunk:
+            record = read_one()
+            if record is None:
+                break
+            chunk = (record,)
+        for record in chunk:
+            token_type = record[0]
+            if token_type == TYPE_START:
+                flags = record[1]
+                if flags == 4:  # level-annotated start, the stored form
+                    end = _skip_tag_attrs(record, 2, names_coded)
+                    tag_attrs = record[2:end]
+                    level, _ = _read_varint_fast(record, end)
+                else:
+                    token = document.codec.decode(record)
+                    if token.level is None:
+                        raise CodecError(
+                            "compacted stream contains a start without a level"
+                        )
+                    tag_attrs = _encode_tag_attrs(
+                        token.tag, token.attrs, names
+                    )
+                    level = token.level
+                while open_levels and open_levels[-1] >= level:
+                    close_top()
+                pos = next_pos
+                next_pos += 1
+                norm_atom, enc_atom = key_for(tag_attrs)
+                if pos < 0x80:
+                    pos_varint = _VARINT1[pos]
+                else:
+                    value = pos
+                    encoded = bytearray()
+                    while value >= 0x80:
+                        encoded.append(value & 0x7F | 0x80)
+                        value >>= 7
+                    encoded.append(value)
+                    pos_varint = bytes(encoded)
+                norm_stack.append(
+                    norm_stack[-1] + norm_atom + pos.to_bytes(8, "big")
+                )
+                enc_stack.append(enc_stack[-1] + enc_atom + pos_varint)
+                ta_stack.append(tag_attrs)
+                text_stack.append(None)
+                open_levels.append(level)
+            elif token_type == TYPE_TEXT:
+                if record[1] & 4:
+                    end = _skip_frame(record, 2)
+                    frame = record[2:end]
+                    level, _ = _read_varint_fast(record, end)
+                    while open_levels and open_levels[-1] > level:
+                        close_top()
+                else:
+                    frame = record[2:]
+                if text_stack:
+                    pending = text_stack[-1]
+                    if pending is None:
+                        text_stack[-1] = frame
+                    elif type(pending) is list:
+                        pending.append(frame)
+                    else:
+                        text_stack[-1] = [pending, frame]
+            elif token_type == TYPE_END:
+                raise CodecError(
+                    "compacted stream already contains end tags"
+                )
+            elif token_type == TYPE_POINTER:
+                raise SortSpecError(
+                    "unexpected run pointer in a document scan"
+                )
+            else:
+                raise CodecError(f"unknown token type byte {token_type}")
+    while open_levels:
+        close_top()
+    device.stats.record_tokens(records)
+    return True
+
+
 def _frame_payload(frame: bytes) -> bytes:
     """Strip the varint length header of a string frame."""
     _, pos = _read_varint_fast(frame, 0)
@@ -934,6 +1273,390 @@ def _frame_string(text: str) -> bytes:
     return varint_bytes(len(encoded)) + encoded
 
 
+# -- fused internal subtree sorts ----------------------------------------------
+
+
+class _RawNode:
+    """One element (or collapsed pointer) of a subtree, from raw records.
+
+    The analogue of ``subtree._Node`` that never materializes tokens:
+    ``tag_attrs`` keeps the record's encoded tag+attributes slice
+    verbatim (None for pointers), ``body`` keeps a pointer's
+    run_id/element_count/payload_bytes varint slice (None for elements),
+    ``atom`` the encoded key atom slice (None = missing), and ``texts``
+    collects encoded string frames (None / one frame / list of frames).
+    """
+
+    __slots__ = ("tag_attrs", "body", "texts", "children", "atom", "pos")
+
+    def __init__(self, tag_attrs, body, atom, pos):
+        self.tag_attrs = tag_attrs
+        self.body = body
+        self.texts = None
+        self.children: list[_RawNode] = []
+        self.atom = atom
+        self.pos = pos
+
+
+def _attach_raw_text(node: _RawNode, frame: bytes) -> None:
+    pending = node.texts
+    if pending is None:
+        node.texts = frame
+    elif type(pending) is list:
+        pending.append(frame)
+    else:
+        node.texts = [pending, frame]
+
+
+def _attach_raw_node(node, root, stack):
+    """build_subtree's attach rule: parent, else root, else error."""
+    if stack:
+        stack[-1].children.append(node)
+        return root
+    if root is None:
+        return node
+    raise CodecError("subtree tokens have two roots")
+
+
+def _raw_pointer(record: bytes) -> tuple[_RawNode, int]:
+    """(_RawNode, element_count) of an encoded RunPointer record."""
+    flags = record[1]
+    pos = _skip_varint(record, 2)  # run_id
+    count, pos = _read_varint_fast(record, pos)  # element_count
+    pos = _skip_varint(record, pos)  # payload_bytes
+    body = record[2:pos]
+    atom = None
+    position = 0
+    if flags & 1:
+        end = _skip_atom(record, pos)
+        atom = record[pos:end]
+        pos = end
+    if flags & 2:
+        position, pos = _read_varint_fast(record, pos)
+    return _RawNode(None, body, atom, position), count
+
+
+def _parse_subtree_plain(
+    records: list[bytes], names_coded: bool
+) -> tuple[_RawNode, int, int]:
+    """(root, units, real elements) of a plain-mode record subtree."""
+    root: _RawNode | None = None
+    stack: list[_RawNode] = []
+    units = 0
+    real = 0
+    for record in records:
+        token_type = record[0]
+        if token_type == TYPE_START:
+            flags = record[1]
+            end = _skip_tag_attrs(record, 2, names_coded)
+            tag_attrs = record[2:end]
+            atom = None
+            position = 0
+            if flags & 1:
+                stop = _skip_atom(record, end)
+                atom = record[end:stop]
+                end = stop
+            if flags & 2:
+                position, end = _read_varint_fast(record, end)
+            node = _RawNode(tag_attrs, None, atom, position)
+            root = _attach_raw_node(node, root, stack)
+            stack.append(node)
+            units += 1
+            real += 1
+        elif token_type == TYPE_END:
+            if not stack:
+                raise CodecError("subtree tokens are unbalanced")
+            node = stack.pop()
+            flags = record[1]
+            end = _name_field_end(record, 2, names_coded)
+            # End tags may carry the element's key/pos (subtree-evaluated
+            # criteria); they override the start's, as build_subtree does.
+            if flags & 1:
+                stop = _skip_atom(record, end)
+                node.atom = record[end:stop]
+                end = stop
+            if flags & 2:
+                node.pos, end = _read_varint_fast(record, end)
+        elif token_type == TYPE_TEXT:
+            if stack:
+                flags = record[1]
+                if flags & 4:
+                    _attach_raw_text(
+                        stack[-1], record[2 : _skip_frame(record, 2)]
+                    )
+                else:
+                    _attach_raw_text(stack[-1], record[2:])
+        elif token_type == TYPE_POINTER:
+            node, count = _raw_pointer(record)
+            root = _attach_raw_node(node, root, stack)
+            units += 1
+            real += count
+        else:
+            raise CodecError(f"unknown token type byte {token_type}")
+    if stack:
+        raise CodecError("subtree tokens are unbalanced")
+    if root is None:
+        raise CodecError("subtree tokens contain no element")
+    return root, units, real
+
+
+def _parse_subtree_compact(
+    records: list[bytes], names_coded: bool
+) -> tuple[_RawNode, int, int]:
+    """(root, units, real elements) of a compacted-mode record subtree."""
+    root: _RawNode | None = None
+    stack: list[_RawNode] = []
+    levels: list[int] = []
+    units = 0
+    real = 0
+    for record in records:
+        token_type = record[0]
+        if token_type == TYPE_TEXT:
+            flags = record[1]
+            if flags & 4:
+                end = _skip_frame(record, 2)
+                frame = record[2:end]
+                level, _ = _read_varint_fast(record, end)
+                while levels and levels[-1] > level:
+                    levels.pop()
+                    stack.pop()
+            else:
+                frame = record[2:]
+            if stack:
+                _attach_raw_text(stack[-1], frame)
+            continue
+        if token_type == TYPE_START:
+            flags = record[1]
+            end = _skip_tag_attrs(record, 2, names_coded)
+            tag_attrs = record[2:end]
+            atom = None
+            position = 0
+            if flags & 1:
+                stop = _skip_atom(record, end)
+                atom = record[end:stop]
+                end = stop
+            if flags & 2:
+                position, end = _read_varint_fast(record, end)
+            if not flags & 4:
+                raise CodecError("compacted token without level")
+            level, _ = _read_varint_fast(record, end)
+            while levels and levels[-1] >= level:
+                levels.pop()
+                stack.pop()
+            node = _RawNode(tag_attrs, None, atom, position)
+            root = _attach_raw_node(node, root, stack)
+            stack.append(node)
+            levels.append(level)
+            units += 1
+            real += 1
+        elif token_type == TYPE_POINTER:
+            flags = record[1]
+            if not flags & 4:
+                raise CodecError("compacted token without level")
+            node, count = _raw_pointer(record)
+            # Pointer level: the last annotation field; skip key/pos by flags.
+            pos = 2 + len(node.body)
+            if flags & 1:
+                pos = _skip_atom(record, pos)
+            if flags & 2:
+                pos = _skip_varint(record, pos)
+            level, _ = _read_varint_fast(record, pos)
+            while levels and levels[-1] >= level:
+                levels.pop()
+                stack.pop()
+            root = _attach_raw_node(node, root, stack)
+            units += 1
+            real += count
+        else:
+            raise CodecError(
+                f"unexpected token in compact subtree records: "
+                f"type byte {token_type}"
+            )
+    if root is None:
+        raise CodecError("subtree tokens contain no element")
+    return root, units, real
+
+
+def sort_raw_tree(
+    root: _RawNode,
+    sort_levels: int | None,
+    stats,
+    prefix_width: int | None = None,
+) -> None:
+    """Sort every sibling list of a raw-record subtree, batched.
+
+    The batch form of ``subtree.sort_node_tree``: one DFS gathers every
+    sibling group that the scalar path would sort (``n > 1``, level
+    within ``sort_levels``), group keys are the engine-normalized
+    ``atom + 8-byte position`` bytes (order- and equality-faithful to
+    the scalar ``(key, pos)`` tuple compare), and :func:`argsort_groups`
+    orders all groups in one batched stable argsort.  The analytic
+    ``n * ceil(log2 n)`` comparison charge per group is identical to the
+    scalar path's; charge *order* inside the surrounding subtree-sort
+    span is not observable, so the total is recorded in one call.
+    """
+    groups: list[list[_RawNode]] = []
+    group_keys: list[list[bytes]] = []
+    memo: dict[bytes, bytes] = {}
+    pack_pos = _U64.pack
+    work: list[tuple[_RawNode, int]] = [(root, 1)]
+    while work:
+        node, level = work.pop()
+        children = node.children
+        if (sort_levels is None or level <= sort_levels) and len(children) > 1:
+            keys = []
+            append = keys.append
+            for child in children:
+                atom = child.atom
+                if atom is None:
+                    norm = b"\x00"
+                else:
+                    norm = memo.get(atom)
+                    if norm is None:
+                        norm, _ = _normalize_encoded_atom(atom, 0)
+                        memo[atom] = norm
+                append(norm + pack_pos(child.pos))
+            groups.append(children)
+            group_keys.append(keys)
+        for child in children:
+            if child.body is None:  # pointers are leaves
+                work.append((child, level + 1))
+    if not groups:
+        return
+    comparisons = 0
+    for children, order in zip(groups, argsort_groups(group_keys, prefix_width)):
+        children[:] = [children[i] for i in order]
+        n = len(children)
+        comparisons += n * max(1, ceil(log2(n)))
+    stats.record_comparisons(comparisons)
+
+
+def _serialize_raw_tree(
+    root: _RawNode, base_level: int, compact: bool, names_coded: bool
+) -> list[bytes]:
+    """Encoded run records of a sorted raw subtree (annotations stripped).
+
+    Byte-for-byte what ``serialize_node_tree`` + ``codec.encode`` emit:
+    run tokens carry no keys or positions; starts/texts/pointers carry
+    levels only in compacted mode; plain mode appends end tags.
+    """
+    out: list[bytes] = []
+    append = out.append
+    level_tails: dict[int, bytes] = {}
+    join = b"".join
+    work: list = [(root, base_level)]
+    while work:
+        item = work.pop()
+        if type(item) is bytes:  # pre-built end record
+            append(item)
+            continue
+        node, level = item
+        if compact:
+            tail = level_tails.get(level)
+            if tail is None:
+                tail = varint_bytes(level)
+                level_tails[level] = tail
+        if node.body is not None:  # pointer
+            if compact:
+                append(b"\x04\x04" + node.body + tail)
+            else:
+                append(b"\x04\x00" + node.body)
+            continue
+        tag_attrs = node.tag_attrs
+        if compact:
+            append(b"\x01\x04" + tag_attrs + tail)
+        else:
+            append(b"\x01\x00" + tag_attrs)
+        texts = node.texts
+        if texts is not None:
+            if type(texts) is list:
+                joined = join([_frame_payload(frame) for frame in texts])
+                frame = varint_bytes(len(joined)) + joined
+            else:
+                frame = texts
+            if compact:
+                append(b"\x02\x04" + frame + tail)
+            else:
+                append(b"\x02\x00" + frame)
+        if not compact:
+            work.append(
+                b"\x03\x00" + tag_attrs[: _name_field_end(tag_attrs, 0, names_coded)]
+            )
+        children = node.children
+        if children:
+            next_level = level + 1
+            for child in reversed(children):
+                work.append((child, next_level))
+    return out
+
+
+def subtree_root_summary(
+    records: list[bytes], compact: bool, names_coded: bool
+) -> tuple[bytes | None, int]:
+    """(encoded root key atom or None, root position) of a subtree.
+
+    Reproduces ``SubtreeSorter.sort_tokens``' root-key rule exactly: the
+    root's start annotations, falling back - in plain mode, when the
+    start's key is missing - to the key/pos the final end tag carries
+    (subtree-evaluated criteria).
+    """
+    first = records[0]
+    if first[0] != TYPE_START and first[0] != TYPE_POINTER:
+        raise CodecError("subtree records do not begin with an element")
+    flags = first[1]
+    if first[0] == TYPE_POINTER:
+        pos = _skip_varint(first, 2)
+        pos = _skip_varint(first, pos)
+        pos = _skip_varint(first, pos)
+    else:
+        pos = _skip_tag_attrs(first, 2, names_coded)
+    atom = None
+    position = 0
+    if flags & 1:
+        end = _skip_atom(first, pos)
+        atom = first[pos:end]
+        pos = end
+    if flags & 2:
+        position, pos = _read_varint_fast(first, pos)
+    if not compact and (atom is None or atom[0] == 0):
+        last = records[-1]
+        if last[0] == TYPE_END and last[1] & 1:
+            lpos = _name_field_end(last, 2, names_coded)
+            lend = _skip_atom(last, lpos)
+            atom = last[lpos:lend]
+            if last[1] & 2:
+                position, _ = _read_varint_fast(last, lend)
+    return atom, position
+
+
+def sort_subtree_records(
+    records: list[bytes],
+    compact: bool,
+    names_coded: bool,
+    base_level: int,
+    sort_levels: int | None,
+    stats,
+    prefix_width: int | None = None,
+) -> tuple[list[bytes], int, int]:
+    """Fused internal subtree sort over raw encoded data-stack records.
+
+    ``build_subtree -> sort_node_tree -> serialize_node_tree -> encode``
+    without decoding a single token: records are parsed into a raw node
+    tree by field offsets, sibling groups are ordered with one batched
+    argsort (:func:`sort_raw_tree`), and output records are spliced from
+    the input's own encoded slices.  Returns ``(out_records, units,
+    real_elements)``; output bytes, order, and the comparison charge are
+    identical to the scalar internal path.
+    """
+    if compact:
+        root, units, real = _parse_subtree_compact(records, names_coded)
+    else:
+        root, units, real = _parse_subtree_plain(records, names_coded)
+    sort_raw_tree(root, sort_levels, stats, prefix_width)
+    out = _serialize_raw_tree(root, base_level, compact, names_coded)
+    return out, units, real
+
+
 # -- fused output: sorted records -> stored output tokens ---------------------
 
 
@@ -943,14 +1666,22 @@ def emit_output_columnar(
     device,
     strip_embedded: bool = False,
     chunk_records: int = 0,
+    names_coded: bool = False,
+    emit_ends: bool = True,
 ) -> None:
-    """Fused output phase for plain (uncompacted) documents.
+    """Fused output phase: path-sorted records back to stored tokens.
 
     Turns path-sorted element records back into the stored token stream by
     splicing: the output start/text/end token encodings are byte slices of
     the record plus constant headers, so no token objects, string decodes,
     or re-encodes happen.  Token counts and the emitted byte stream are
     identical to ``tokens_from_sorted_records`` + ``codec.encode``.
+
+    ``names_coded`` switches tag/attribute-name parsing to dictionary id
+    varints (the spliced slices stay dialect-consistent end to end);
+    ``emit_ends=False`` is end-tag-eliminated output - no end records,
+    depth tracking only (``tokens_from_sorted_records`` with
+    ``emit_end_tags=False``).
 
     ``chunk_records > 0`` additionally groups writer calls (safe only when
     no buffer pool or recovery context is attached - grouping reorders
@@ -1012,28 +1743,49 @@ def emit_output_columnar(
                 pos += 1
             pos += 1
         tag_start = pos
-        length = record[pos]
-        pos += 1
-        if length >= 0x80:
-            length, pos = _read_varint_fast(record, pos - 1)
-        pos += length
-        tag_frame = record[tag_start:pos]
-        count = record[pos]
-        pos += 1
-        if count >= 0x80:
-            count, pos = _read_varint_fast(record, pos - 1)
-        for _ in range(2 * count):
+        if names_coded:
+            while record[pos] >= 0x80:  # tag id varint
+                pos += 1
+            pos += 1
+            tag_frame = record[tag_start:pos]
+            count = record[pos]
+            pos += 1
+            if count >= 0x80:
+                count, pos = _read_varint_fast(record, pos - 1)
+            for _ in range(count):
+                while record[pos] >= 0x80:  # attr name id varint
+                    pos += 1
+                pos += 1
+                length = record[pos]  # attr value frame
+                pos += 1
+                if length >= 0x80:
+                    length, pos = _read_varint_fast(record, pos - 1)
+                pos += length
+        else:
             length = record[pos]
             pos += 1
             if length >= 0x80:
                 length, pos = _read_varint_fast(record, pos - 1)
             pos += length
+            tag_frame = record[tag_start:pos]
+            count = record[pos]
+            pos += 1
+            if count >= 0x80:
+                count, pos = _read_varint_fast(record, pos - 1)
+            for _ in range(2 * count):
+                length = record[pos]
+                pos += 1
+                if length >= 0x80:
+                    length, pos = _read_varint_fast(record, pos - 1)
+                pos += length
         tag_attrs = record[tag_start:pos]
         text_frame = record[pos:]
 
         while len(open_tags) >= depth:
-            append(b"\x03\x00" + open_tags.pop())
-            pending_tokens += 1
+            tag = open_tags.pop()
+            if emit_ends:
+                append(b"\x03\x00" + tag)
+                pending_tokens += 1
         if len(open_tags) != depth - 1:
             raise CodecError(
                 "key-path records out of order: jumped from depth "
@@ -1058,6 +1810,8 @@ def emit_output_columnar(
         else:
             flush()
     while open_tags:
-        append(b"\x03\x00" + open_tags.pop())
-        pending_tokens += 1
+        tag = open_tags.pop()
+        if emit_ends:
+            append(b"\x03\x00" + tag)
+            pending_tokens += 1
     flush()

@@ -32,14 +32,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import DeviceFault, SortSpecError
+from ..errors import CodecError, DeviceFault, SortSpecError
 from ..io.budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS
 from ..io.bufferpool import BufferPool
 from ..io.stacks import ExternalStack
 from ..keys import KeyEvaluator, SortSpec
 from ..merge.engine import DEFAULT_MERGE_OPTIONS, MergeOptions
 from ..obs.tracer import Tracer, maybe_span
-from ..xml.codec import read_varint, write_varint
+from ..xml.codec import (
+    TYPE_END,
+    TYPE_POINTER,
+    TYPE_START,
+    TYPE_TEXT,
+    read_varint,
+    write_varint,
+)
 from ..xml.document import Document
 from ..xml.tokens import (
     EndTag,
@@ -49,6 +56,14 @@ from ..xml.tokens import (
     Text,
 )
 from . import flat as flat_mod
+from .columnar import (
+    _VARINT1,
+    ScanSpliceCache,
+    _encode_tag_attrs,
+    _skip_frame,
+    _skip_tag_attrs,
+    varint_bytes,
+)
 from .output import output_phase
 from .report import NexsortReport, SubtreeSortInfo
 from .subtree import SubtreeSorter
@@ -103,6 +118,7 @@ class _OpenFrame:
         "partial_runs",
         "flat_units",
         "flat_real",
+        "end_record",
     )
 
     def __init__(self, loc: int, content_loc: int):
@@ -111,6 +127,9 @@ class _OpenFrame:
         self.partial_runs: list = []
         self.flat_units = 0
         self.flat_real = 0
+        # Fused columnar scan only: the pre-spliced end-tag record this
+        # element pushes when it closes (plain storage).
+        self.end_record: bytes | None = None
 
 
 class NexSorter:
@@ -257,6 +276,16 @@ class NexSorter:
             evaluator = KeyEvaluator(self.spec)
             root_pointer: RunPointer | None = None
 
+            # Fused columnar scan (ISSUE 7): annotate stored records by
+            # byte splicing instead of decode -> KeyEvaluator -> encode.
+            # Start-computable keys only (the splice evaluates keys from
+            # raw tag+attrs slices); graceful degeneration keeps the
+            # token loop (its flush heuristics inspect decoded tokens).
+            fused = (
+                options.merge.columnar
+                and start_keyed
+                and not options.flat_optimization
+            )
             with maybe_span(
                 tracer,
                 "document-scan",
@@ -265,56 +294,41 @@ class NexSorter:
                 depth_limit=depth_limit,
                 flat=options.flat_optimization,
             ):
-                for event in evaluator.annotate(
-                    document.iter_events("input_scan")
-                ):
-                    if isinstance(event, StartTag):
-                        token = StartTag(
-                            event.tag,
-                            event.attrs,
-                            key=event.key if start_keyed else None,
-                            pos=event.pos,
-                            level=event.level if compact else None,
-                        )
-                        encoded = codec.encode(token)
-                        loc = data_stack.push(encoded)
-                        path_stack.push(_encode_path_entry(loc))
-                        frames.append(_OpenFrame(loc, loc + len(encoded)))
-                        device.stats.record_tokens(1)
-                    elif isinstance(event, Text):
-                        token = Text(
-                            event.text, level=len(frames) if compact else None
-                        )
-                        data_stack.push(codec.encode(token))
-                        device.stats.record_tokens(1)
-                        self._maybe_flush_partial(
-                            frames, data_stack, codec, store, device, report,
-                            compact, capacity_bytes, depth_limit,
-                        )
-                    elif isinstance(event, EndTag):
-                        self._handle_end(
-                            event,
-                            frames,
-                            data_stack,
-                            path_stack,
-                            codec,
-                            store,
-                            device,
-                            sorter,
-                            report,
-                            compact,
-                            threshold,
-                            depth_limit,
-                            fan_in,
-                            start_keyed,
-                        )
-                        if frames:
-                            self._maybe_flush_partial(
-                                frames, data_stack, codec, store, device,
-                                report, compact, capacity_bytes, depth_limit,
-                            )
-                    else:  # pragma: no cover - evaluator only yields these
-                        raise SortSpecError(f"unexpected event {event!r}")
+                if fused:
+                    self._scan_columnar(
+                        document,
+                        frames,
+                        data_stack,
+                        path_stack,
+                        codec,
+                        store,
+                        device,
+                        sorter,
+                        report,
+                        compact,
+                        threshold,
+                        depth_limit,
+                        fan_in,
+                    )
+                else:
+                    self._scan_scalar(
+                        document,
+                        evaluator,
+                        frames,
+                        data_stack,
+                        path_stack,
+                        codec,
+                        store,
+                        device,
+                        sorter,
+                        report,
+                        compact,
+                        threshold,
+                        depth_limit,
+                        fan_in,
+                        start_keyed,
+                        capacity_bytes,
+                    )
 
                 # The data stack now holds exactly the root pointer.
                 assert self._open_partial is None, "unclosed partial run"
@@ -333,7 +347,8 @@ class NexSorter:
             before_output = device.stats.snapshot()
             with maybe_span(tracer, "output-walk"):
                 handle, output_page_ins, output_page_outs = output_phase(
-                    store, root_pointer, tracer=tracer
+                    store, root_pointer, tracer=tracer,
+                    columnar=options.merge.columnar,
                 )
                 # Detach (and flush) the pool before the final snapshots so
                 # the write-back of any still-dirty output blocks is
@@ -366,6 +381,275 @@ class NexSorter:
             store.detach_pool()
 
     # -- sorting-phase internals ---------------------------------------------
+
+    def _scan_scalar(
+        self,
+        document: Document,
+        evaluator: KeyEvaluator,
+        frames: list[_OpenFrame],
+        data_stack: ExternalStack,
+        path_stack: ExternalStack,
+        codec,
+        store,
+        device,
+        sorter: SubtreeSorter,
+        report: NexsortReport,
+        compact: bool,
+        threshold: int,
+        depth_limit: int | None,
+        fan_in: int,
+        start_keyed: bool,
+        capacity_bytes: int,
+    ) -> None:
+        """The reference scanning loop: decode, annotate, re-encode."""
+        for event in evaluator.annotate(
+            document.iter_events("input_scan")
+        ):
+            if isinstance(event, StartTag):
+                token = StartTag(
+                    event.tag,
+                    event.attrs,
+                    key=event.key if start_keyed else None,
+                    pos=event.pos,
+                    level=event.level if compact else None,
+                )
+                encoded = codec.encode(token)
+                loc = data_stack.push(encoded)
+                path_stack.push(_encode_path_entry(loc))
+                frames.append(_OpenFrame(loc, loc + len(encoded)))
+                device.stats.record_tokens(1)
+            elif isinstance(event, Text):
+                token = Text(
+                    event.text, level=len(frames) if compact else None
+                )
+                data_stack.push(codec.encode(token))
+                device.stats.record_tokens(1)
+                self._maybe_flush_partial(
+                    frames, data_stack, codec, store, device, report,
+                    compact, capacity_bytes, depth_limit,
+                )
+            elif isinstance(event, EndTag):
+                self._handle_end(
+                    event,
+                    frames,
+                    data_stack,
+                    path_stack,
+                    codec,
+                    store,
+                    device,
+                    sorter,
+                    report,
+                    compact,
+                    threshold,
+                    depth_limit,
+                    fan_in,
+                    start_keyed,
+                )
+                if frames:
+                    self._maybe_flush_partial(
+                        frames, data_stack, codec, store, device,
+                        report, compact, capacity_bytes, depth_limit,
+                    )
+            else:  # pragma: no cover - evaluator only yields these
+                raise SortSpecError(f"unexpected event {event!r}")
+
+    def _scan_columnar(
+        self,
+        document: Document,
+        frames: list[_OpenFrame],
+        data_stack: ExternalStack,
+        path_stack: ExternalStack,
+        codec,
+        store,
+        device,
+        sorter: SubtreeSorter,
+        report: NexsortReport,
+        compact: bool,
+        threshold: int,
+        depth_limit: int | None,
+        fan_in: int,
+    ) -> None:
+        """Fused scanning loop: annotate stored records by byte splicing.
+
+        Replaces ``iter_events -> KeyEvaluator.annotate -> codec.encode``
+        with one pass over the raw stored records: the annotated start
+        pushed onto the data stack is assembled as ``type, flags,
+        tag+attrs (verbatim slice), key atom (memoized per distinct
+        tag+attrs), pos varint[, level varint]``, texts are pushed
+        verbatim (their stored bytes already equal the scalar re-encode),
+        and plain end tags are pre-spliced at the matching start.  Every
+        push - and therefore every data-stack byte, token charge, paging
+        decision, and subtree-sort trigger - is bit-identical to
+        :meth:`_scan_scalar`; input block reads fire at the same record
+        pull index (draining an already-buffered block is free in the
+        device model either way).
+        """
+        names = (
+            document.compaction.names if document.compaction else None
+        )
+        cache = ScanSpliceCache(self.spec, names)
+        pieces_for = cache.pieces_for
+        reader = store.open_reader(document.handle, category="input_scan")
+        read_available = reader.read_available_records
+        read_one = reader.read_record
+        push = data_stack.push
+        push_path = path_stack.push
+        record_tokens = device.stats.record_tokens
+        join = b"".join
+        next_pos = 0
+        if compact:
+            # No stored end tags: element closes are synthesized from
+            # level transitions with ``restore_end_tags``' exact rules.
+            open_levels: list[int] = []
+
+            def close_top() -> None:
+                path_stack.pop()
+                frame = frames.pop()
+                open_levels.pop()
+                self._close_subtree(
+                    frame, frames, data_stack, codec, store, device,
+                    sorter, report, compact, threshold, depth_limit,
+                    fan_in,
+                )
+
+        while True:
+            chunk = read_available()
+            if not chunk:
+                record = read_one()
+                if record is None:
+                    break
+                chunk = (record,)
+            for record in chunk:
+                token_type = record[0]
+                if token_type == TYPE_START:
+                    flags = record[1]
+                    if compact:
+                        if flags == 4:  # level-annotated, the stored form
+                            end = _skip_tag_attrs(
+                                record, 2, names is not None
+                            )
+                            tag_attrs = record[2:end]
+                            stored_level, _ = read_varint(record, end)
+                        else:
+                            token = codec.decode(record)
+                            if token.level is None:
+                                raise CodecError(
+                                    "compacted stream contains a start "
+                                    "without a level"
+                                )
+                            tag_attrs = _encode_tag_attrs(
+                                token.tag, token.attrs, names
+                            )
+                            stored_level = token.level
+                        while open_levels and open_levels[-1] >= stored_level:
+                            close_top()
+                    elif flags:
+                        # Annotated start in plain storage (rare): decode,
+                        # then re-encode the bare tag+attrs slice.
+                        token = codec.decode(record)
+                        tag_attrs = _encode_tag_attrs(
+                            token.tag, token.attrs, names
+                        )
+                    else:
+                        tag_attrs = record[2:]
+                    pos = next_pos
+                    next_pos += 1
+                    enc_atom, name_field = pieces_for(tag_attrs)
+                    if pos < 0x80:
+                        pos_varint = _VARINT1[pos]
+                    else:
+                        pos_varint = varint_bytes(pos)
+                    if compact:
+                        # The evaluator annotates depth, not the stored
+                        # level (equal on any well-formed stream).
+                        depth = len(frames) + 1
+                        encoded = join(
+                            (
+                                b"\x01\x07",
+                                tag_attrs,
+                                enc_atom,
+                                pos_varint,
+                                _VARINT1[depth]
+                                if depth < 0x80
+                                else varint_bytes(depth),
+                            )
+                        )
+                    else:
+                        encoded = join(
+                            (b"\x01\x03", tag_attrs, enc_atom, pos_varint)
+                        )
+                    loc = push(encoded)
+                    push_path(
+                        _VARINT1[loc] if loc < 0x80 else varint_bytes(loc)
+                    )
+                    frame = _OpenFrame(loc, loc + len(encoded))
+                    if compact:
+                        open_levels.append(stored_level)
+                    else:
+                        frame.end_record = join(
+                            (b"\x03\x02", name_field, pos_varint)
+                        )
+                    frames.append(frame)
+                    record_tokens(1)
+                elif token_type == TYPE_TEXT:
+                    if compact:
+                        if record[1] & 4:
+                            stored_level, _ = read_varint(
+                                record, _skip_frame(record, 2)
+                            )
+                            while (
+                                open_levels
+                                and open_levels[-1] > stored_level
+                            ):
+                                close_top()
+                            depth = len(frames)
+                            if stored_level == depth:
+                                push(record)
+                            else:  # pragma: no cover - malformed levels
+                                token = codec.decode(record)
+                                push(codec.encode(Text(token.text, level=depth)))
+                        else:
+                            token = codec.decode(record)
+                            push(
+                                codec.encode(
+                                    Text(token.text, level=len(frames))
+                                )
+                            )
+                    elif record[1]:
+                        token = codec.decode(record)
+                        push(codec.encode(Text(token.text)))
+                    else:
+                        push(record)
+                    record_tokens(1)
+                elif token_type == TYPE_END:
+                    if compact:
+                        raise CodecError(
+                            "compacted stream already contains end tags"
+                        )
+                    path_stack.pop()
+                    frame = frames.pop()
+                    push(frame.end_record)
+                    record_tokens(1)
+                    self._close_subtree(
+                        frame, frames, data_stack, codec, store, device,
+                        sorter, report, compact, threshold, depth_limit,
+                        fan_in,
+                    )
+                elif token_type == TYPE_POINTER:
+                    raise SortSpecError(
+                        "unexpected run pointer in a document scan"
+                    )
+                else:
+                    raise CodecError(
+                        f"unknown token type byte {token_type}"
+                    )
+        if compact:
+            while open_levels:
+                close_top()
+        if frames:
+            raise CodecError(
+                "unbalanced event stream during columnar scan"
+            )
 
     def _handle_end(
         self,
@@ -404,6 +688,30 @@ class NexSorter:
             )
             return
 
+        self._close_subtree(
+            frame, frames, data_stack, codec, store, device, sorter,
+            report, compact, threshold, depth_limit, fan_in,
+        )
+
+    def _close_subtree(
+        self,
+        frame: _OpenFrame,
+        frames: list[_OpenFrame],
+        data_stack: ExternalStack,
+        codec,
+        store,
+        device,
+        sorter: SubtreeSorter,
+        report: NexsortReport,
+        compact: bool,
+        threshold: int,
+        depth_limit: int | None,
+        fan_in: int,
+    ) -> None:
+        """Apply the sorting condition to a just-closed element and, when
+        it fires, pop + sort the subtree and push back its run pointer.
+        ``frame`` is already popped; both scan loops share this path."""
+        d_s = len(frames) + 1
         size = data_stack.total_bytes - frame.loc
         is_root = not frames
         should_sort = size >= threshold
@@ -418,7 +726,6 @@ class NexSorter:
         if depth_limit is not None:
             sort_levels = max(0, depth_limit + 1 - d_s)
         token_records = data_stack.pop_through(frame.loc)
-        tokens = [codec.decode(record) for record in token_records]
         with maybe_span(
             self._tracer,
             "subtree-sort",
@@ -426,7 +733,16 @@ class NexSorter:
             size=size,
             level=d_s,
         ) as span:
-            result = sorter.sort_tokens(tokens, size, d_s, sort_levels)
+            if self.options.merge.columnar:
+                # Fused path: sort straight from the encoded records
+                # (falls back internally for external-sized subtrees
+                # and counted-comparison mode).
+                result = sorter.sort_records(
+                    token_records, size, d_s, sort_levels
+                )
+            else:
+                tokens = [codec.decode(record) for record in token_records]
+                result = sorter.sort_tokens(tokens, size, d_s, sort_levels)
             if span is not None:
                 span.set(
                     internal=result.internal,

@@ -25,6 +25,7 @@ to MISSING so their position tie-break preserves the original order.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from math import ceil, log2
 from typing import Iterable, Iterator
@@ -48,8 +49,15 @@ from ..merge.engine import (
     sort_with_accounting,
     strip_embedded_key,
 )
-from ..xml.codec import TokenCodec
+from ..xml.codec import TokenCodec, decode_key_atom
 from ..xml.compact import restore_end_tags
+from .columnar import (
+    argsort_groups,
+    fast_path_key,
+    normalized_atom_bytes,
+    sort_subtree_records,
+    subtree_root_summary,
+)
 from ..xml.tokens import (
     EndTag,
     MISSING_KEY,
@@ -180,8 +188,15 @@ def build_subtree(tokens: list[Token], compact: bool) -> _Node:
     return root
 
 
+_POS = struct.Struct(">Q")
+
+
 def sort_node_tree(
-    root: _Node, sort_levels: int | None, device_stats, counted: bool = False
+    root: _Node,
+    sort_levels: int | None,
+    device_stats,
+    counted: bool = False,
+    kernel: str = "scalar",
 ) -> None:
     """Recursively sort every child list (iteratively, stack-safe).
 
@@ -189,7 +204,18 @@ def sort_node_tree(
     (None = all levels); comparisons are charged to the CPU model -
     analytically (``n * ceil(log2 n)``, the seed behaviour) by default,
     or as actually counted when ``counted`` is set.
+
+    ``kernel="columnar"`` gathers every sibling group the scalar path
+    would sort and orders all of them with one batched stable argsort
+    over engine-normalized ``key + position`` bytes
+    (:func:`repro.core.columnar.argsort_groups`); the resulting orders
+    and the analytic comparison total are identical to the scalar
+    per-group ``list.sort``.  Counted mode keeps the scalar sort so the
+    recorded count is the one the comparison sequence actually produces.
     """
+    if kernel == "columnar" and not counted:
+        _sort_node_tree_columnar(root, sort_levels, device_stats)
+        return
     work: list[tuple[_Node, int]] = [(root, 1)]
     while work:
         node, level = work.pop()
@@ -208,6 +234,50 @@ def sort_node_tree(
         for child in node.children:
             if not child.is_pointer:
                 work.append((child, level + 1))
+
+
+def _sort_node_tree_columnar(
+    root: _Node,
+    sort_levels: int | None,
+    device_stats,
+    prefix_width: int | None = None,
+) -> None:
+    """Batched sibling-group form of :func:`sort_node_tree`."""
+    groups: list[list[_Node]] = []
+    group_keys: list[list[bytes]] = []
+    memo: dict[tuple, bytes] = {}
+    pack_pos = _POS.pack
+    work: list[tuple[_Node, int]] = [(root, 1)]
+    while work:
+        node, level = work.pop()
+        children = node.children
+        if (
+            (sort_levels is None or level <= sort_levels)
+            and len(children) > 1
+        ):
+            keys = []
+            append = keys.append
+            for child in children:
+                norm = memo.get(child.key)
+                if norm is None:
+                    norm = normalized_atom_bytes(child.key)
+                    memo[child.key] = norm
+                append(norm + pack_pos(child.pos))
+            groups.append(children)
+            group_keys.append(keys)
+        for child in children:
+            if not child.is_pointer:
+                work.append((child, level + 1))
+    if not groups:
+        return
+    comparisons = 0
+    for children, order in zip(
+        groups, argsort_groups(group_keys, prefix_width)
+    ):
+        children[:] = [children[i] for i in order]
+        n = len(children)
+        comparisons += n * max(1, ceil(log2(n)))
+    device_stats.record_comparisons(comparisons)
 
 
 def serialize_node_tree(
@@ -414,17 +484,23 @@ class SubtreeSorter:
         sorter = (
             self._sort_internal if internal else self._sort_external
         )
+        return self._run_recoverably(
+            lambda: sorter(tokens, base_level, sort_levels)
+        )
+
+    def _run_recoverably(self, attempt) -> tuple[RunHandle, int]:
+        """Run one subtree-sort attempt under the recovery protocol."""
         unit = self._sorted_subtrees
         self._sorted_subtrees += 1
         if self.recovery is None:
-            return sorter(tokens, base_level, sort_levels)
+            return attempt()
 
         runs_before = self.store.live_run_ids()
         lengths_before = len(self.run_lengths)
 
         def attempt_once() -> tuple[RunHandle, int]:
             try:
-                return sorter(tokens, base_level, sort_levels)
+                return attempt()
             except DeviceFault:
                 for run_id in self.store.live_run_ids() - runs_before:
                     self.store.free(run_id)
@@ -437,6 +513,82 @@ class SubtreeSorter:
         self.recovery.checkpoint("subtree-sort", unit, run_id=run.run_id)
         return run, written
 
+    # -- fused raw-record path (columnar kernel) -----------------------------
+
+    def sort_records(
+        self,
+        records: list[bytes],
+        payload_bytes: int,
+        base_level: int,
+        sort_levels: int | None,
+    ) -> SubtreeResult:
+        """Sort one subtree straight from its encoded data-stack records.
+
+        The columnar analogue of :meth:`sort_tokens`: when the subtree
+        fits in memory the records are parsed by field offsets, sibling
+        groups are ordered with one batched argsort, and run records are
+        spliced from the input's own encoded slices
+        (:func:`repro.core.columnar.sort_subtree_records`) - no token is
+        ever materialized.  Output bytes, counters, and the RunPointer
+        key are identical to the scalar path.  External-sized subtrees
+        and counted-comparison mode decode and fall back to
+        :meth:`sort_tokens`.
+        """
+        internal = payload_bytes <= self.capacity_bytes
+        if not internal or self.options.counted_comparisons:
+            return self.sort_tokens(
+                self.codec.decode_batch(records),
+                payload_bytes,
+                base_level,
+                sort_levels,
+            )
+        names_coded = self.codec.names is not None
+        atom, root_pos = subtree_root_summary(
+            records, self.compact, names_coded
+        )
+        root_key = (
+            decode_key_atom(atom, 0)[0] if atom is not None else MISSING_KEY
+        )
+        stats = self.store.device.stats
+        counts: list[tuple[int, int]] = []
+        prefix_width = self.options.keys.prefix_width
+
+        def attempt() -> tuple[RunHandle, int]:
+            out, units, real = sort_subtree_records(
+                records,
+                self.compact,
+                names_coded,
+                base_level,
+                sort_levels,
+                stats,
+                prefix_width,
+            )
+            counts.append((units, real))
+            writer = self.store.create_writer("run_write")
+            count = 0
+            try:
+                for record in out:
+                    writer.write_record(record)
+                    count += 1
+            except DeviceFault:
+                writer.abandon()
+                raise
+            stats.record_tokens(count)
+            handle = writer.finish()
+            return handle, handle.payload_bytes
+
+        run, written = self._run_recoverably(attempt)
+        units, real = counts[-1]
+        return SubtreeResult(
+            run=run,
+            units=units,
+            real_elements=real,
+            payload_bytes=written,
+            root_key=root_key,
+            root_pos=root_pos,
+            internal=True,
+        )
+
     # -- internal-memory path ----------------------------------------------
 
     def _sort_internal(
@@ -448,7 +600,11 @@ class SubtreeSorter:
         stats = self.store.device.stats
         root = build_subtree(tokens, self.compact)
         sort_node_tree(
-            root, sort_levels, stats, self.options.counted_comparisons
+            root,
+            sort_levels,
+            stats,
+            self.options.counted_comparisons,
+            kernel=self.options.kernel,
         )
         writer = self.store.create_writer("run_write")
         count = 0
@@ -504,6 +660,11 @@ class SubtreeSorter:
 
         if embedded:
             key_of = embedded_key_of
+        elif options.columnar:
+            # Path-only parse into normalized bytes: same ordering as
+            # the decoded tuple key, no tag/attr/text decode (exactly
+            # the baseline's columnar merge keying).
+            key_of = fast_path_key
         else:
 
             def key_of(encoded: bytes) -> tuple:

@@ -195,7 +195,10 @@ class TokenCodec:
         if self.names is None:
             _write_string(out, name)
         else:
-            write_varint(out, self.names.intern(name))
+            # One dict probe + cached varint frame: the dictionary keeps
+            # the encoded form of every id, so dictionary-coded encoding
+            # never re-serializes an integer (hot in compacted scans).
+            out += self.names.intern_frame(name)
 
     def _read_name(self, data: bytes, pos: int) -> tuple[str, int]:
         if self.names is None:

@@ -27,11 +27,19 @@ from .tokens import EndTag, RunPointer, StartTag, Text, Token
 
 
 class NameDictionary:
-    """Bidirectional string <-> integer mapping for tag/attribute names."""
+    """Bidirectional string <-> integer mapping for tag/attribute names.
+
+    Besides the id mapping itself, the dictionary caches the LEB128
+    *frame* (encoded varint) of every id: encoding a dictionary-coded
+    name is then one dict probe plus one cached-bytes append, and batch
+    decoders index straight into the id table.  The columnar kernel
+    leans on both (:mod:`repro.core.columnar`).
+    """
 
     def __init__(self, names: Iterable[str] = ()):
         self._by_name: dict[str, int] = {}
         self._by_id: list[str] = []
+        self._frames: list[bytes] = []
         for name in names:
             self.intern(name)
 
@@ -42,7 +50,22 @@ class NameDictionary:
             name_id = len(self._by_id)
             self._by_name[name] = name_id
             self._by_id.append(name)
+            self._frames.append(_varint(name_id))
         return name_id
+
+    def intern_frame(self, name: str) -> bytes:
+        """The encoded varint of ``name``'s id (interning if needed)."""
+        name_id = self._by_name.get(name)
+        if name_id is None:
+            name_id = self.intern(name)
+        return self._frames[name_id]
+
+    def id_frame(self, name_id: int) -> bytes:
+        """The encoded varint of an already-assigned id."""
+        try:
+            return self._frames[name_id]
+        except IndexError:
+            raise CodecError(f"unknown name id {name_id}") from None
 
     def lookup(self, name_id: int) -> str:
         try:
@@ -50,11 +73,32 @@ class NameDictionary:
         except IndexError:
             raise CodecError(f"unknown name id {name_id}") from None
 
+    def names_of(self, name_ids: Iterable[int]) -> list[str]:
+        """Batch id -> name lookup (one bounds check per batch)."""
+        table = self._by_id
+        try:
+            return [table[name_id] for name_id in name_ids]
+        except IndexError:
+            bad = [i for i in name_ids if i >= len(table)]
+            raise CodecError(f"unknown name id {bad[0]}") from None
+
     def __len__(self) -> int:
         return len(self._by_id)
 
     def __contains__(self, name: str) -> bool:
         return name in self._by_name
+
+
+def _varint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
 
 
 @dataclass

@@ -41,6 +41,7 @@ from repro.io import BlockDevice, RunStore
 from repro.keys import ByAttribute, SortSpec
 from repro.merge.engine import MergeOptions
 from repro.obs import Tracer
+from repro.xml.compact import CompactionConfig
 from repro.xml.document import Document
 
 SPEC = SortSpec(default=ByAttribute("name"))
@@ -53,12 +54,32 @@ GRID = list(
     )
 )
 
+#: Compaction axis of the kernel-parity grid (Section 3.2): no
+#: compaction, name dictionary only, and the full config (dictionary +
+#: end-tag elimination).
+COMPACTION_MODES = [None, "names", "full"]
 
-def sort_once(algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3):
+
+def make_compaction(mode):
+    if mode is None:
+        return None
+    if mode == "names":
+        return CompactionConfig(eliminate_end_tags=False)
+    if mode == "levels":
+        return CompactionConfig(names=None)
+    return CompactionConfig()
+
+
+def sort_once(
+    algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3,
+    compaction=None,
+):
     device = BlockDevice(block_size=512)
     store = RunStore(device)
     document = Document.from_events(
-        store, level_fanout_events(list(fanouts), seed=seed, pad_bytes=24)
+        store,
+        level_fanout_events(list(fanouts), seed=seed, pad_bytes=24),
+        compaction=make_compaction(compaction),
     )
     sorter = nexsort if algorithm == "nexsort" else external_merge_sort
     output, _report = sorter(
@@ -72,13 +93,16 @@ def sort_once(algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3):
 
 
 def sort_traced(
-    algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3
+    algorithm, memory, cache, options, fanouts=(6, 6, 6), seed=3,
+    compaction=None,
 ):
     """Like sort_once, plus the per-phase trace breakdown."""
     device = BlockDevice(block_size=512)
     store = RunStore(device)
     document = Document.from_events(
-        store, level_fanout_events(list(fanouts), seed=seed, pad_bytes=24)
+        store,
+        level_fanout_events(list(fanouts), seed=seed, pad_bytes=24),
+        compaction=make_compaction(compaction),
     )
     tracer = Tracer(device.stats)
     sorter = nexsort if algorithm == "nexsort" else external_merge_sort
@@ -177,6 +201,30 @@ class TestKernelParity:
         assert columnar[2] == scalar[2]  # per-phase breakdown
 
     @pytest.mark.parametrize("algorithm", ["nexsort", "merge_sort"])
+    @pytest.mark.parametrize("compaction", ["names", "levels", "full"])
+    @pytest.mark.parametrize("embedded_keys", [False, True])
+    def test_columnar_matches_scalar_compacted(
+        self, algorithm, compaction, embedded_keys
+    ):
+        """The kernel contract holds under Section 3.2 compaction too.
+
+        ISSUE 7: ``kernel="columnar"`` no longer falls back to scalar on
+        dictionary-coded or end-tag-eliminated documents - and stays bit
+        identical on output, counters, and the per-phase breakdown.
+        """
+
+        def run(kernel):
+            return sort_traced(
+                algorithm,
+                12,
+                0,
+                MergeOptions(kernel=kernel, embedded_keys=embedded_keys),
+                compaction=compaction,
+            )
+
+        assert run("columnar") == run("scalar")
+
+    @pytest.mark.parametrize("algorithm", ["nexsort", "merge_sort"])
     def test_columnar_matches_scalar_pooled(self, algorithm):
         for kernel_options in ({}, {"embedded_keys": True}):
             scalar = sort_traced(
@@ -252,6 +300,7 @@ class TestFuzzedParity:
         cache=st.integers(min_value=0, max_value=4),
         seed=st.integers(min_value=1, max_value=4),
         fanouts=st.sampled_from([(6, 6, 6), (4, 5, 6), (3, 4, 4, 3)]),
+        compaction=st.sampled_from([None, "names", "levels", "full"]),
     )
     def test_kernels_bit_identical_fuzzed(
         self,
@@ -263,6 +312,7 @@ class TestFuzzedParity:
         cache,
         seed,
         fanouts,
+        compaction,
     ):
         def run(kernel):
             return sort_traced(
@@ -277,6 +327,7 @@ class TestFuzzedParity:
                 ),
                 fanouts=fanouts,
                 seed=seed,
+                compaction=compaction,
             )
 
         assert run("columnar") == run("scalar")

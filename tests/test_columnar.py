@@ -290,18 +290,48 @@ class TestReplayMerge:
 
 
 class TestFusedScan:
-    def test_compacted_document_falls_back(self):
+    @pytest.mark.parametrize("mode", ["names", "levels", "full"])
+    def test_compacted_document_fast_path_matches_scalar(self, mode):
+        """Compacted documents no longer fall back (ISSUE 7).
+
+        The fused scan handles dictionary-coded and level-annotated
+        (end-tag-eliminated) storage directly, forming byte-identical
+        runs - same records, same order, same counters - as the scalar
+        tokenize -> key-evaluate -> encode pipeline.
+        """
         from repro.xml import CompactionConfig, Document
 
-        device = BlockDevice(block_size=128)
-        store = RunStore(device)
-        document = Document.from_events(
-            store, parse_events(XML), compaction=CompactionConfig()
-        )
-        former = RunFormer(
-            store, 600, MergeOptions(kernel="columnar")
-        )
-        assert not form_runs_columnar(document, SPEC, former, device)
+        def compaction():
+            if mode == "names":
+                return CompactionConfig(eliminate_end_tags=False)
+            if mode == "levels":
+                return CompactionConfig(names=None)
+            return CompactionConfig()
+
+        def scan(kernel):
+            device = BlockDevice(block_size=128)
+            store = RunStore(device)
+            document = Document.from_events(
+                store, parse_events(XML), compaction=compaction()
+            )
+            former = RunFormer(store, 600, MergeOptions(kernel=kernel))
+            if kernel == "columnar":
+                assert form_runs_columnar(document, SPEC, former, device)
+            else:
+                names = document.compaction.names
+                annotated = KeyEvaluator(SPEC).annotate(
+                    document.iter_events("input_scan")
+                )
+                for record in records_from_annotated_events(annotated):
+                    device.stats.record_tokens(1)
+                    former.add(
+                        record.sort_key(), encode_record(record, names)
+                    )
+            runs = former.finish()
+            contents = [list(store.open_reader(run)) for run in runs]
+            return contents, device.stats.snapshot().counter_totals()
+
+        assert scan("columnar") == scan("scalar")
 
     def test_non_start_computable_spec_falls_back(self):
         from repro.keys import ByText

@@ -79,3 +79,36 @@ class TestSortElement:
         tree = Element.parse('<r><a name="1"/><a name="2"/><a name="3"/></r>')
         assert comparison_count(tree) > 0
         assert comparison_count(Element("leaf")) == 0
+
+
+class TestColumnarKernel:
+    """kernel="columnar" batches every child-list sort (ISSUE 7)."""
+
+    def test_matches_scalar_on_random_trees(self):
+        for seed in range(8):
+            tree = random_tree(seed, text_leaves=True)
+            assert sort_element(tree, spec(), kernel="columnar") == (
+                sort_element(tree, spec())
+            )
+
+    def test_matches_scalar_with_depth_limit(self):
+        tree = random_tree(4)
+        for limit in (None, 1, 2):
+            assert sort_element(
+                tree, spec(), depth_limit=limit, kernel="columnar"
+            ) == sort_element(tree, spec(), depth_limit=limit)
+
+    def test_in_place_columnar(self):
+        tree = random_tree(6)
+        expected = sort_element(tree, spec())
+        sort_element_in_place(tree, spec(), kernel="columnar")
+        assert tree == expected
+
+    def test_stability_on_equal_keys(self):
+        tree = Element.parse(
+            '<r><a name="k" id="1"/><a name="k" id="2"/>'
+            '<a name="a"/></r>'
+        )
+        result = sort_element(tree, spec(), kernel="columnar")
+        ids = [c.attrs.get("id") for c in result.children]
+        assert ids == [None, "1", "2"]

@@ -1,5 +1,7 @@
 """Direct unit tests for the subtree-sorter internals."""
 
+import random
+
 import pytest
 
 from repro.core.subtree import (
@@ -13,7 +15,9 @@ from repro.core.subtree import (
 )
 from repro.errors import CodecError
 from repro.io import BlockDevice, RunStore
+from repro.merge.engine import MergeOptions
 from repro.xml import TokenCodec
+from repro.xml.compact import NameDictionary
 from repro.xml.tokens import (
     EndTag,
     MISSING_KEY,
@@ -188,6 +192,256 @@ class TestSorterDispatch:
         sorter = self.make_sorter(capacity_bytes=16)
         result = sorter.sort_tokens(plain_tokens(), 1000, 1, None)
         assert not result.internal
+
+
+def sibling_case(name):
+    """Plain-mode annotated subtree tokens for one parity shape."""
+    pos = iter(range(1, 10**6))
+
+    def element(tag, key, children=(), text=None):
+        p = next(pos)
+        out = [StartTag(tag, key=key, pos=p)]
+        if text is not None:
+            out.append(Text(text))
+        for child in children:
+            out.extend(child)
+        out.append(EndTag(tag, pos=p))
+        return out
+
+    if name == "duplicate-keys":
+        # Equal keys must keep document order (position tie-break).
+        children = [
+            element("c", number_key(value), text=f"t{i}")
+            for i, value in enumerate([2, 1, 2, 1, 2, 1, 2])
+        ]
+    elif name == "single-child-chain":
+        # Every sibling list has one child: nothing to sort, all levels
+        # visited (n == 1 groups are skipped by both kernels).
+        inner = element("leaf", string_key("z"), text="deep")
+        for depth in range(30):
+            inner = element(f"n{depth}", number_key(depth), [inner])
+        children = [inner]
+    elif name == "wide-siblings":
+        # A sibling list far wider than any merge fan-in, with key
+        # collisions and nested grandchildren.
+        rng = random.Random(42)
+        children = []
+        for i in range(60):
+            grandchildren = [
+                element("g", number_key(rng.randrange(5)))
+                for _ in range(rng.randrange(3))
+            ]
+            key = (
+                string_key(f"k{rng.randrange(8)}")
+                if i % 2
+                else number_key(rng.randrange(8))
+            )
+            children.append(element("w", key, grandchildren))
+    elif name == "pointer-children":
+        children = [
+            element("a", number_key(4)),
+            [
+                RunPointer(
+                    run_id=9,
+                    key=number_key(1),
+                    pos=next(pos),
+                    element_count=5,
+                    payload_bytes=64,
+                )
+            ],
+            element("a", MISSING_KEY),
+            element("a", number_key(1)),
+        ]
+    else:  # pragma: no cover - test bug
+        raise AssertionError(name)
+    root = [StartTag("r", key=number_key(0), pos=0)]
+    for child in children:
+        root.extend(child)
+    root.append(EndTag("r", pos=0))
+    return root
+
+
+SIBLING_CASES = [
+    "duplicate-keys",
+    "single-child-chain",
+    "wide-siblings",
+    "pointer-children",
+]
+
+
+def compact_subtree_tokens(plain):
+    """End-tag-eliminated form of a plain annotated subtree (levels on
+    starts/texts/pointers, no end tags), as NEXSORT's data stack holds
+    it in compacted mode."""
+    out = []
+    level = 0
+    for token in plain:
+        if isinstance(token, StartTag):
+            level += 1
+            out.append(
+                StartTag(
+                    token.tag,
+                    token.attrs,
+                    key=token.key,
+                    pos=token.pos,
+                    level=level,
+                )
+            )
+        elif isinstance(token, EndTag):
+            level -= 1
+        elif isinstance(token, Text):
+            out.append(Text(token.text, level=level))
+        else:
+            out.append(
+                RunPointer(
+                    run_id=token.run_id,
+                    key=token.key,
+                    pos=token.pos,
+                    level=level + 1,
+                    element_count=token.element_count,
+                    payload_bytes=token.payload_bytes,
+                )
+            )
+    return out
+
+
+class TestColumnarSiblingGroups:
+    """sort_node_tree / sort_records columnar parity (ISSUE 7)."""
+
+    @pytest.mark.parametrize("name", SIBLING_CASES)
+    @pytest.mark.parametrize("sort_levels", [None, 1, 0])
+    def test_sort_node_tree_kernel_parity(self, name, sort_levels):
+        tokens = sibling_case(name)
+        scalar_dev = BlockDevice(block_size=256)
+        columnar_dev = BlockDevice(block_size=256)
+        scalar_root = build_subtree(tokens, compact=False)
+        columnar_root = build_subtree(tokens, compact=False)
+        sort_node_tree(scalar_root, sort_levels, scalar_dev.stats)
+        sort_node_tree(
+            columnar_root,
+            sort_levels,
+            columnar_dev.stats,
+            kernel="columnar",
+        )
+        assert list(
+            serialize_node_tree(columnar_root, 1, compact=False)
+        ) == list(serialize_node_tree(scalar_root, 1, compact=False))
+        assert (
+            columnar_dev.stats.comparisons == scalar_dev.stats.comparisons
+        )
+
+    @pytest.mark.parametrize("name", SIBLING_CASES)
+    @pytest.mark.parametrize("compact", [False, True])
+    @pytest.mark.parametrize("names_coded", [False, True])
+    def test_sort_records_matches_sort_tokens(
+        self, name, compact, names_coded
+    ):
+        """The fused raw-record path equals decode -> sort_tokens, bit
+        for bit: run contents, counters, and the RunPointer summary."""
+        plain = sibling_case(name)
+        tokens = compact_subtree_tokens(plain) if compact else plain
+        names = NameDictionary() if names_coded else None
+        codec = TokenCodec(names)
+        records = [codec.encode(token) for token in tokens]
+
+        def run(kernel):
+            device = BlockDevice(block_size=256)
+            store = RunStore(device)
+            sorter = SubtreeSorter(
+                store,
+                codec,
+                compact,
+                capacity_bytes=10**6,
+                fan_in=2,
+                options=MergeOptions(kernel=kernel),
+            )
+            if kernel == "columnar":
+                result = sorter.sort_records(records, 500, 1, None)
+            else:
+                result = sorter.sort_tokens(
+                    [codec.decode(record) for record in records],
+                    500,
+                    1,
+                    None,
+                )
+            contents = list(store.open_reader(result.run))
+            return contents, result, device.stats.snapshot()
+
+        columnar_contents, columnar_result, columnar_stats = run("columnar")
+        scalar_contents, scalar_result, scalar_stats = run("scalar")
+        assert columnar_contents == scalar_contents
+        assert columnar_stats.counter_totals() == (
+            scalar_stats.counter_totals()
+        )
+        for field in (
+            "units",
+            "real_elements",
+            "payload_bytes",
+            "root_key",
+            "root_pos",
+            "internal",
+        ):
+            assert getattr(columnar_result, field) == getattr(
+                scalar_result, field
+            ), field
+
+    def test_sort_records_root_key_from_end_tag(self):
+        """Plain-mode subtree-evaluated keys ride on the end tag; the
+        fused root summary must fall back to it like sort_tokens."""
+        codec = TokenCodec()
+        tokens = [
+            StartTag("r", pos=0),
+            StartTag("a", key=number_key(2), pos=1),
+            EndTag("a", pos=1),
+            EndTag("r", key=string_key("late"), pos=0),
+        ]
+        records = [codec.encode(token) for token in tokens]
+        device = BlockDevice(block_size=256)
+        store = RunStore(device)
+        sorter = SubtreeSorter(
+            store,
+            codec,
+            compact=False,
+            capacity_bytes=10**6,
+            fan_in=2,
+            options=MergeOptions(kernel="columnar"),
+        )
+        result = sorter.sort_records(records, 100, 1, None)
+        assert result.root_key == string_key("late")
+        assert result.root_pos == 0
+
+    def test_sort_records_counted_mode_falls_back(self):
+        """Counted-comparison mode must keep the scalar counting sort."""
+        codec = TokenCodec()
+        records = [
+            codec.encode(token)
+            for token in sibling_case("duplicate-keys")
+        ]
+
+        def run(options):
+            device = BlockDevice(block_size=256)
+            store = RunStore(device)
+            sorter = SubtreeSorter(
+                store,
+                codec,
+                compact=False,
+                capacity_bytes=10**6,
+                fan_in=2,
+                options=options,
+            )
+            result = sorter.sort_records(records, 500, 1, None)
+            return list(store.open_reader(result.run)), device.stats
+
+        counted = MergeOptions(
+            kernel="columnar", merge_kernel="loser-tree"
+        )
+        analytic = MergeOptions(kernel="columnar")
+        counted_contents, counted_stats = run(counted)
+        analytic_contents, analytic_stats = run(analytic)
+        assert counted_contents == analytic_contents
+        # Counted mode records what the comparison sequence actually
+        # did, which differs from the analytic n*ceil(log2 n) charge.
+        assert counted_stats.comparisons != analytic_stats.comparisons
 
 
 def test_internal_and_external_subtree_sorts_agree():
