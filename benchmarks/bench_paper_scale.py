@@ -35,6 +35,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis import arge_thorup_merge_depth
 from repro.baselines import key_path_table
 from repro.bench import ascii_chart, load_document, record_table
 from repro.bench.harness import run_merge_sort, run_nexsort
@@ -128,10 +129,51 @@ def _counter_view(metrics):
     }
 
 
+def _merge_depth_fields(metrics):
+    """Empirical merge depth vs. the Arge-Thorup bound for a merge row.
+
+    The empirical depth is the number of merge passes beyond run
+    formation; the bound is ``ceil(log_f r)`` at the row's *recorded*
+    fan-in and initial-run count, which that merger provably cannot
+    beat.  ``_check_merge_depth`` fails the harness if any persisted
+    row exceeds its bound (a wasted pass) or undercuts it (broken
+    accounting).
+    """
+    if metrics.algorithm != "merge_sort":
+        return {"merge_depth": None, "merge_depth_bound": None}
+    detail = metrics.detail
+    per_block = max(1, metrics.element_count // max(1, metrics.input_blocks))
+    bound = arge_thorup_merge_depth(
+        metrics.element_count,
+        per_block,
+        metrics.memory_blocks * per_block,
+        fan_in=detail["fan_in"],
+        initial_runs=detail["initial_runs"],
+    )
+    return {
+        "merge_depth": detail["passes"] - 1,
+        "merge_depth_bound": bound,
+    }
+
+
+def _check_merge_depth(rows):
+    for row in rows:
+        depth = row.get("merge_depth")
+        bound = row.get("merge_depth_bound")
+        if depth is None or bound is None:
+            continue
+        assert depth == bound, (
+            f"{row['figure']}/{row['workload']} ({row['algorithm']}, "
+            f"M={row['memory_blocks']}): empirical merge depth {depth} "
+            f"!= Arge-Thorup bound {bound}"
+        )
+
+
 def _row(figure, workload, shape, metrics, kernel="columnar",
          flat_optimization=False, speedup=None):
     detail = metrics.detail
     return {
+        **_merge_depth_fields(metrics),
         "figure": figure,
         "workload": workload,
         "shape": list(shape),
@@ -180,6 +222,7 @@ def _merge_rows(new_rows):
     rows = [row for row in existing if _row_key(row) not in fresh_keys]
     rows.extend(new_rows)
     rows.sort(key=_row_key)
+    _check_merge_depth(rows)
     _JSON_PATH.write_text(
         json.dumps(
             {

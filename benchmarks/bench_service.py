@@ -1,0 +1,191 @@
+"""Experiment S - the sort service under Poisson load.
+
+The service layer (DESIGN.md section 12) admits a seeded Poisson stream
+of tenant sort jobs, runs each on a private resource lease, and replays
+their cost events over a shared farm of ``D`` simulated disks.  This
+module measures what multi-tenancy buys and what it must never cost:
+
+* **Offered-load sweep** - the same 8-job workload at three arrival
+  rates, fair policy, D=4: throughput and p50/p95/p99 latency per load
+  land in ``BENCH_service.json``.
+* **Concurrency speedup** - the acceptance bar: 8 concurrent small jobs
+  at D=4 must beat serial back-to-back execution (the sum of solo
+  service times, which is exactly what one disk would take) by >= 2x
+  aggregate throughput.
+* **Chaos** - the same workload under a seeded fault plan with retries:
+  every admitted job must complete with a digest, counter set, and
+  phase breakdown bit-identical to its solo run under the same plan
+  (per-tenant injection makes the fault sequence a function of the
+  tenant's own access stream, so isolation is what's being tested).
+
+All metrics are simulated and therefore deterministic; nothing here can
+flake on a loaded host.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import record_table
+from repro.io.lease import ResourcePool
+from repro.service import Scheduler, parse_workload, run_solo
+
+BLOCK_SIZE = 512
+
+#: The acceptance workload: 8 small jobs arriving in a burst.
+WORKLOAD = "jobs=8;rate=5.0;seed=11;shape=6x6x6;memory=16;cache=2"
+
+#: Offered-load sweep: jobs per simulated second.
+RATES = [2.0, 5.0, 10.0]
+
+DISKS = 4
+POOL_BLOCKS = 64
+
+CHAOS_PLAN = "rate=0.02;seed=9"
+CHAOS_RETRIES = 2
+
+_JSON_PATH = Path(__file__).parent / "BENCH_service.json"
+
+
+def _workload(rate):
+    return parse_workload(WORKLOAD.replace("rate=5.0", f"rate={rate}"))
+
+
+def _schedule(jobs, policy="fair", disks=DISKS, fault_plan=None, retries=0):
+    pool = ResourcePool(POOL_BLOCKS, block_size=BLOCK_SIZE, disks=disks)
+    scheduler = Scheduler(
+        pool, policy=policy, fault_plan=fault_plan, retries=retries
+    )
+    report = scheduler.run(jobs)
+    report.verify_isolation()
+    return report
+
+
+def _solo(spec, fault_plan=None, retries=0):
+    return run_solo(
+        spec,
+        block_size=BLOCK_SIZE,
+        fault_plan=fault_plan,
+        retries=retries,
+    )
+
+
+def _row(scenario, report, **extra):
+    return {"scenario": scenario, **report.summary(), **extra}
+
+
+def _write_rows(rows):
+    _JSON_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "sort_service",
+                "block_size": BLOCK_SIZE,
+                "pool_blocks": POOL_BLOCKS,
+                "workload": WORKLOAD,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def test_service_under_load(benchmark):
+    """Sweep + speedup bar + chaos, one JSON artifact."""
+
+    def sweep():
+        return [(rate, _schedule(_workload(rate))) for rate in RATES]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    load_table = []
+    for rate, report in reports:
+        assert len(report.completed) == len(report.results)
+        summary = report.summary()
+        rows.append(_row("offered-load", report, rate=rate))
+        load_table.append(
+            [
+                f"{rate:.1f}",
+                summary["completed"],
+                f"{summary['makespan_seconds']:.3f}",
+                f"{summary['throughput_jobs_per_second']:.2f}",
+                f"{summary['latency_p50_seconds']:.3f}",
+                f"{summary['latency_p95_seconds']:.3f}",
+                f"{summary['latency_p99_seconds']:.3f}",
+            ]
+        )
+
+    # Concurrency speedup: serial back-to-back = sum of solo service
+    # times (one job's replay is serial, so D does not help it).
+    jobs = parse_workload(WORKLOAD)
+    solos = {spec.tenant: _solo(spec) for spec in jobs}
+    serial_seconds = sum(s.service_seconds for s in solos.values())
+    concurrent = next(r for rate, r in reports if rate == 5.0)
+    serial_throughput = len(jobs) / serial_seconds
+    speedup = concurrent.throughput_jobs_per_second / serial_throughput
+    assert speedup >= 2.0, (
+        f"8 jobs on {DISKS} disks achieved only {speedup:.2f}x the "
+        f"serial back-to-back throughput"
+    )
+    rows.append(
+        {
+            "scenario": "concurrency-speedup",
+            "disks": DISKS,
+            "jobs": len(jobs),
+            "serial_seconds": serial_seconds,
+            "concurrent_makespan_seconds": concurrent.makespan_seconds,
+            "throughput_speedup": round(speedup, 2),
+            "latency_p99_seconds": concurrent.latency_percentiles()["p99"],
+        }
+    )
+
+    # Scheduled == solo, bit for bit: digest, counters, phases.
+    for result in concurrent.completed:
+        solo = solos[result.spec.tenant]
+        assert result.digest == solo.digest, result.spec.tenant
+        assert result.counters == solo.counters, result.spec.tenant
+        assert result.phases == solo.phases, result.spec.tenant
+
+    # Chaos: a seeded fault plan with retries; every admitted job still
+    # completes bit-identically to its solo run under the same plan.
+    chaos = _schedule(
+        parse_workload(WORKLOAD),
+        fault_plan=CHAOS_PLAN,
+        retries=CHAOS_RETRIES,
+    )
+    assert len(chaos.completed) == len(chaos.results)
+    for result in chaos.completed:
+        solo = _solo(
+            result.spec, fault_plan=CHAOS_PLAN, retries=CHAOS_RETRIES
+        )
+        assert result.digest == solo.digest, result.spec.tenant
+        assert result.counters == solo.counters, result.spec.tenant
+    assert chaos.pool_totals["penalty_seconds"] > 0, (
+        "the chaos plan injected no faults; raise rate= in CHAOS_PLAN"
+    )
+    rows.append(
+        _row(
+            "chaos",
+            chaos,
+            fault_plan=CHAOS_PLAN,
+            retries=CHAOS_RETRIES,
+            penalty_seconds=chaos.pool_totals["penalty_seconds"],
+            bit_identical=True,
+        )
+    )
+
+    _write_rows(rows)
+
+    record_table(
+        "Sort service under Poisson load (8 jobs, fair, D=4)",
+        ["rate (jobs/s)", "done", "makespan (s)", "jobs/s",
+         "p50 (s)", "p95 (s)", "p99 (s)"],
+        load_table,
+        notes=[
+            f"concurrent vs serial back-to-back: {speedup:.1f}x "
+            f"(acceptance floor 2.0x)",
+            "every scheduled job bit-identical to its solo run "
+            "(digest + counters + phases), chaos plan included",
+            f"rows written to {_JSON_PATH.name}",
+        ],
+    )

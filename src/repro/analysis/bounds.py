@@ -105,6 +105,53 @@ def merge_sort_passes(N: int, B: int, M: int) -> int:
     return passes
 
 
+def arge_thorup_merge_depth(
+    N: int,
+    B: int,
+    M: int,
+    fan_in: int | None = None,
+    initial_runs: int | None = None,
+) -> int:
+    """Merge-tree depth bound for multiway external merging.
+
+    Arge & Thorup ("RAM-efficient external memory sorting", PAPERS.md)
+    analyze external sorting as run formation plus a fan-in-``f`` merge
+    tree of depth ``ceil(log_f r)`` over ``r`` initial runs - each level
+    of the tree is one pass over the data, so this is the number of merge
+    passes any fan-in-``f`` merger needs, and the bound an admission
+    controller consults when deciding whether a degraded memory grant
+    forces extra passes.
+
+    Defaults instantiate the classic geometry: ``r = ceil(N/M)`` runs
+    (memory-filling formation) and ``f = M/B - 1`` (one block per input
+    run plus an output block).  Pass the *actual* ``fan_in`` /
+    ``initial_runs`` of a measured row to get the bound that that row's
+    merger provably cannot beat: ``ceil(log_f r)`` equals the iterated
+    ceil-division pass count exactly (``ceil(ceil(r/f)/f) = ceil(r/f^2)``
+    and so on), so an empirical merge depth below it indicates broken
+    accounting, and above it a wasted pass.
+    """
+    _check(N, B, M)
+    m = M // B
+    if fan_in is None:
+        fan_in = max(2, m - 1)
+    if initial_runs is None:
+        initial_runs = max(1, ceil(N / M))
+    if fan_in < 2 or initial_runs < 1:
+        raise ReproError(
+            f"bad merge-tree parameters fan_in={fan_in} "
+            f"initial_runs={initial_runs}"
+        )
+    # Integer form of ceil(log_fan_in(initial_runs)): exact at fan-in
+    # powers where a float log could round either way.
+    depth = 0
+    runs = initial_runs
+    while runs > 1:
+        runs = -(-runs // fan_in)
+        depth += 1
+    return depth
+
+
 def permutation_lower_bound_ios(N: int, B: int, M: int) -> float:
     """Aggarwal-Vitter's permuting bound: Omega(min{N, (N/B) log_{M/B} (N/B)}).
 

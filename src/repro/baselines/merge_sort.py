@@ -141,6 +141,7 @@ class ExternalMergeSorter:
         document: Document,
         tracer: Tracer | None = None,
         recovery=None,
+        lease=None,
     ) -> tuple[Document, MergeSortReport]:
         """Sort ``document``; returns (sorted document, report).
 
@@ -154,9 +155,9 @@ class ExternalMergeSorter:
         :class:`~repro.errors.SortRecoveryError`.
         """
         if recovery is None:
-            return self._sort(document, tracer, None)
+            return self._sort(document, tracer, None, lease)
         try:
-            return self._sort(document, tracer, recovery)
+            return self._sort(document, tracer, recovery, lease)
         except DeviceFault as fault:
             raise recovery.to_error(fault) from fault
 
@@ -165,13 +166,22 @@ class ExternalMergeSorter:
         document: Document,
         tracer: Tracer | None,
         recovery,
+        lease=None,
     ) -> tuple[Document, MergeSortReport]:
         store = document.store
         device = store.device
         names = (
             document.compaction.names if document.compaction else None
         )
-        budget = MemoryBudget(self.memory_blocks)
+        if lease is not None:
+            if lease.budget.total_blocks != self.memory_blocks:
+                raise SortSpecError(
+                    f"lease grants {lease.budget.total_blocks} blocks but "
+                    f"the sorter was configured for {self.memory_blocks}"
+                )
+            budget = lease.budget
+        else:
+            budget = MemoryBudget(self.memory_blocks)
         buffers = budget.reserve(_RESERVED_BLOCKS, "io-buffers")
         if self.cache_blocks:
             store.attach_pool(
@@ -326,8 +336,9 @@ def external_merge_sort(
     merge_options: MergeOptions | None = None,
     tracer: Tracer | None = None,
     recovery=None,
+    lease=None,
 ) -> tuple[Document, MergeSortReport]:
     """Convenience wrapper: sort ``document`` with the baseline."""
     return ExternalMergeSorter(
         spec, memory_blocks, cache_blocks, merge_options
-    ).sort(document, tracer, recovery=recovery)
+    ).sort(document, tracer, recovery=recovery, lease=lease)

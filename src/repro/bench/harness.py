@@ -246,6 +246,7 @@ def run_merge_sort(
         total_ios=report.total_ios,
         detail={
             "initial_runs": report.initial_runs,
+            "fan_in": report.fan_in,
             "passes": report.total_passes,
             "avg_run_length": report.avg_run_length,
             "max_run_length": report.max_run_length,

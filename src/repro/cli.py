@@ -91,6 +91,72 @@ def build_parser() -> argparse.ArgumentParser:
                 "e.g. '*=@name, employee=@ID, note=text()'",
             )
 
+    def add_tuning(p: argparse.ArgumentParser) -> None:
+        """Engine tuning shared verbatim by ``sort`` and ``serve``.
+
+        One builder so the two entry points cannot drift: the merge
+        engine, disk-farm, and fault flags mean the same thing whether
+        one job or a whole workload consumes them
+        (``_make_merge_options`` reads exactly these).
+        """
+        p.add_argument(
+            "--disks", type=int, default=1,
+            help="number of simulated disks: sort stripes one job's "
+            "device across them, serve shares them between jobs "
+            "(default 1: the paper's serial disk)",
+        )
+        p.add_argument(
+            "--prefetch-depth", type=int, default=0,
+            help="blocks the striped device may hold in its prefetch "
+            "window (default 0: prefetch off); merges fetch ahead "
+            "into it (sort only)",
+        )
+        p.add_argument(
+            "--prefetch-policy",
+            choices=sorted(PREFETCH_POLICIES),
+            default="forecast",
+            help="which run gets scarce prefetch slots first: forecast "
+            "(smallest merge head key - the run that drains next) or "
+            "round-robin (naive cycling); default forecast",
+        )
+        p.add_argument(
+            "--run-formation",
+            choices=["load-sort", "replacement-selection"],
+            default="load-sort",
+            help="initial-run formation strategy (replacement-selection "
+            "produces ~2x longer runs on random input)",
+        )
+        p.add_argument(
+            "--merge-kernel",
+            choices=["heap", "loser-tree"],
+            default="heap",
+            help="k-way merge kernel; loser-tree counts real comparisons "
+            "(<= ceil(log2 k) per record) instead of the analytic charge",
+        )
+        p.add_argument(
+            "--embedded-keys", action="store_true",
+            help="embed byte-comparable normalized keys in run records so "
+            "merges compare bytes instead of decoding",
+        )
+        p.add_argument(
+            "--kernel",
+            choices=["scalar", "columnar"],
+            default="scalar",
+            help="record hot-path implementation: scalar (one record at a "
+            "time) or columnar (batched normalized-key kernels, identical "
+            "counters, much faster wall clock)",
+        )
+        p.add_argument(
+            "--faults", metavar="PLAN", default=None,
+            help="inject deterministic device faults per PLAN, e.g. "
+            "'read@5;write@3*2:persistent;torn@1;rate=0.001;seed=42'",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0,
+            help="transparent retries per faulted I/O (backoff charged to "
+            "the simulated clock; default 0)",
+        )
+
     sort_cmd = sub.add_parser("sort", help="sort a document")
     sort_cmd.add_argument("input")
     sort_cmd.add_argument("-o", "--output", help="write result here")
@@ -120,65 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory blocks spent on the LRU buffer pool (default 0: "
         "no pool, I/O counts match the paper's model exactly)",
     )
-    sort_cmd.add_argument(
-        "--disks", type=int, default=1,
-        help="stripe the simulated device over this many disks "
-        "(default 1: the paper's serial disk, bit-identical counters)",
-    )
-    sort_cmd.add_argument(
-        "--prefetch-depth", type=int, default=0,
-        help="blocks the striped device may hold in its prefetch window "
-        "(default 0: prefetch off); merges fetch ahead into it",
-    )
-    sort_cmd.add_argument(
-        "--prefetch-policy",
-        choices=sorted(PREFETCH_POLICIES),
-        default="forecast",
-        help="which run gets scarce prefetch slots first: forecast "
-        "(smallest merge head key - the run that drains next) or "
-        "round-robin (naive cycling); default forecast",
-    )
-    sort_cmd.add_argument(
-        "--run-formation",
-        choices=["load-sort", "replacement-selection"],
-        default="load-sort",
-        help="initial-run formation strategy (replacement-selection "
-        "produces ~2x longer runs on random input)",
-    )
-    sort_cmd.add_argument(
-        "--merge-kernel",
-        choices=["heap", "loser-tree"],
-        default="heap",
-        help="k-way merge kernel; loser-tree counts real comparisons "
-        "(<= ceil(log2 k) per record) instead of the analytic charge",
-    )
-    sort_cmd.add_argument(
-        "--embedded-keys", action="store_true",
-        help="embed byte-comparable normalized keys in run records so "
-        "merges compare bytes instead of decoding",
-    )
-    sort_cmd.add_argument(
-        "--kernel",
-        choices=["scalar", "columnar"],
-        default="scalar",
-        help="record hot-path implementation: scalar (one record at a "
-        "time) or columnar (batched normalized-key kernels, identical "
-        "counters, much faster wall clock)",
-    )
+    add_tuning(sort_cmd)
     sort_cmd.add_argument(
         "--profile", metavar="PATH", default=None,
         help="run the sort under cProfile and write stats (sorted by "
         "cumulative time) to PATH",
-    )
-    sort_cmd.add_argument(
-        "--faults", metavar="PLAN", default=None,
-        help="inject deterministic device faults per PLAN, e.g. "
-        "'read@5;write@3*2:persistent;torn@1;rate=0.001;seed=42'",
-    )
-    sort_cmd.add_argument(
-        "--retries", type=int, default=0,
-        help="transparent retries per faulted I/O (backoff charged to "
-        "the simulated clock; default 0)",
     )
     sort_cmd.add_argument(
         "--max-restarts", type=int, default=4,
@@ -199,6 +211,57 @@ def build_parser() -> argparse.ArgumentParser:
         "jsonl, or tree (human-readable summary); default chrome",
     )
     add_common(sort_cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run a multi-tenant workload through the sort service",
+    )
+    serve_cmd.add_argument(
+        "--workload", required=True, metavar="SPEC",
+        help="workload mini-language, e.g. "
+        "'jobs=8;rate=2.0;seed=7;shape=4x4x4;memory=24'",
+    )
+    serve_cmd.add_argument(
+        "--policy", choices=["fair", "priority"], default="fair",
+        help="scheduling policy: fair (min-clock processor sharing) or "
+        "priority (strict, higher JobSpec priority first)",
+    )
+    serve_cmd.add_argument(
+        "--pool-memory", type=int, default=96,
+        help="global memory pool in blocks that job leases are carved "
+        "from (default 96)",
+    )
+    serve_cmd.add_argument(
+        "--block-size", type=int, default=4096,
+        help="device block size in bytes (default 4096)",
+    )
+    serve_cmd.add_argument(
+        "--no-degrade", action="store_true",
+        help="disable degraded admission (shrunken grants); jobs that "
+        "do not fit are queued or rejected instead",
+    )
+    serve_cmd.add_argument(
+        "--max-extra-depth", type=int, default=0,
+        help="extra Arge-Thorup merge-tree levels a degraded grant may "
+        "cost a job relative to its full request (default 0)",
+    )
+    serve_cmd.add_argument(
+        "--verify-solo", action="store_true",
+        help="re-run every completed job alone at the same grant and "
+        "check bit-identity (digest, counters, phase breakdown); "
+        "exit 1 on any mismatch",
+    )
+    serve_cmd.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="write per-tenant jsonl traces to DIR "
+        "(<tenant>.scheduled.jsonl; with --verify-solo also "
+        "<tenant>.solo.jsonl, comparable via `repro trace diff`)",
+    )
+    serve_cmd.add_argument(
+        "--stats", action="store_true",
+        help="print per-tenant counters and disk utilization",
+    )
+    add_tuning(serve_cmd)
 
     merge_cmd = sub.add_parser(
         "merge", help="sort two documents and merge them in one pass"
@@ -536,6 +599,141 @@ def cmd_sort(args) -> int:
             base_device.close()
 
 
+def cmd_serve(args) -> int:
+    import os
+
+    from .io.lease import ResourcePool
+    from .service import (
+        AdmissionController,
+        Scheduler,
+        parse_workload,
+        run_solo,
+    )
+
+    if args.prefetch_depth:
+        raise ReproError(
+            "serve shares whole disks between jobs; per-job prefetch "
+            "striping (--prefetch-depth) applies to `repro sort` only"
+        )
+    jobs = parse_workload(args.workload)
+    pool = ResourcePool(
+        args.pool_memory, block_size=args.block_size, disks=args.disks
+    )
+    admission = AdmissionController(
+        pool,
+        degrade=not args.no_degrade,
+        max_extra_depth=args.max_extra_depth,
+    )
+    merge_options = _make_merge_options(args)
+    scheduler = Scheduler(
+        pool,
+        policy=args.policy,
+        admission=admission,
+        merge_options=merge_options,
+        fault_plan=args.faults,
+        retries=args.retries,
+    )
+    report = scheduler.run(jobs)
+    report.verify_isolation()
+
+    def _trace_path(tenant: str, kind: str) -> str:
+        return os.path.join(args.trace_dir, f"{tenant}.{kind}.jsonl")
+
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        for result in report.completed:
+            if result.trace is not None:
+                with open(
+                    _trace_path(result.spec.tenant, "scheduled"),
+                    "w", encoding="utf-8",
+                ) as handle:
+                    TRACE_WRITERS["jsonl"](result.trace, handle)
+
+    header = (
+        f"{'tenant':<8} {'action':<8} {'prio':>4} {'grant':>6} "
+        f"{'arrive':>8} {'done':>8} {'latency':>8}"
+    )
+    print(header)
+    for result in report.results:
+        done = (
+            f"{result.completed_seconds:.3f}" if result.completed else "-"
+        )
+        latency = (
+            f"{result.latency_seconds:.3f}" if result.completed else "-"
+        )
+        grant = (
+            result.decision.memory_blocks
+            if result.decision.admitted
+            else "-"
+        )
+        print(
+            f"{result.spec.tenant:<8} {result.decision.action:<8} "
+            f"{result.spec.priority:>4} {grant:>6} "
+            f"{result.spec.arrival:>8.3f} {done:>8} {latency:>8}"
+        )
+    summary = report.summary()
+    print(
+        f"\npolicy={summary['policy']} disks={summary['disks']} "
+        f"jobs={summary['jobs']} completed={summary['completed']} "
+        f"degraded={summary['degraded']} rejected={summary['rejected']}"
+    )
+    print(
+        f"makespan: {summary['makespan_seconds']:.4f}s  "
+        f"throughput: {summary['throughput_jobs_per_second']:.4f} jobs/s"
+    )
+    print(
+        f"latency p50/p95/p99: "
+        f"{summary['latency_p50_seconds']:.4f}s / "
+        f"{summary['latency_p95_seconds']:.4f}s / "
+        f"{summary['latency_p99_seconds']:.4f}s"
+    )
+    if args.stats:
+        print("\nper-tenant counters (tile exactly to the pool totals):")
+        for result in report.completed:
+            print(
+                f"  {result.spec.tenant}: "
+                f"reads={result.counters.get('reads', 0)} "
+                f"writes={result.counters.get('writes', 0)} "
+                f"comparisons={result.counters.get('comparisons', 0)}"
+            )
+        utilization = scheduler.timeline.utilization()
+        if utilization:
+            per_disk = " ".join(
+                f"disk{d}={u:.0%}" for d, u in sorted(utilization.items())
+            )
+            print(f"disk utilization: {per_disk}")
+
+    exit_code = 0
+    if args.verify_solo:
+        print("\nsolo bit-identity check:")
+        for result in report.completed:
+            solo = run_solo(
+                result.spec,
+                memory_blocks=result.decision.memory_blocks,
+                cache_blocks=result.decision.cache_blocks,
+                block_size=args.block_size,
+                merge_options=merge_options,
+                fault_plan=args.faults,
+                retries=args.retries,
+            )
+            same = (
+                solo.digest == result.digest
+                and solo.counters == result.counters
+                and solo.phases == result.phases
+            )
+            verdict = "bit-identical" if same else "MISMATCH"
+            print(f"  {result.spec.tenant}: {verdict}")
+            if not same:
+                exit_code = 1
+            if args.trace_dir and solo.trace is not None:
+                with open(
+                    _trace_path(result.spec.tenant, "solo"),
+                    "w", encoding="utf-8",
+                ) as handle:
+                    TRACE_WRITERS["jsonl"](solo.trace, handle)
+    return exit_code
+
+
 def cmd_merge(args) -> int:
     device = _make_device(args)
     try:
@@ -673,6 +871,7 @@ def cmd_trace(args) -> int:
 
 _COMMANDS = {
     "sort": cmd_sort,
+    "serve": cmd_serve,
     "merge": cmd_merge,
     "dedup": cmd_dedup,
     "table1": cmd_table1,

@@ -55,7 +55,12 @@ except ImportError:  # pragma: no cover
     _np = None
 
 from ..errors import CodecError, RunError, SortSpecError
-from ..merge.engine import DEFAULT_KEY_OPTIONS, embedded_key_of
+from ..merge.engine import (
+    DEFAULT_KEY_OPTIONS,
+    argsort_counted,
+    dense_ranks,
+    embedded_key_of,
+)
 from ..xml.codec import (
     TYPE_END,
     TYPE_POINTER,
@@ -1482,6 +1487,7 @@ def sort_raw_tree(
     sort_levels: int | None,
     stats,
     prefix_width: int | None = None,
+    counted: bool = False,
 ) -> None:
     """Sort every sibling list of a raw-record subtree, batched.
 
@@ -1494,6 +1500,14 @@ def sort_raw_tree(
     ``n * ceil(log2 n)`` comparison charge per group is identical to the
     scalar path's; charge *order* inside the surrounding subtree-sort
     span is not observable, so the total is recorded in one call.
+
+    ``counted=True`` (comparison-charging mode) keys each group down to
+    dense ranks via the batched order and replays a counted timsort over
+    the rank ints (:func:`~repro.merge.engine.argsort_counted`).  Because
+    the rank lists are order- and equality-isomorphic to the scalar
+    ``(key, pos)`` tuples, the replay performs - and charges - exactly
+    the comparison sequence of the scalar per-group counted sort, while
+    key derivation and the heavy lifting stay batched.
     """
     groups: list[list[_RawNode]] = []
     group_keys: list[list[bytes]] = []
@@ -1522,6 +1536,16 @@ def sort_raw_tree(
             if child.body is None:  # pointers are leaves
                 work.append((child, level + 1))
     if not groups:
+        return
+    if counted:
+        # Charge per group, in DFS gather order, exactly as the scalar
+        # path charges per sibling-group sort.
+        for children, keys, order in zip(
+            groups, group_keys, argsort_groups(group_keys, prefix_width)
+        ):
+            ranks = dense_ranks(keys, order)
+            replay = argsort_counted(ranks, stats)
+            children[:] = [children[i] for i in replay]
         return
     comparisons = 0
     for children, order in zip(groups, argsort_groups(group_keys, prefix_width)):
@@ -1637,6 +1661,7 @@ def sort_subtree_records(
     sort_levels: int | None,
     stats,
     prefix_width: int | None = None,
+    counted: bool = False,
 ) -> tuple[list[bytes], int, int]:
     """Fused internal subtree sort over raw encoded data-stack records.
 
@@ -1646,13 +1671,14 @@ def sort_subtree_records(
     argsort (:func:`sort_raw_tree`), and output records are spliced from
     the input's own encoded slices.  Returns ``(out_records, units,
     real_elements)``; output bytes, order, and the comparison charge are
-    identical to the scalar internal path.
+    identical to the scalar internal path (``counted=True`` replays the
+    counted comparison sequence exactly - see :func:`sort_raw_tree`).
     """
     if compact:
         root, units, real = _parse_subtree_compact(records, names_coded)
     else:
         root, units, real = _parse_subtree_plain(records, names_coded)
-    sort_raw_tree(root, sort_levels, stats, prefix_width)
+    sort_raw_tree(root, sort_levels, stats, prefix_width, counted=counted)
     out = _serialize_raw_tree(root, base_level, compact, names_coded)
     return out, units, real
 

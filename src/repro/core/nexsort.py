@@ -168,6 +168,7 @@ class NexSorter:
         document: Document,
         tracer: Tracer | None = None,
         recovery=None,
+        lease=None,
     ) -> tuple[Document, NexsortReport]:
         """Sort ``document``; returns (sorted document, full report).
 
@@ -185,9 +186,9 @@ class NexSorter:
         completed checkpoint.
         """
         if recovery is None:
-            return self._sort(document, tracer, None)
+            return self._sort(document, tracer, None, lease)
         try:
-            return self._sort(document, tracer, recovery)
+            return self._sort(document, tracer, recovery, lease)
         except DeviceFault as fault:
             # A fault escaped every retry and restartable unit (e.g. in
             # scan-phase stack paging, which has no restartable unit).
@@ -198,6 +199,7 @@ class NexSorter:
         document: Document,
         tracer: Tracer | None,
         recovery,
+        lease=None,
     ) -> tuple[Document, NexsortReport]:
         compact = (
             document.compaction is not None
@@ -223,7 +225,19 @@ class NexSorter:
         )
         depth_limit = options.depth_limit
 
-        budget = MemoryBudget(self.memory_blocks)
+        if lease is not None:
+            # Per-job lease (repro.io.lease): memory comes from the slice
+            # carved out of the shared pool instead of a private budget.
+            # Reservation arithmetic below is unchanged, so a lease of M
+            # blocks reproduces the ambient MemoryBudget(M) run exactly.
+            if lease.budget.total_blocks != self.memory_blocks:
+                raise SortSpecError(
+                    f"lease grants {lease.budget.total_blocks} blocks but "
+                    f"the sorter was configured for {self.memory_blocks}"
+                )
+            budget = lease.budget
+        else:
+            budget = MemoryBudget(self.memory_blocks)
         path_reservation = budget.reserve(2, "path-stack")
         output_reservation = budget.reserve(1, "output-location-stack")
         buffer_reservation = budget.reserve(2, "transfer-buffers")
@@ -1018,6 +1032,7 @@ def nexsort(
     merge_options: MergeOptions | None = None,
     tracer: Tracer | None = None,
     recovery=None,
+    lease=None,
 ) -> tuple[Document, NexsortReport]:
     """Convenience wrapper: sort ``document`` with NEXSORT."""
     options = NexsortOptions(
@@ -1028,5 +1043,5 @@ def nexsort(
         merge=merge_options or DEFAULT_MERGE_OPTIONS,
     )
     return NexSorter(spec, memory_blocks, options).sort(
-        document, tracer, recovery=recovery
+        document, tracer, recovery=recovery, lease=lease
     )

@@ -44,6 +44,8 @@ from ..merge.engine import (
     DEFAULT_MERGE_OPTIONS,
     MergeOptions,
     RunFormer,
+    argsort_counted,
+    dense_ranks,
     embedded_key_of,
     normalized_path_key,
     sort_with_accounting,
@@ -210,11 +212,16 @@ def sort_node_tree(
     over engine-normalized ``key + position`` bytes
     (:func:`repro.core.columnar.argsort_groups`); the resulting orders
     and the analytic comparison total are identical to the scalar
-    per-group ``list.sort``.  Counted mode keeps the scalar sort so the
-    recorded count is the one the comparison sequence actually produces.
+    per-group ``list.sort``.  Counted mode batches too: each group's
+    keys collapse to dense ranks via the batched order, and a counted
+    timsort replay over the rank ints charges exactly the comparison
+    sequence the scalar per-group sort performs (the ranks are order-
+    and equality-isomorphic to the ``(key, pos)`` tuples).
     """
-    if kernel == "columnar" and not counted:
-        _sort_node_tree_columnar(root, sort_levels, device_stats)
+    if kernel == "columnar":
+        _sort_node_tree_columnar(
+            root, sort_levels, device_stats, counted=counted
+        )
         return
     work: list[tuple[_Node, int]] = [(root, 1)]
     while work:
@@ -241,6 +248,7 @@ def _sort_node_tree_columnar(
     sort_levels: int | None,
     device_stats,
     prefix_width: int | None = None,
+    counted: bool = False,
 ) -> None:
     """Batched sibling-group form of :func:`sort_node_tree`."""
     groups: list[list[_Node]] = []
@@ -269,6 +277,14 @@ def _sort_node_tree_columnar(
             if not child.is_pointer:
                 work.append((child, level + 1))
     if not groups:
+        return
+    if counted:
+        for children, keys, order in zip(
+            groups, group_keys, argsort_groups(group_keys, prefix_width)
+        ):
+            ranks = dense_ranks(keys, order)
+            replay = argsort_counted(ranks, device_stats)
+            children[:] = [children[i] for i in replay]
         return
     comparisons = 0
     for children, order in zip(
@@ -530,12 +546,13 @@ class SubtreeSorter:
         spliced from the input's own encoded slices
         (:func:`repro.core.columnar.sort_subtree_records`) - no token is
         ever materialized.  Output bytes, counters, and the RunPointer
-        key are identical to the scalar path.  External-sized subtrees
-        and counted-comparison mode decode and fall back to
-        :meth:`sort_tokens`.
+        key are identical to the scalar path (counted-comparison mode
+        replays the scalar comparison sequence over dense ranks - see
+        :func:`repro.core.columnar.sort_raw_tree`).  External-sized
+        subtrees decode and fall back to :meth:`sort_tokens`.
         """
         internal = payload_bytes <= self.capacity_bytes
-        if not internal or self.options.counted_comparisons:
+        if not internal:
             return self.sort_tokens(
                 self.codec.decode_batch(records),
                 payload_bytes,
@@ -562,6 +579,7 @@ class SubtreeSorter:
                 sort_levels,
                 stats,
                 prefix_width,
+                counted=self.options.counted_comparisons,
             )
             counts.append((units, real))
             writer = self.store.create_writer("run_write")

@@ -124,6 +124,14 @@ class MergeError(ReproError):
     """Structural merge inputs violate the merge preconditions."""
 
 
+class ServiceError(ReproError):
+    """The multi-tenant sort service was misconfigured or misused.
+
+    Covers bad workload specifications, unknown scheduling policies, and
+    jobs submitted against a released pool (:mod:`repro.service`).
+    """
+
+
 class TraceError(ReproError):
     """The span tracer was misused or a trace file is malformed.
 

@@ -1,10 +1,17 @@
 """External-memory substrate: simulated device, budget, stacks, runs."""
 
-from .budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS, Reservation
+from .budget import (
+    CarvedBudget,
+    MemoryBudget,
+    MINIMUM_NEXSORT_BLOCKS,
+    Reservation,
+)
 from .bufferpool import BufferPool, DEFAULT_READAHEAD
 from .device import BlockDevice, DEFAULT_BLOCK_SIZE
 from .file_device import FileBackedBlockDevice
+from .lease import ResourceLease, ResourcePool, TeeIOStats
 from .parallel import (
+    DiskTimeline,
     MergePrefetcher,
     PREFETCH_POLICIES,
     StripedDevice,
@@ -17,10 +24,12 @@ from .stats import CategoryCounters, CostModel, IOStats, StatsSnapshot
 __all__ = [
     "BlockDevice",
     "BufferPool",
+    "CarvedBudget",
     "DEFAULT_READAHEAD",
     "CategoryCounters",
     "CostModel",
     "DEFAULT_BLOCK_SIZE",
+    "DiskTimeline",
     "ExternalStack",
     "FileBackedBlockDevice",
     "IOStats",
@@ -29,6 +38,9 @@ __all__ = [
     "MergePrefetcher",
     "PREFETCH_POLICIES",
     "Reservation",
+    "ResourceLease",
+    "ResourcePool",
+    "TeeIOStats",
     "RunHandle",
     "RunReader",
     "RunStore",

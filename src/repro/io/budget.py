@@ -89,6 +89,21 @@ class MemoryBudget:
         """Claim every remaining free block."""
         return self.reserve(self.available_blocks, owner)
 
+    def carve(self, blocks: int, owner: str = "lease") -> "CarvedBudget":
+        """Split off a sub-budget of ``blocks`` blocks.
+
+        The carved blocks are reserved here (so two leases can never
+        claim the same physical block) and handed to the returned
+        :class:`CarvedBudget`, which behaves exactly like a fresh
+        ``MemoryBudget(blocks)`` toward its user.  Releasing the carved
+        budget returns the blocks to this pool.
+        """
+        if blocks < 1:
+            raise MemoryBudgetExceeded(
+                f"cannot carve a {blocks}-block budget from {self!r}"
+            )
+        return CarvedBudget(self.reserve(blocks, owner))
+
     def _release(self, reservation: Reservation) -> None:
         self._reserved -= reservation.blocks
         remaining = self._owners.get(reservation.owner, 0) - reservation.blocks
@@ -102,3 +117,25 @@ class MemoryBudget:
             f"MemoryBudget(total={self.total_blocks}, "
             f"reserved={self._reserved}, owners={self._owners})"
         )
+
+
+class CarvedBudget(MemoryBudget):
+    """A per-job slice of a parent :class:`MemoryBudget`.
+
+    Acts as an independent budget of ``reservation.blocks`` blocks; the
+    backing blocks stay reserved in the parent until :meth:`close` (or
+    the parent reservation's release) hands them back.  Closing twice is
+    a no-op, mirroring :class:`Reservation`.
+    """
+
+    def __init__(self, reservation: Reservation):
+        super().__init__(reservation.blocks)
+        self._parent_reservation = reservation
+
+    @property
+    def closed(self) -> bool:
+        return self._parent_reservation._released
+
+    def close(self) -> None:
+        """Return the carved blocks to the parent budget (idempotent)."""
+        self._parent_reservation.release()

@@ -218,6 +218,20 @@ class BufferPool:
     def pinned_blocks(self) -> int:
         return self._pinned
 
+    def assert_releasable(self) -> None:
+        """Raise unless the pool's memory can be safely taken away.
+
+        A pinned block is in active use by some caller (the pin ledger is
+        strict - see :meth:`pin`), so tearing the pool down under it would
+        corrupt in-flight work.  Lease release calls this before closing
+        the pool.
+        """
+        if self._pinned:
+            raise DeviceError(
+                f"buffer pool still has {self._pinned} pinned "
+                f"block(s); release them before tearing the pool down"
+            )
+
     def is_cached(self, block_id: int) -> bool:
         return block_id in self._entries
 

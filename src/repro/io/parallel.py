@@ -614,3 +614,51 @@ def supports_prefetch(io_target) -> bool:
     return getattr(io_target, "prefetch_depth", 0) > 0 and callable(
         getattr(io_target, "prefetch_blocks", None)
     )
+
+
+class DiskTimeline:
+    """Simulated-time ledger of ``D`` shared disks for the service layer.
+
+    The scheduler (:mod:`repro.service.scheduler`) replays each tenant's
+    recorded cost events over one of these: every I/O event is placed on
+    the *least-loaded* disk (lowest free-at clock, lowest index on ties -
+    deterministic), starting no earlier than the job's own clock and no
+    earlier than the disk frees up.  CPU events never touch the timeline;
+    they advance only the job's clock.
+
+    This is the same PDM arithmetic :class:`StripedDevice` uses for one
+    job's own stripes, lifted to *cross-job* contention: with D disks and
+    enough concurrent jobs, aggregate I/O time approaches ``serial / D``,
+    while a lone job still pays full service time for every access.
+    """
+
+    def __init__(self, disks: int = 1):
+        if disks < 1:
+            raise DeviceError(f"need at least one disk, got {disks}")
+        self.disks = disks
+        self.free_at = [0.0] * disks
+        self.busy_seconds = [0.0] * disks
+
+    def issue(self, now: float, service_seconds: float) -> float:
+        """Schedule one access at or after ``now``; return completion time."""
+        disk = min(range(self.disks), key=lambda d: (self.free_at[d], d))
+        start = max(now, self.free_at[disk])
+        end = start + service_seconds
+        self.free_at[disk] = end
+        self.busy_seconds[disk] += service_seconds
+        return end
+
+    @property
+    def makespan(self) -> float:
+        """Latest completion time scheduled so far."""
+        return max(self.free_at)
+
+    def utilization(self) -> dict[int, float]:
+        """Per-disk busy time as a fraction of the makespan."""
+        horizon = self.makespan
+        if horizon <= 0:
+            return {}
+        return {
+            disk: self.busy_seconds[disk] / horizon
+            for disk in range(self.disks)
+        }

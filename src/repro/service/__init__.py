@@ -1,0 +1,41 @@
+"""Sort-as-a-service: multi-tenant scheduling over shared resources.
+
+The control plane above the single-job engine (ROADMAP item 1): a
+:class:`~repro.service.scheduler.Scheduler` admits jobs from a seeded
+Poisson :mod:`~repro.service.workload` through a cost-bound-guided
+:class:`~repro.service.admission.AdmissionController`, executes each on
+a private :class:`~repro.io.lease.ResourceLease`, and interleaves their
+recorded cost events over the shared disks in simulated time - fair or
+strict-priority, with per-tenant counter/trace isolation that tiles
+exactly to the global totals, and every job bit-identical to its solo
+run.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .scheduler import (
+    JobResult,
+    POLICIES,
+    Scheduler,
+    SERVICE_SPEC,
+    ServiceReport,
+    output_digest,
+    percentile,
+    run_solo,
+)
+from .workload import JobSpec, WorkloadSpec, parse_workload
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "JobResult",
+    "JobSpec",
+    "POLICIES",
+    "SERVICE_SPEC",
+    "Scheduler",
+    "ServiceReport",
+    "WorkloadSpec",
+    "output_digest",
+    "parse_workload",
+    "percentile",
+    "run_solo",
+]

@@ -1,0 +1,196 @@
+"""Seeded Poisson workload generation for the sort service.
+
+A workload is a list of :class:`JobSpec` values - who arrives, when, and
+what they want sorted.  Arrival times are drawn from a seeded Poisson
+process (exponential inter-arrival gaps via ``random.Random(seed)``), so
+a workload string is a *complete, reproducible* description of an
+experiment: the same spec always produces the same jobs at the same
+simulated instants, which is what lets the benchmark and the CI smoke
+job compare scheduled runs against solo goldens.
+
+The mini-language mirrors the ``--faults`` DSL: ``;``- or ``,``-separated
+``key=value`` clauses::
+
+    jobs=8;rate=2.0;seed=7;shape=4x4x4;memory=24;algorithm=nexsort
+
+See :meth:`WorkloadSpec.parse` for the full clause list.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+from ..generators.level_fanout import level_fanout_events
+
+_ALGORITHMS = ("nexsort", "mergesort")
+
+_PRIORITY_RANGE = re.compile(r"(?P<lo>-?\d+)-(?P<hi>-?\d+)$")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's sort request.
+
+    Attributes:
+        tenant: stable tenant id ("t0", "t1", ... in arrival order).
+        arrival: simulated second at which the job arrives.
+        priority: larger = more urgent (strict-priority policy only).
+        algorithm: "nexsort" or "mergesort".
+        fanouts: generator shape (children per level) of the document.
+        doc_seed: seed for the document generator.
+        memory_blocks: requested lease size, cache included.
+        cache_blocks: requested buffer-pool blocks within the lease.
+        pad_bytes: generator padding per element.
+    """
+
+    tenant: str
+    arrival: float
+    priority: int = 0
+    algorithm: str = "nexsort"
+    fanouts: tuple[int, ...] = (4, 4, 4)
+    doc_seed: int = 0
+    memory_blocks: int = 24
+    cache_blocks: int = 0
+    pad_bytes: int | None = None
+
+    def events(self):
+        """The job's input document as a generated event stream."""
+        kwargs = {"seed": self.doc_seed}
+        if self.pad_bytes is not None:
+            kwargs["pad_bytes"] = self.pad_bytes
+        return level_fanout_events(list(self.fanouts), **kwargs)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A parsed workload description; :meth:`jobs` materializes it."""
+
+    job_count: int = 4
+    rate: float = 0.0
+    seed: int = 0
+    shape: tuple[int, ...] = (4, 4, 4)
+    memory_blocks: int = 24
+    cache_blocks: int = 0
+    algorithm: str = "nexsort"
+    priority_range: tuple[int, int] = (0, 0)
+    pad_bytes: int | None = None
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadSpec":
+        """Parse the ``--workload`` mini-language.
+
+        Clauses separated by ``;`` or ``,``:
+
+        * ``jobs=8`` - number of jobs (default 4).
+        * ``rate=2.0`` - Poisson arrival rate in jobs per simulated
+          second; ``rate=0`` (default) makes every job arrive at t=0.
+        * ``seed=42`` - seed for arrival gaps, priorities, documents.
+        * ``shape=4x4x4`` - children per level of each job's document.
+        * ``memory=24`` / ``cache=4`` - lease blocks requested per job
+          (memory includes cache, as the sorters account it).
+        * ``algorithm=nexsort|mergesort`` - which sorter each job runs.
+        * ``priority=2`` or ``priority=0-3`` - fixed priority, or a
+          seeded uniform draw per job from the inclusive range.
+        * ``pad=64`` - generator pad bytes per element.
+        """
+        spec = {}
+        for raw in re.split(r"[;,]", text):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ServiceError(
+                    f"bad workload clause {clause!r} (expected key=value)"
+                )
+            key, value = clause.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "jobs":
+                    spec["job_count"] = int(value)
+                elif key == "rate":
+                    spec["rate"] = float(value)
+                elif key == "seed":
+                    spec["seed"] = int(value)
+                elif key == "shape":
+                    spec["shape"] = tuple(
+                        int(part) for part in value.split("x")
+                    )
+                elif key == "memory":
+                    spec["memory_blocks"] = int(value)
+                elif key == "cache":
+                    spec["cache_blocks"] = int(value)
+                elif key == "algorithm":
+                    if value not in _ALGORITHMS:
+                        raise ServiceError(
+                            f"unknown algorithm {value!r} "
+                            f"(expected one of {_ALGORITHMS})"
+                        )
+                    spec["algorithm"] = value
+                elif key == "priority":
+                    match = _PRIORITY_RANGE.match(value)
+                    if match is not None:
+                        lo, hi = int(match["lo"]), int(match["hi"])
+                    else:
+                        lo = hi = int(value)
+                    if lo > hi:
+                        raise ServiceError(
+                            f"empty priority range {value!r}"
+                        )
+                    spec["priority_range"] = (lo, hi)
+                elif key == "pad":
+                    spec["pad_bytes"] = int(value)
+                else:
+                    raise ServiceError(
+                        f"unknown workload key {key!r} in {clause!r}"
+                    )
+            except ValueError:
+                raise ServiceError(
+                    f"bad workload value in clause {clause!r}"
+                ) from None
+        parsed = cls(**spec)
+        if parsed.job_count < 1:
+            raise ServiceError(f"need at least one job: {text!r}")
+        if parsed.rate < 0:
+            raise ServiceError(f"arrival rate cannot be negative: {text!r}")
+        if not parsed.shape or any(f < 1 for f in parsed.shape):
+            raise ServiceError(f"bad document shape in {text!r}")
+        return parsed
+
+    def jobs(self) -> list[JobSpec]:
+        """Materialize the job list: arrivals, priorities, documents.
+
+        One ``random.Random(seed)`` stream drives both the exponential
+        inter-arrival gaps and the per-job priority draws, so the whole
+        schedule is a deterministic function of the spec string.
+        """
+        rng = random.Random(self.seed)
+        lo, hi = self.priority_range
+        jobs: list[JobSpec] = []
+        clock = 0.0
+        for index in range(self.job_count):
+            if self.rate > 0 and index > 0:
+                clock += rng.expovariate(self.rate)
+            priority = lo if lo == hi else rng.randint(lo, hi)
+            jobs.append(
+                JobSpec(
+                    tenant=f"t{index}",
+                    arrival=clock,
+                    priority=priority,
+                    algorithm=self.algorithm,
+                    fanouts=self.shape,
+                    doc_seed=self.seed + index,
+                    memory_blocks=self.memory_blocks,
+                    cache_blocks=self.cache_blocks,
+                    pad_bytes=self.pad_bytes,
+                )
+            )
+        return jobs
+
+
+def parse_workload(text: str) -> list[JobSpec]:
+    """Parse a workload spec string and materialize its jobs."""
+    return WorkloadSpec.parse(text).jobs()
