@@ -92,17 +92,34 @@ def merge_sort_ios(N: int, B: int, M: int) -> float:
 
 
 def merge_sort_passes(N: int, B: int, M: int) -> int:
-    """Passes over the data for a flat external merge sort."""
-    _check(N, B, M)
-    m = M // B
-    initial_runs = max(1, ceil(N / M))
-    fan_in = max(2, m - 1)
-    passes = 1
+    """Passes over the data for a flat external merge sort.
+
+    Exactly ``1 + arge_thorup_merge_depth(N, B, M)``: the formation pass
+    plus one pass per merge-tree level.  Both delegate to
+    :func:`iterated_merge_depth` so the pass count has a single source of
+    truth that cannot drift.
+    """
+    return 1 + arge_thorup_merge_depth(N, B, M)
+
+
+def iterated_merge_depth(initial_runs: int, fan_in: int) -> int:
+    """``ceil(log_fan_in(initial_runs))`` by iterated ceil-division.
+
+    The one loop behind every pass count in this module: exact at fan-in
+    powers where a float log could round either way
+    (``ceil(ceil(r/f)/f) = ceil(r/f^2)`` and so on).
+    """
+    if fan_in < 2 or initial_runs < 1:
+        raise ReproError(
+            f"bad merge-tree parameters fan_in={fan_in} "
+            f"initial_runs={initial_runs}"
+        )
+    depth = 0
     runs = initial_runs
     while runs > 1:
-        runs = ceil(runs / fan_in)
-        passes += 1
-    return passes
+        runs = -(-runs // fan_in)
+        depth += 1
+    return depth
 
 
 def arge_thorup_merge_depth(
@@ -137,19 +154,7 @@ def arge_thorup_merge_depth(
         fan_in = max(2, m - 1)
     if initial_runs is None:
         initial_runs = max(1, ceil(N / M))
-    if fan_in < 2 or initial_runs < 1:
-        raise ReproError(
-            f"bad merge-tree parameters fan_in={fan_in} "
-            f"initial_runs={initial_runs}"
-        )
-    # Integer form of ceil(log_fan_in(initial_runs)): exact at fan-in
-    # powers where a float log could round either way.
-    depth = 0
-    runs = initial_runs
-    while runs > 1:
-        runs = -(-runs // fan_in)
-        depth += 1
-    return depth
+    return iterated_merge_depth(initial_runs, fan_in)
 
 
 def permutation_lower_bound_ios(N: int, B: int, M: int) -> float:

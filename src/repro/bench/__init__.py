@@ -6,6 +6,7 @@ from .harness import (
     SortMetrics,
     bench_scale,
     load_document,
+    run_config,
     run_merge_sort,
     run_nexsort,
     slowdown,
@@ -23,6 +24,7 @@ __all__ = [
     "drain_reports",
     "load_document",
     "record_table",
+    "run_config",
     "run_merge_sort",
     "run_nexsort",
     "slowdown",

@@ -266,6 +266,53 @@ def run_merge_sort(
     )
 
 
+def run_config(
+    events_factory: Callable[[], Iterable[Token]],
+    config,
+    spec: SortSpec = BENCH_SPEC,
+    block_size: int = BENCH_BLOCK_SIZE,
+    compaction: CompactionConfig | None = None,
+) -> SortMetrics:
+    """Run one :class:`~repro.analysis.planner.PlanConfig` end to end.
+
+    The bridge between the planner's knob grid and the measured world:
+    ``bench_planner`` and the planner regression tests hand the chosen
+    (or every candidate) config here and compare simulated seconds.
+    A 1-disk no-prefetch config uses the serial device so its counters
+    match the recorded serial goldens bit for bit.
+    """
+    disks = (
+        config.disks
+        if (config.disks > 1 or config.prefetch_depth)
+        else None
+    )
+    common = dict(
+        spec=spec,
+        block_size=block_size,
+        compaction=compaction,
+        disks=disks,
+        prefetch_depth=config.prefetch_depth,
+        prefetch_policy=config.prefetch_policy,
+    )
+    if config.algorithm == "merge_sort":
+        return run_merge_sort(
+            events_factory,
+            config.memory_blocks,
+            cache_blocks=config.cache_blocks,
+            merge_options=config.merge_options(),
+            **common,
+        )
+    return run_nexsort(
+        events_factory,
+        config.memory_blocks,
+        cache_blocks=config.cache_blocks,
+        threshold_bytes=config.threshold_blocks * block_size,
+        flat_optimization=config.flat_optimization,
+        merge_options=config.merge_options(),
+        **common,
+    )
+
+
 def slowdown(baseline: SortMetrics, other: SortMetrics) -> float:
     """other / baseline simulated time, as the paper's percentages."""
     if baseline.simulated_seconds == 0:

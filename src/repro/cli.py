@@ -45,6 +45,41 @@ from .xml import CompactionConfig, Document
 from .xml.dtd import DTD
 
 
+class _TrackedStore(argparse.Action):
+    """``store`` that records explicit use in ``namespace._provided``.
+
+    ``--plan auto`` fills only the knobs the user did *not* set: a flag
+    typed on the command line pins that axis for the planner, and the
+    only way argparse can tell "explicit default" from "omitted" is an
+    action that logs the hit.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        _mark_provided(namespace, self.dest)
+
+
+class _TrackedFlag(argparse.Action):
+    """``store_true`` variant of :class:`_TrackedStore`."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.pop("nargs", None)
+        kwargs.setdefault("default", False)
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, True)
+        _mark_provided(namespace, self.dest)
+
+
+def _mark_provided(namespace, dest: str) -> None:
+    provided = getattr(namespace, "_provided", None)
+    if provided is None:
+        provided = set()
+        namespace._provided = provided
+    provided.add(dest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 1: the paper's serial disk)",
         )
         p.add_argument(
-            "--prefetch-depth", type=int, default=0,
+            "--prefetch-depth", type=int, default=0, action=_TrackedStore,
             help="blocks the striped device may hold in its prefetch "
             "window (default 0: prefetch off); merges fetch ahead "
             "into it (sort only)",
@@ -115,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--prefetch-policy",
             choices=sorted(PREFETCH_POLICIES),
             default="forecast",
+            action=_TrackedStore,
             help="which run gets scarce prefetch slots first: forecast "
             "(smallest merge head key - the run that drains next) or "
             "round-robin (naive cycling); default forecast",
@@ -123,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--run-formation",
             choices=["load-sort", "replacement-selection"],
             default="load-sort",
+            action=_TrackedStore,
             help="initial-run formation strategy (replacement-selection "
             "produces ~2x longer runs on random input)",
         )
@@ -130,11 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--merge-kernel",
             choices=["heap", "loser-tree"],
             default="heap",
+            action=_TrackedStore,
             help="k-way merge kernel; loser-tree counts real comparisons "
             "(<= ceil(log2 k) per record) instead of the analytic charge",
         )
         p.add_argument(
-            "--embedded-keys", action="store_true",
+            "--embedded-keys", action=_TrackedFlag,
             help="embed byte-comparable normalized keys in run records so "
             "merges compare bytes instead of decoding",
         )
@@ -142,9 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--kernel",
             choices=["scalar", "columnar"],
             default="scalar",
+            action=_TrackedStore,
             help="record hot-path implementation: scalar (one record at a "
             "time) or columnar (batched normalized-key kernels, identical "
             "counters, much faster wall clock)",
+        )
+        p.add_argument(
+            "--plan",
+            choices=["off", "auto"],
+            default="off",
+            help="auto: cost-based planner fills every tuning knob not "
+            "explicitly set (sort: algorithm/threshold/cache/formation/"
+            "kernels/prefetch from the document's measured profile; "
+            "serve: degraded grants re-plan their own knobs); off "
+            "(default): paper-faithful fixed defaults",
         )
         p.add_argument(
             "--faults", metavar="PLAN", default=None,
@@ -164,13 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=["nexsort", "mergesort", "xsort"],
         default="nexsort",
+        action=_TrackedStore,
     )
     sort_cmd.add_argument(
-        "--threshold", type=int, default=None,
+        "--threshold", type=int, default=None, action=_TrackedStore,
         help="NEXSORT sort threshold in bytes (default: 2 blocks)",
     )
     sort_cmd.add_argument(
-        "--flat-opt", action="store_true",
+        "--flat-opt", action=_TrackedFlag,
         help="enable graceful degeneration into external merge sort",
     )
     sort_cmd.add_argument(
@@ -182,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="xsort only: '/'-separated tag path whose child lists to sort",
     )
     sort_cmd.add_argument(
-        "--cache-blocks", type=int, default=0,
+        "--cache-blocks", type=int, default=0, action=_TrackedStore,
         help="memory blocks spent on the LRU buffer pool (default 0: "
         "no pool, I/O counts match the paper's model exactly)",
     )
@@ -348,6 +398,76 @@ def _make_merge_options(args) -> MergeOptions:
     )
 
 
+def _plan_auto(args, document, base_device):
+    """Fill the knobs the user left unset with the planner's picks.
+
+    Explicit flags win: anything recorded in ``args._provided`` is
+    pinned for the planner, which then optimizes only the free axes.
+    Disks are hardware (the device is already built), so that axis is
+    always pinned; a planned prefetch window is applied to the striped
+    device in place.
+    """
+    from .analysis import Planner, profile_document
+
+    provided = getattr(args, "_provided", set())
+    if args.algorithm == "xsort":
+        raise ReproError(
+            "--plan auto covers nexsort and mergesort; xsort's "
+            "target-path semantics are outside the planner's grid"
+        )
+    profile = profile_document(document)
+    disks = getattr(args, "disks", 1)
+    planner = Planner(
+        profile,
+        memory_blocks=args.memory,
+        block_size=args.block_size,
+        disks=disks,
+        cost_model=getattr(base_device.stats, "cost_model", None),
+    )
+    fixed = {"memory_blocks": args.memory, "disks": disks}
+    if "algorithm" in provided:
+        fixed["algorithm"] = (
+            "merge_sort" if args.algorithm == "mergesort" else "nexsort"
+        )
+    if "threshold" in provided and args.threshold is not None:
+        fixed["threshold_blocks"] = max(
+            1, round(args.threshold / args.block_size)
+        )
+    for dest, knob in (
+        ("cache_blocks", "cache_blocks"),
+        ("flat_opt", "flat_optimization"),
+        ("run_formation", "run_formation"),
+        ("merge_kernel", "merge_kernel"),
+        ("embedded_keys", "embedded_keys"),
+        ("kernel", "kernel"),
+        ("prefetch_depth", "prefetch_depth"),
+        ("prefetch_policy", "prefetch_policy"),
+    ):
+        if dest in provided:
+            fixed[knob] = getattr(args, dest)
+    plan = planner.choose(fixed=fixed)
+    chosen = plan.config
+    args.algorithm = (
+        "mergesort" if chosen.algorithm == "merge_sort" else "nexsort"
+    )
+    if args.algorithm == "nexsort":
+        args.threshold = chosen.threshold_blocks * args.block_size
+    args.flat_opt = chosen.flat_optimization
+    args.cache_blocks = chosen.cache_blocks
+    args.run_formation = chosen.run_formation
+    args.merge_kernel = chosen.merge_kernel
+    args.embedded_keys = chosen.embedded_keys
+    args.kernel = chosen.kernel
+    if (
+        isinstance(base_device, StripedDevice)
+        and "prefetch_depth" not in provided
+    ):
+        base_device.prefetch_depth = chosen.prefetch_depth
+        if "prefetch_policy" not in provided:
+            base_device.prefetch_policy = chosen.prefetch_policy
+    return plan
+
+
 def _make_device(args):
     disks = getattr(args, "disks", 1)
     prefetch_depth = getattr(args, "prefetch_depth", 0)
@@ -417,6 +537,23 @@ def cmd_sort(args) -> int:
         compaction = CompactionConfig() if args.compact else None
         with maybe_span(tracer, "document-load", input=args.input):
             document = _load(store, args.input, compaction)
+        plan = None
+        if getattr(args, "plan", "off") == "auto":
+            with maybe_span(tracer, "plan", mode="auto") as plan_span:
+                plan = _plan_auto(args, document, base_device)
+                if plan_span is not None:
+                    plan_span.set(
+                        algorithm=plan.config.algorithm,
+                        cache_blocks=plan.config.cache_blocks,
+                        run_formation=plan.config.run_formation,
+                        merge_kernel=plan.config.merge_kernel,
+                        embedded_keys=plan.config.embedded_keys,
+                        kernel=plan.config.kernel,
+                        predicted_seconds=round(
+                            plan.cost.total_seconds, 6
+                        ),
+                        considered=plan.considered,
+                    )
         merge_options = _make_merge_options(args)
         profiler = None
         if getattr(args, "profile", None):
@@ -492,6 +629,9 @@ def cmd_sort(args) -> int:
         if args.stats:
             from .bench.harness import peak_rss_bytes
 
+            if plan is not None:
+                for line in plan.describe().splitlines():
+                    print(line, file=sys.stderr)
             _print_stats(args.algorithm, report, out=sys.stderr)
             print(
                 f"  wall seconds:        {wall_seconds:.4f}",
@@ -623,6 +763,7 @@ def cmd_serve(args) -> int:
         pool,
         degrade=not args.no_degrade,
         max_extra_depth=args.max_extra_depth,
+        plan=getattr(args, "plan", "off") == "auto",
     )
     merge_options = _make_merge_options(args)
     scheduler = Scheduler(
@@ -712,7 +853,11 @@ def cmd_serve(args) -> int:
                 memory_blocks=result.decision.memory_blocks,
                 cache_blocks=result.decision.cache_blocks,
                 block_size=args.block_size,
-                merge_options=merge_options,
+                merge_options=(
+                    result.decision.plan.merge_options()
+                    if result.decision.plan is not None
+                    else merge_options
+                ),
                 fault_plan=args.faults,
                 retries=args.retries,
             )

@@ -33,12 +33,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analysis.advisor import DocumentProfile
 from ..analysis.bounds import arge_thorup_merge_depth
 from ..analysis.cost_model import (
     ModelGeometry,
     predicted_merge_sort_seconds,
     predicted_nexsort_seconds,
 )
+from ..analysis.planner import PlanConfig, Planner
 from ..generators.level_fanout import level_fanout_element_count
 from ..io.budget import MINIMUM_NEXSORT_BLOCKS
 from .workload import JobSpec
@@ -59,6 +61,8 @@ class AdmissionDecision:
         predicted_seconds: modeled solo run time at the effective grant.
         merge_depth: Arge-Thorup merge-depth bound at the effective
             grant (0 = the job sorts in one formation pass).
+        plan: re-planned knobs for a degraded grant (planner-enabled
+            controllers only); None means run with the service defaults.
     """
 
     action: str
@@ -67,6 +71,7 @@ class AdmissionDecision:
     reason: str
     predicted_seconds: float = 0.0
     merge_depth: int = 0
+    plan: PlanConfig | None = None
 
     @property
     def admitted(self) -> bool:
@@ -83,6 +88,10 @@ class AdmissionController:
             degraded grant may cost the job relative to its full
             request.  0 (default) shrinks memory only while provably
             free; raising it trades tenant latency for throughput.
+        plan: re-plan a degraded job's knobs with the cost-based
+            :class:`~repro.analysis.planner.Planner` instead of only
+            shedding cache/memory; the chosen :class:`PlanConfig` rides
+            on the decision for the scheduler to apply.
     """
 
     def __init__(
@@ -90,10 +99,12 @@ class AdmissionController:
         pool,
         degrade: bool = True,
         max_extra_depth: int = 0,
+        plan: bool = False,
     ):
         self.pool = pool
         self.degrade = degrade
         self.max_extra_depth = max_extra_depth
+        self.plan = plan
 
     # -- geometry ---------------------------------------------------------
 
@@ -125,6 +136,64 @@ class AdmissionController:
     def _depth(self, job: JobSpec, memory_blocks: int) -> int:
         g = self._geometry(job, memory_blocks)
         return arge_thorup_merge_depth(g.N, g.B, g.M)
+
+    def arge_thorup_floor(self, job: JobSpec) -> int:
+        """Smallest acceptable degraded grant for ``job``.
+
+        The smallest block count whose Arge-Thorup merge depth stays
+        within ``max_extra_depth`` of the depth at the job's *working*
+        request (its memory net of cache - cache blocks are not sort
+        memory, so costing the baseline at the cache-inflated request
+        would compare grants against a depth the sorter never sees).
+        Never below the engine's hard minimum.  Depth is non-increasing
+        in the grant, so a binary search finds the boundary exactly.
+        """
+        floor = self._floor_blocks(job)
+        working = max(floor, job.memory_blocks - job.cache_blocks)
+        base_depth = self._depth(job, working)
+        low, high = floor, working
+        while low < high:
+            mid = (low + high) // 2
+            if self._depth(job, mid) - base_depth <= self.max_extra_depth:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    def _replan(self, job: JobSpec, grant: int) -> PlanConfig | None:
+        """Planner-chosen knobs for a degraded grant (opt-in).
+
+        The algorithm and threshold stay the job's own (they change the
+        output-identity contract a tenant verified against); the planner
+        re-splits cache vs. working memory and picks the merge knobs for
+        the shrunken grant.
+        """
+        if not self.plan:
+            return None
+        profile = DocumentProfile.from_fanouts(
+            job.fanouts,
+            pad_bytes=job.pad_bytes or 0,
+            block_size=self.pool.block_size,
+        )
+        planner = Planner(
+            profile,
+            memory_blocks=grant,
+            block_size=self.pool.block_size,
+            disks=self.pool.disks,
+            cost_model=self.pool.cost_model,
+        )
+        algorithm = (
+            "merge_sort" if job.algorithm != "nexsort" else "nexsort"
+        )
+        plan = planner.choose(fixed={
+            "algorithm": algorithm,
+            "memory_blocks": grant,
+            "threshold_blocks": 2,
+            "flat_optimization": False,
+            "disks": 1,
+            "prefetch_depth": 0,
+        })
+        return plan.config
 
     def _predicted(self, job: JobSpec, memory_blocks: int) -> float:
         g = self._geometry(job, memory_blocks)
@@ -176,29 +245,45 @@ class AdmissionController:
             )
 
         if self.degrade and free >= floor:
-            # Shed the incoming job's cache first, then working memory,
-            # while the merge-depth bound stays acceptable.
-            base_depth = self._depth(job, requested)
-            grant = min(requested - job.cache_blocks, free)
-            if grant >= floor:
+            # Shed the incoming job's cache first, then working memory -
+            # but never below the Arge-Thorup floor: the smallest grant
+            # whose merge depth stays within max_extra_depth of the
+            # job's working request.  A pool too drained to clear the
+            # floor queues the job instead of running it degraded below
+            # the lower bound.
+            working = max(floor, requested - job.cache_blocks)
+            base_depth = self._depth(job, working)
+            at_floor = self.arge_thorup_floor(job)
+            grant = min(working, free)
+            if grant >= at_floor:
                 depth = self._depth(job, grant)
-                if depth - base_depth <= self.max_extra_depth:
-                    action = "degrade"
-                    dropped_cache = job.cache_blocks
-                    shed_memory = (requested - dropped_cache) - grant
-                    return AdmissionDecision(
-                        action=action,
-                        memory_blocks=grant,
-                        cache_blocks=0,
-                        reason=(
-                            f"degraded: shed {dropped_cache} cache + "
-                            f"{shed_memory} working blocks; merge depth "
-                            f"{base_depth} -> {depth} stays within "
-                            f"+{self.max_extra_depth} of the full grant"
-                        ),
-                        predicted_seconds=self._predicted(job, grant),
-                        merge_depth=depth,
+                plan = self._replan(job, grant)
+                dropped_cache = job.cache_blocks
+                shed_memory = working - grant
+                reason = (
+                    f"degraded: shed {dropped_cache} cache + "
+                    f"{shed_memory} working blocks; merge depth "
+                    f"{base_depth} -> {depth} stays within "
+                    f"+{self.max_extra_depth} of the full grant "
+                    f"(Arge-Thorup floor {at_floor})"
+                )
+                if plan is not None:
+                    reason += (
+                        f"; re-planned: cache={plan.cache_blocks} "
+                        f"formation={plan.run_formation} "
+                        f"kernel={plan.merge_kernel}"
                     )
+                return AdmissionDecision(
+                    action="degrade",
+                    memory_blocks=grant,
+                    cache_blocks=(
+                        plan.cache_blocks if plan is not None else 0
+                    ),
+                    reason=reason,
+                    predicted_seconds=self._predicted(job, grant),
+                    merge_depth=depth,
+                    plan=plan,
+                )
 
         if requested <= total or (self.degrade and floor <= total):
             return AdmissionDecision(

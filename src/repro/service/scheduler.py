@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from ..analysis.advisor import nearest_rank_percentile
 from ..baselines.merge_sort import external_merge_sort
 from ..core.nexsort import nexsort
 from ..errors import ServiceError
@@ -96,12 +97,12 @@ class JobResult:
 
 
 def percentile(values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``values`` (fraction in [0, 1])."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, -(-len(ordered) * fraction // 1))
-    return ordered[min(len(ordered), int(rank)) - 1]
+    """Nearest-rank percentile of ``values`` (fraction in [0, 1]).
+
+    Delegates to the one nearest-rank implementation shared with the
+    document profiler (:mod:`repro.analysis.advisor`).
+    """
+    return nearest_rank_percentile(sorted(values), fraction)
 
 
 @dataclass
@@ -264,13 +265,21 @@ class Scheduler:
             trace=self.keep_traces,
         )
         document = Document.from_events(lease.store, spec.events())
+        # A decision-carried plan (planner-enabled admission) overrides
+        # the service-wide merge options for this job only; the grant
+        # split already lives in decision.memory/cache_blocks.
+        merge_options = (
+            decision.plan.merge_options()
+            if decision.plan is not None
+            else self.merge_options
+        )
         if spec.algorithm == "nexsort":
             output, _report = nexsort(
                 document,
                 SERVICE_SPEC,
                 memory_blocks=decision.memory_blocks,
                 cache_blocks=decision.cache_blocks,
-                merge_options=self.merge_options,
+                merge_options=merge_options,
                 tracer=lease.tracer,
                 lease=lease,
             )
@@ -280,7 +289,7 @@ class Scheduler:
                 SERVICE_SPEC,
                 memory_blocks=decision.memory_blocks,
                 cache_blocks=decision.cache_blocks,
-                merge_options=self.merge_options,
+                merge_options=merge_options,
                 tracer=lease.tracer,
                 lease=lease,
             )

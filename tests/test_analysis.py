@@ -181,6 +181,43 @@ class TestBounds:
         with pytest.raises(ReproError):
             sorting_lower_bound_ios(100, 10, 10, 5)  # M < 2B
 
+    @settings(max_examples=200, deadline=None)
+    @given(
+        blocks=st.integers(min_value=1, max_value=10**6),
+        B=st.integers(min_value=1, max_value=512),
+        m=st.integers(min_value=3, max_value=512),
+    )
+    def test_passes_are_one_more_than_merge_depth(self, blocks, B, m):
+        """The dedup contract: one formation pass plus the merge tree.
+
+        ``merge_sort_passes`` and ``arge_thorup_merge_depth`` used to
+        run separate iterated ceil-division loops that could drift;
+        both now reduce to ``iterated_merge_depth``, and this property
+        pins the relation across the whole geometry grid.
+        """
+        from repro.analysis import arge_thorup_merge_depth
+
+        N, M = blocks * B, m * B
+        assert merge_sort_passes(N, B, M) == (
+            1 + arge_thorup_merge_depth(N, B, M)
+        )
+
+    def test_iterated_merge_depth_hand_counts(self):
+        from repro.analysis import iterated_merge_depth
+
+        assert iterated_merge_depth(1, 7) == 0
+        assert iterated_merge_depth(7, 7) == 1
+        assert iterated_merge_depth(8, 7) == 2
+        assert iterated_merge_depth(50, 7) == 3  # 50 -> 8 -> 2 -> 1
+
+    def test_iterated_merge_depth_rejects_bad_parameters(self):
+        from repro.analysis import iterated_merge_depth
+
+        with pytest.raises(ReproError):
+            iterated_merge_depth(10, 1)
+        with pytest.raises(ReproError):
+            iterated_merge_depth(0, 4)
+
 
 class TestCostModel:
     def test_predicted_seconds_scale_with_ios(self):

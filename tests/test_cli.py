@@ -112,6 +112,60 @@ class TestSortCommand:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_plan_auto_sorts_and_reports(self, d1_file, tmp_path, capsys):
+        out = tmp_path / "planned.xml"
+        code = main([
+            "sort", d1_file, "-o", str(out),
+            "--memory", "12", "--plan", "auto", "--stats",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "plan: " in err
+        assert "predicted" in err
+        assert out.exists()
+
+    def test_plan_auto_matches_unplanned_output(
+        self, d1_file, tmp_path
+    ):
+        planned = tmp_path / "planned.xml"
+        default = tmp_path / "default.xml"
+        assert main([
+            "sort", d1_file, "-o", str(planned),
+            "--memory", "12", "--plan", "auto",
+        ]) == 0
+        assert main([
+            "sort", d1_file, "-o", str(default), "--memory", "12",
+        ]) == 0
+        # Planning changes knobs, never the sorted result.
+        assert planned.read_text() == default.read_text()
+
+    def test_plan_auto_honors_explicit_algorithm(
+        self, d1_file, tmp_path, capsys
+    ):
+        out = tmp_path / "pinned.xml"
+        code = main([
+            "sort", d1_file, "-o", str(out),
+            "--memory", "12", "--plan", "auto",
+            "--algorithm", "mergesort", "--stats",
+        ])
+        assert code == 0
+        assert "plan: merge_sort" in capsys.readouterr().err
+
+    def test_plan_auto_rejects_xsort(self, d1_file, capsys):
+        code = main([
+            "sort", d1_file, "--plan", "auto", "--algorithm", "xsort",
+        ])
+        assert code == 2
+        assert "xsort" in capsys.readouterr().err
+
+    def test_plan_off_emits_no_plan(self, d1_file, tmp_path, capsys):
+        out = tmp_path / "sorted.xml"
+        assert main([
+            "sort", d1_file, "-o", str(out), "--memory", "12",
+            "--stats",
+        ]) == 0
+        assert "plan: " not in capsys.readouterr().err
+
     def test_compact_and_flat_opt_flags(self, d1_file, tmp_path):
         out = tmp_path / "sorted.xml"
         code = main(

@@ -178,6 +178,61 @@ class TestAdmission:
         assert decision.memory_blocks == 10
         assert "cache" in decision.reason
 
+    def test_degraded_grant_never_below_arge_thorup_floor(self):
+        # Pool-draining regression: as incumbents eat the pool one
+        # block at a time, every degraded grant must stay at or above
+        # the Arge-Thorup floor - the old code degraded to whatever
+        # was free, landing jobs below the provable-extra-pass
+        # boundary it was supposed to refuse.
+        job = self.job(memory=24, cache=4)
+        for leased in range(1, 32):
+            pool = make_pool(32)
+            pool.lease(leased, tenant="incumbent")
+            controller = AdmissionController(pool)
+            floor = controller.arge_thorup_floor(job)
+            decision = controller.decide(job)
+            if decision.action == "degrade":
+                assert decision.memory_blocks >= floor, (
+                    f"leased={leased}: granted "
+                    f"{decision.memory_blocks} < floor {floor}"
+                )
+            elif pool.available_blocks < floor:
+                # Too drained to clear the floor: must wait, not run.
+                assert decision.action == "queue"
+
+    def test_drained_pool_queues_instead_of_degrading(self):
+        job = self.job(memory=24, cache=4)
+        pool = make_pool(32)
+        controller = AdmissionController(pool)
+        floor = controller.arge_thorup_floor(job)
+        pool.lease(32 - floor + 1, tenant="incumbent")
+        decision = controller.decide(job)
+        assert decision.action == "queue"
+
+    def test_degraded_grant_replans_its_knobs(self):
+        pool = make_pool(32)
+        pool.lease(20, tenant="incumbent")
+        controller = AdmissionController(pool, plan=True)
+        decision = controller.decide(self.job(memory=16, cache=6))
+        assert decision.action == "degrade"
+        assert decision.plan is not None
+        assert decision.plan.algorithm == "nexsort"
+        assert decision.plan.memory_blocks == decision.memory_blocks
+        assert decision.cache_blocks == decision.plan.cache_blocks
+        assert (
+            decision.plan.working_blocks
+            >= controller._floor_blocks(self.job())
+        )
+        assert "re-planned" in decision.reason
+
+    def test_planless_controller_attaches_no_plan(self):
+        pool = make_pool(32)
+        pool.lease(20, tenant="incumbent")
+        controller = AdmissionController(pool)
+        decision = controller.decide(self.job(memory=16, cache=6))
+        assert decision.action == "degrade"
+        assert decision.plan is None
+
     def test_queue_when_nothing_fits_now(self):
         pool = make_pool(32)
         pool.lease(28, tenant="incumbent")
