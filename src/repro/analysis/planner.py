@@ -38,6 +38,7 @@ from math import ceil, log2
 
 from ..errors import ReproError
 from ..io.budget import MINIMUM_NEXSORT_BLOCKS
+from ..io.compress import CODEC_NAMES
 from ..io.stats import CostModel
 from ..merge.engine import (
     MERGE_KERNELS,
@@ -73,6 +74,17 @@ STRIPE_SEEK_FRACTION = 0.15
 #: Tokens decoded/encoded per element per data pass.
 TOKENS_PER_ELEMENT = 4.0
 
+#: The run-compression ratio the planner assumes when pricing the
+#: ``compress`` knob (calibrated: BENCH_compress container-codec run
+#: bytes on the Figure-5 grid land between 4x and 7x; 4.0 keeps the
+#: predictions conservative for less redundant inputs).
+PLANNED_COMPRESSION_RATIO = 4.0
+
+#: Fraction of NEXSORT's staging I/O that lives in sorted runs - the
+#: part run compression shrinks; the rest is data-stack spill, which
+#: stays uncompressed (calibrated from the Figure-5 byte counters).
+STAGE_RUN_FRACTION = 0.75
+
 
 @dataclass(frozen=True)
 class PlanConfig:
@@ -90,6 +102,8 @@ class PlanConfig:
     disks: int = 1
     prefetch_depth: int = 0
     prefetch_policy: str = "forecast"
+    compress: str | None = None
+    compress_capacity: bool = False
 
     @property
     def working_blocks(self) -> int:
@@ -102,6 +116,8 @@ class PlanConfig:
             merge_kernel=self.merge_kernel,
             embedded_keys=self.embedded_keys,
             kernel=self.kernel,
+            compress=self.compress,
+            compress_capacity=self.compress_capacity,
         )
 
     def validate(self) -> None:
@@ -127,6 +143,14 @@ class PlanConfig:
             raise ReproError(
                 f"bad device shape disks={self.disks} "
                 f"prefetch_depth={self.prefetch_depth}"
+            )
+        if self.compress is not None and self.compress not in CODEC_NAMES:
+            raise ReproError(
+                f"unknown compression codec {self.compress!r}"
+            )
+        if self.compress_capacity and self.compress is None:
+            raise ReproError(
+                "compress_capacity requires a compression codec"
             )
 
 
@@ -166,6 +190,8 @@ class Plan:
             f"cache={c.cache_blocks} threshold={c.threshold_blocks}B "
             f"formation={c.run_formation} kernel={c.merge_kernel}/"
             f"{c.kernel} embedded_keys={c.embedded_keys} "
+            f"compress={c.compress or 'off'}"
+            f"{'+capacity' if c.compress_capacity else ''} "
             f"disks={c.disks} prefetch={c.prefetch_depth}/"
             f"{c.prefetch_policy}",
             f"predicted: {self.cost.total_seconds:.4f}s "
@@ -288,24 +314,49 @@ class Planner:
         if config.embedded_keys:
             record_bytes += EMBEDDED_KEY_BYTES
         run_blocks = n * record_bytes / self.element_bytes
+        ratio = PLANNED_COMPRESSION_RATIO if config.compress else 1.0
+        # Run blocks *on disk*: the merge tree reads and writes stored
+        # (compressed) blocks, while run counts and comparisons are set
+        # by the logical record stream.
+        stored_run_blocks = run_blocks / ratio
         run_length = working * (
             2 if config.run_formation == "replacement-selection" else 1
         )
-        runs = max(1, ceil(run_blocks / max(1, run_length)))
+        # Capacity compression packs ~ratio more records into a memory
+        # budget, so initial runs get longer - this is the knob that can
+        # push the run count below a pass boundary of the merge tree.
+        effective_run_length = run_length * (
+            ratio if config.compress_capacity else 1.0
+        )
+        runs = max(1, ceil(run_blocks / max(1.0, effective_run_length)))
         merge_io, merge_random, merge_cmp, depth = self._merge_tree(
-            run_blocks, runs, fan_in, heap=config.merge_kernel == "heap"
+            stored_run_blocks, runs, fan_in,
+            heap=config.merge_kernel == "heap",
         )
         # scan + run writes + merge passes + output writes.
-        io = n + run_blocks + merge_io + n
+        io = n + stored_run_blocks + merge_io + n
         random_io = merge_random
         comparisons = N * max(1.0, log2(max(2, run_length * self.B)))
         comparisons += merge_cmp
         tokens = 2.0 * TOKENS_PER_ELEMENT * N
         if not config.embedded_keys:
             tokens += TOKENS_PER_ELEMENT * N * depth
+        compress_raw = decompress_raw = 0.0
+        if config.compress:
+            # Every stored run block is written once and read once per
+            # tree touch; the codec processes the *raw* bytes behind it.
+            touched = stored_run_blocks + merge_io
+            raw = touched * self.block_size * ratio / 2.0
+            compress_raw = decompress_raw = raw
+            if config.compress_capacity:
+                # Pending-batch chunks: one in-memory round trip per record.
+                capacity_raw = run_blocks * self.block_size
+                compress_raw += capacity_raw
+                decompress_raw += capacity_raw
         return self._finish(
             config, io, random_io, comparisons, tokens,
             merge_depth=depth, initial_runs=runs, fan_in=fan_in,
+            compress_raw=compress_raw, decompress_raw=decompress_raw,
         )
 
     def _sort_unit_elements(self, t_elements: int) -> tuple[float, float]:
@@ -347,8 +398,19 @@ class Planner:
         memory_elements = working * self.B
         t_elements = max(1, config.threshold_blocks * self.B)
         stage_blocks = n * STAGE_INFLATION
+        ratio = PLANNED_COMPRESSION_RATIO if config.compress else 1.0
         # scan read + stage write + output read + output write.
         io = n + stage_blocks + stage_blocks + n
+        compress_raw = decompress_raw = 0.0
+        if config.compress:
+            # The staging tree is mostly sorted runs (the rest is
+            # data-stack spill, untouched by run compression): the
+            # run-backed share shrinks by the ratio, the codec chews
+            # its raw bytes once each way.
+            run_backed = stage_blocks * STAGE_RUN_FRACTION
+            io -= 2.0 * run_backed * (1.0 - 1.0 / ratio)
+            compress_raw += run_backed * self.block_size
+            decompress_raw += run_backed * self.block_size
         random_io = 0.0
         comparisons = N * max(1.0, log2(max(2, t_elements)))
         tokens = 2.0 * TOKENS_PER_ELEMENT * N * 2
@@ -358,14 +420,17 @@ class Planner:
         if unit > memory_elements:
             # External sort units: their merge levels are all
             # materialized inside the document scan.
+            effective_memory = memory_elements * (
+                ratio if config.compress_capacity else 1.0
+            )
             if child >= self.B:
                 runs = max(2, round(unit / child))
             else:
                 # Degenerate unit (children below block grain): runs
                 # form from memory-fulls, plus a wasted staging pass.
-                runs = max(2, ceil(unit / memory_elements))
+                runs = max(2, ceil(unit / effective_memory))
                 io += 2.0 * n
-            unit_blocks = stage_blocks
+            unit_blocks = stage_blocks / ratio
             merge_io, merge_random, merge_cmp, depth = self._merge_tree(
                 unit_blocks, runs, fan_in,
                 heap=config.merge_kernel == "heap",
@@ -378,6 +443,10 @@ class Planner:
             random_io += merge_random
             comparisons += merge_cmp
             tokens += TOKENS_PER_ELEMENT * N * depth
+            if config.compress:
+                raw = merge_io * self.block_size * ratio / 2.0
+                compress_raw += raw
+                decompress_raw += raw
         # Output-walk rereads, absorbed by the buffer pool.
         rereads = OUTPUT_REREAD_FRACTION * n
         cache = config.cache_blocks
@@ -392,6 +461,7 @@ class Planner:
         return self._finish(
             config, io, random_io, comparisons, tokens,
             merge_depth=depth, initial_runs=runs, fan_in=fan_in,
+            compress_raw=compress_raw, decompress_raw=decompress_raw,
         )
 
     def _finish(
@@ -404,6 +474,8 @@ class Planner:
         merge_depth: int,
         initial_runs: int,
         fan_in: int,
+        compress_raw: float = 0.0,
+        decompress_raw: float = 0.0,
     ) -> PlanCost:
         model = self.cost_model
         sequential = max(0.0, io - random_io)
@@ -411,7 +483,11 @@ class Planner:
             sequential * model.transfer_seconds
             + random_io * (model.seek_seconds + model.transfer_seconds)
         )
-        cpu_seconds = model.cpu_seconds(round(comparisons), round(tokens))
+        cpu_seconds = model.cpu_seconds(
+            round(comparisons), round(tokens)
+        ) + model.compress_seconds(
+            round(compress_raw), round(decompress_raw)
+        )
         disks = config.disks
         disk_seconds = io_seconds / disks + (
             io_seconds * STRIPE_SEEK_FRACTION * (1.0 - 1.0 / disks)
@@ -464,6 +540,7 @@ class Planner:
         for (
             algorithm, cache, threshold, flat, formation,
             merge_kernel, embedded, kernel, disks,
+            compress, compress_capacity,
         ) in itertools.product(
             axis("algorithm", ["nexsort", "merge_sort"]),
             axis("cache_blocks", caches),
@@ -474,8 +551,12 @@ class Planner:
             axis("embedded_keys", [False, True]),
             axis("kernel", sorted(SORT_KERNELS)),
             axis("disks", disk_values),
+            axis("compress", [None, "container"]),
+            axis("compress_capacity", [False, True]),
         ):
             if memory - cache < self._floor(algorithm):
+                continue
+            if compress_capacity and compress is None:
                 continue
             if algorithm == "merge_sort":
                 # Threshold and degeneration are NEXSORT-only knobs:
@@ -498,6 +579,8 @@ class Planner:
                 disks=disks,
                 prefetch_depth=prefetch,
                 prefetch_policy=fixed.get("prefetch_policy", "forecast"),
+                compress=compress,
+                compress_capacity=compress_capacity,
             )
             if config not in seen:
                 seen.add(config)
@@ -526,6 +609,7 @@ class Planner:
             for name in (
                 "cache_blocks", "threshold_blocks", "flat_optimization",
                 "run_formation", "merge_kernel", "embedded_keys",
+                "compress", "compress_capacity",
             )
             if getattr(config, name) != getattr(defaults, name)
         )
@@ -628,6 +712,24 @@ class Planner:
         if best.kernel == "columnar":
             lines.append(
                 "columnar kernel: identical counters, faster wall clock"
+            )
+        if best.compress:
+            saved = 1.0 - 1.0 / PLANNED_COMPRESSION_RATIO
+            lines.append(
+                f"run compression ({best.compress}) past the CPU/IO "
+                f"crossover: ~{saved:.0%} of run transfer saved beats "
+                f"the codec's per-byte CPU at this block size"
+                + (
+                    "; capacity mode lengthens initial runs "
+                    "(fewer merge passes in reach)"
+                    if best.compress_capacity
+                    else ""
+                )
+            )
+        else:
+            lines.append(
+                "run compression rejected: codec CPU per raw byte would "
+                "exceed the blocks it saves at this block size"
             )
         if best.disks > 1:
             lines.append(

@@ -24,6 +24,7 @@ from ..core.columnar import (
 from ..errors import DeviceFault, SortSpecError
 from ..io.budget import MemoryBudget
 from ..io.bufferpool import BufferPool
+from ..io.compress import CompressionConfig
 from ..io.stats import StatsSnapshot
 from ..keys import KeyEvaluator, SortSpec
 from ..obs.tracer import Tracer, maybe_span
@@ -196,6 +197,13 @@ class ExternalMergeSorter:
         formation = budget.reserve_rest("run-formation")
         capacity_bytes = formation.blocks * device.block_size
         fan_in = max(2, self.memory_blocks - 1 - self.cache_blocks)
+        prior_compression = store.compression
+        if self.merge_options.compress is not None:
+            store.compression = CompressionConfig(
+                codec=self.merge_options.compress,
+                embedded_keys=self.merge_options.embedded_keys,
+                capacity=self.merge_options.compress_capacity,
+            )
 
         try:
             report = MergeSortReport(
@@ -325,6 +333,7 @@ class ExternalMergeSorter:
             )
             return output, report
         finally:
+            store.compression = prior_compression
             store.detach_pool()
 
 

@@ -148,6 +148,26 @@ def _parallel_detail(device: BlockDevice, report) -> dict:
     }
 
 
+def _compression_detail(report, merge_options) -> dict:
+    """Run-compression columns recorded in every bench row (ISSUE 10).
+
+    All three are null when compression is off, so existing benchmark
+    JSON gains only constant columns and rows stay diffable across
+    codec on/off sweeps.
+    """
+    snap = report.stats
+    codec = getattr(merge_options, "compress", None)
+    stored = snap.compress_stored_bytes
+    raw = snap.compress_raw_bytes
+    return {
+        "codec": codec,
+        "compressed_bytes": stored if codec else None,
+        "compression_ratio": (
+            round(raw / stored, 4) if codec and stored else None
+        ),
+    }
+
+
 def run_nexsort(
     events_factory: Callable[[], Iterable[Token]],
     memory_blocks: int,
@@ -205,6 +225,7 @@ def run_nexsort(
             "peak_rss_bytes": peak_rss_bytes(),
             **environment_detail(),
             **_parallel_detail(document.store.device, report),
+            **_compression_detail(report, options.get("merge_options")),
         },
         wall_seconds=wall_seconds,
     )
@@ -261,6 +282,7 @@ def run_merge_sort(
             "peak_rss_bytes": peak_rss_bytes(),
             **environment_detail(),
             **_parallel_detail(document.store.device, report),
+            **_compression_detail(report, merge_options),
         },
         wall_seconds=wall_seconds,
     )

@@ -186,6 +186,24 @@ def build_parser() -> argparse.ArgumentParser:
             "counters, much faster wall clock)",
         )
         p.add_argument(
+            "--compress",
+            choices=["off", "container", "zlib"],
+            default="off",
+            action=_TrackedStore,
+            help="compress sorted runs on disk: container (split each "
+            "record into structure/text/key containers, delta + "
+            "dictionary coding) or zlib (whole-segment reference "
+            "backend); output is bit-identical either way, only byte "
+            "and CPU counters move (default off)",
+        )
+        p.add_argument(
+            "--compress-capacity", action=_TrackedFlag,
+            help="also compress pending run-formation batches so the "
+            "same memory holds more records: longer initial runs, "
+            "possibly fewer merge passes (changes comparison counts; "
+            "requires --compress)",
+        )
+        p.add_argument(
             "--plan",
             choices=["off", "auto"],
             default="off",
@@ -369,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exclude spans whose path contains this segment "
         "(repeatable; e.g. --ignore fault-injected)",
     )
+    trace_diff.add_argument(
+        "--ignore-counter", action="append", default=[], metavar="KEY",
+        help="exclude this counter key from every span and the totals "
+        "(repeatable; e.g. --ignore-counter compress_raw_bytes when "
+        "comparing a compressed run against an uncompressed baseline)",
+    )
 
     return parser
 
@@ -390,11 +414,14 @@ def _make_spec(args) -> SortSpec:
 
 
 def _make_merge_options(args) -> MergeOptions:
+    compress = getattr(args, "compress", "off")
     return MergeOptions(
         run_formation=getattr(args, "run_formation", "load-sort"),
         merge_kernel=getattr(args, "merge_kernel", "heap"),
         embedded_keys=getattr(args, "embedded_keys", False),
         kernel=getattr(args, "kernel", "scalar"),
+        compress=None if compress in (None, "off") else compress,
+        compress_capacity=getattr(args, "compress_capacity", False),
     )
 
 
@@ -442,9 +469,14 @@ def _plan_auto(args, document, base_device):
         ("kernel", "kernel"),
         ("prefetch_depth", "prefetch_depth"),
         ("prefetch_policy", "prefetch_policy"),
+        ("compress_capacity", "compress_capacity"),
     ):
         if dest in provided:
             fixed[knob] = getattr(args, dest)
+    if "compress" in provided:
+        fixed["compress"] = (
+            None if args.compress == "off" else args.compress
+        )
     plan = planner.choose(fixed=fixed)
     chosen = plan.config
     args.algorithm = (
@@ -458,6 +490,8 @@ def _plan_auto(args, document, base_device):
     args.merge_kernel = chosen.merge_kernel
     args.embedded_keys = chosen.embedded_keys
     args.kernel = chosen.kernel
+    args.compress = chosen.compress or "off"
+    args.compress_capacity = chosen.compress_capacity
     if (
         isinstance(base_device, StripedDevice)
         and "prefetch_depth" not in provided
@@ -588,7 +622,7 @@ def cmd_sort(args) -> int:
             if not merge_options.is_default:
                 print(
                     "note: xsort ignores --run-formation, --merge-kernel, "
-                    "--embedded-keys and --kernel",
+                    "--embedded-keys, --kernel and --compress",
                     file=sys.stderr,
                 )
             if recovery is not None:
@@ -1009,7 +1043,12 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    diff = diff_files(args.a, args.b, ignore=tuple(args.ignore))
+    diff = diff_files(
+        args.a,
+        args.b,
+        ignore=tuple(args.ignore),
+        ignore_counters=tuple(args.ignore_counter),
+    )
     print(diff.render())
     return 0 if diff.identical else 1
 

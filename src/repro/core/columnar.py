@@ -67,6 +67,7 @@ from ..xml.codec import (
     TYPE_START,
     TYPE_TEXT,
     encode_key_atom,
+    encode_varint,
     read_varint,
     write_varint,
 )
@@ -99,9 +100,7 @@ def have_numpy() -> bool:
 
 
 def varint_bytes(value: int) -> bytes:
-    out = bytearray()
-    write_varint(out, value)
-    return bytes(out)
+    return encode_varint(value)
 
 
 def _read_varint_fast(data: bytes, pos: int) -> tuple[int, int]:

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from ..errors import CodecError, DeviceFault, SortSpecError
 from ..io.budget import MemoryBudget, MINIMUM_NEXSORT_BLOCKS
 from ..io.bufferpool import BufferPool
+from ..io.compress import CompressionConfig
 from ..io.stacks import ExternalStack
 from ..keys import KeyEvaluator, SortSpec
 from ..merge.engine import DEFAULT_MERGE_OPTIONS, MergeOptions
@@ -258,6 +259,13 @@ class NexSorter:
         capacity_bytes = data_blocks * block
         fan_in = max(2, data_blocks - 1)
         paging_target = store.io_target
+        prior_compression = store.compression
+        if options.merge.compress is not None:
+            store.compression = CompressionConfig(
+                codec=options.merge.compress,
+                embedded_keys=options.merge.embedded_keys,
+                capacity=options.merge.compress_capacity,
+            )
 
         try:
             report = NexsortReport(
@@ -392,6 +400,7 @@ class NexSorter:
         finally:
             # Always restore the store to direct-device I/O (flushing any
             # dirty cached blocks), even if the sort failed mid-stream.
+            store.compression = prior_compression
             store.detach_pool()
 
     # -- sorting-phase internals ---------------------------------------------

@@ -169,7 +169,7 @@ def _pin_resume_block(pool, run: RunHandle, offset: int) -> int | None:
     """Pin the block a nested descent will resume from; None if not cached."""
     if not run.block_ids:
         return None
-    index = min(offset // pool.block_size, len(run.block_ids) - 1)
+    index = run.physical_index_for(offset, pool.block_size)
     block_id = run.block_ids[index]
     if pool.pin(block_id):
         return block_id

@@ -92,6 +92,26 @@ class RunError(ReproError):
     """A sorted run was read or written incorrectly."""
 
 
+class RunCodecError(RunError):
+    """A compressed run segment failed to decode.
+
+    Raised when a compressed run's framing is truncated, its checksum
+    does not match, or its codec id is unknown - i.e. the stored bytes
+    are corrupt, not merely mis-addressed.
+
+    Attributes:
+        run_id: the run whose segment failed to decode.
+        block: first physical block id of the corrupt segment (-1 when
+            the corruption is not tied to a stored block, e.g. a wire
+            payload).
+    """
+
+    def __init__(self, message: str, run_id: int = -1, block: int = -1):
+        super().__init__(message)
+        self.run_id = run_id
+        self.block = block
+
+
 class XMLSyntaxError(ReproError):
     """The input text is not well-formed XML.
 

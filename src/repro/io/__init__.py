@@ -17,7 +17,23 @@ from .parallel import (
     StripedDevice,
     supports_prefetch,
 )
-from .runs import RunHandle, RunReader, RunStore, RunWriter
+from .compress import (
+    CODEC_NAMES,
+    CompressionConfig,
+    RunSegment,
+    decode_document_wire,
+    decode_records,
+    encode_document_wire,
+    encode_records,
+)
+from .runs import (
+    CompressedRunReader,
+    CompressedRunWriter,
+    RunHandle,
+    RunReader,
+    RunStore,
+    RunWriter,
+)
 from .stacks import ExternalStack
 from .stats import CategoryCounters, CostModel, IOStats, StatsSnapshot
 
@@ -41,10 +57,19 @@ __all__ = [
     "ResourceLease",
     "ResourcePool",
     "TeeIOStats",
+    "CODEC_NAMES",
+    "CompressedRunReader",
+    "CompressedRunWriter",
+    "CompressionConfig",
     "RunHandle",
     "RunReader",
+    "RunSegment",
     "RunStore",
     "RunWriter",
+    "decode_document_wire",
+    "decode_records",
+    "encode_document_wire",
+    "encode_records",
     "StatsSnapshot",
     "StripedDevice",
     "supports_prefetch",

@@ -134,6 +134,18 @@ class TeeIOStats(IOStats):
         self.mirror.record_penalty(seconds)
         self._cpu_event(seconds)
 
+    def record_compression(self, raw_bytes: int, stored_bytes: int) -> None:
+        super().record_compression(raw_bytes, stored_bytes)
+        self.mirror.record_compression(raw_bytes, stored_bytes)
+        self._cpu_event(self.cost_model.compress_seconds(raw_bytes, 0))
+
+    def record_decompression(
+        self, stored_bytes: int, raw_bytes: int
+    ) -> None:
+        super().record_decompression(stored_bytes, raw_bytes)
+        self.mirror.record_decompression(stored_bytes, raw_bytes)
+        self._cpu_event(self.cost_model.compress_seconds(0, raw_bytes))
+
     def record_disk_busy(self, disk: int, seconds: float) -> None:
         super().record_disk_busy(disk, seconds)
         self.mirror.record_disk_busy(disk, seconds)

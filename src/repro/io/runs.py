@@ -22,7 +22,13 @@ import struct
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from ..errors import RunError
+from ..errors import RunCodecError, RunError
+from .compress import (
+    CompressionConfig,
+    RunSegment,
+    decode_records,
+    encode_records,
+)
 from .device import BlockDevice
 
 _LEN = struct.Struct("<I")
@@ -34,10 +40,21 @@ class RunHandle:
 
     Attributes:
         run_id: unique id (the RunStore assigns these).
-        block_ids: device blocks holding the framed stream, in order.
-        stream_bytes: length of the framed stream (framing included).
+        block_ids: device blocks holding the stream, in order.  For a
+            compressed run these hold segment blobs, not the framed
+            stream itself.
+        stream_bytes: length of the *logical* framed stream (framing
+            included) - identical whether or not the run is compressed,
+            so offsets, ``tell()`` and resume points mean the same thing
+            everywhere.
         payload_bytes: total record payload bytes.
         record_count: number of records in the run.
+        codec: run-compression codec name, or None for a plain run.
+        segments: per-segment geometry of a compressed run
+            (:class:`~repro.io.compress.RunSegment`); empty when plain.
+            Carried on the handle - not in store-side maps - so recovery
+            paths that retain handles across a :meth:`RunStore.free` can
+            still address every segment.
     """
 
     run_id: int
@@ -45,10 +62,28 @@ class RunHandle:
     stream_bytes: int
     payload_bytes: int
     record_count: int
+    codec: str | None = None
+    segments: tuple[RunSegment, ...] = ()
 
     @property
     def block_count(self) -> int:
         return len(self.block_ids)
+
+    def physical_index_for(self, offset: int, block_size: int) -> int:
+        """Index into ``block_ids`` of the block serving ``offset``.
+
+        Plain runs map logical offsets to blocks linearly; compressed
+        runs map them to the first block of the covering segment (the
+        whole segment is read to serve any offset inside it).
+        """
+        if not self.block_ids:
+            return 0
+        if not self.segments:
+            return min(offset // block_size, len(self.block_ids) - 1)
+        for segment in self.segments:
+            if offset < segment.logical_end:
+                return segment.block_start
+        return self.segments[-1].block_start
 
 
 class RunStore:
@@ -66,6 +101,11 @@ class RunStore:
         self._pool = None
         self._runs: dict[int, RunHandle] = {}
         self._next_id = 0
+        # Run compression (ISSUE 10): when set, writers whose category is
+        # in ``compression.categories`` produce compressed runs.  Readers
+        # dispatch on the handle's codec, so mixed stores (compressed
+        # intermediates, plain output) just work.
+        self.compression: CompressionConfig | None = None
         # Columnar-kernel key sidecars: run_id -> the normalized key bytes
         # of the run's records, in record order.  Host-side acceleration
         # only - sidecars never touch the simulated device, they just let
@@ -98,6 +138,9 @@ class RunStore:
         pool.close()
 
     def create_writer(self, category: str = "run_write") -> "RunWriter":
+        config = self.compression
+        if config is not None and category in config.categories:
+            return CompressedRunWriter(self, category, config)
         return RunWriter(self, category)
 
     def get(self, run_id: int) -> RunHandle:
@@ -115,6 +158,15 @@ class RunStore:
         stream: str | None = None,
     ) -> "RunReader":
         handle = self.get(run) if isinstance(run, int) else run
+        if handle.codec is not None:
+            return CompressedRunReader(
+                self.io_target,
+                handle,
+                self.device.stats,
+                offset=offset,
+                category=category,
+                stream=stream,
+            )
         if readahead is None:
             readahead = self._pool.readahead if self._pool else 0
         return RunReader(
@@ -152,6 +204,8 @@ class RunStore:
         stream_bytes: int,
         payload_bytes: int,
         record_count: int,
+        codec: str | None = None,
+        segments: tuple[RunSegment, ...] = (),
     ) -> RunHandle:
         run_id = self._next_id
         self._next_id += 1
@@ -161,6 +215,8 @@ class RunStore:
             stream_bytes=stream_bytes,
             payload_bytes=payload_bytes,
             record_count=record_count,
+            codec=codec,
+            segments=segments,
         )
         self._runs[run_id] = handle
         return handle
@@ -181,46 +237,43 @@ class RunWriter:
         self._finished = False
 
     def write_record(self, payload: bytes) -> None:
-        if self._finished:
-            raise RunError("write to a finished run")
-        self._buffer += _LEN.pack(len(payload))
-        self._buffer += payload
-        self._stream_bytes += _LEN.size + len(payload)
-        self._payload_bytes += len(payload)
-        self._record_count += 1
-        size = self._device.block_size
-        while len(self._buffer) >= size:
-            self._flush_block(self._buffer[:size])
-            del self._buffer[:size]
+        self._append((payload,))
 
     def write_records(self, payloads: Iterable[bytes]) -> None:
         """Append many records with one framing pass.
 
-        Device-sequence-identical to a loop of :meth:`write_record` calls:
-        the framed stream is byte-for-byte the same, so blocks fill - and
-        flush, in order - at exactly the same stream offsets.  Only the
-        Python-side overhead (per-record struct packing and buffer
-        growth) is batched away.
+        Byte-identical to a loop of :meth:`write_record` calls - both
+        frame through :meth:`_append`, so the framed stream, the block
+        fill points, and the flush order are exactly the same.  Only the
+        Python-side overhead (per-call dispatch) is batched away.
         """
-        if self._finished:
-            raise RunError("write to a finished run")
         payloads = (
             payloads if isinstance(payloads, list) else list(payloads)
         )
+        if self._finished:
+            raise RunError("write to a finished run")
         if not payloads:
             return
+        self._append(payloads)
+
+    def _append(self, payloads) -> None:
+        """The one framing path: length-prefix, buffer, flush full blocks."""
+        if self._finished:
+            raise RunError("write to a finished run")
         pack = _LEN.pack
         parts: list[bytes] = []
         payload_bytes = 0
+        count = 0
         for payload in payloads:
             parts.append(pack(len(payload)))
             parts.append(payload)
             payload_bytes += len(payload)
+            count += 1
         framed = b"".join(parts)
         self._buffer += framed
         self._stream_bytes += len(framed)
         self._payload_bytes += payload_bytes
-        self._record_count += len(payloads)
+        self._record_count += count
         size = self._device.block_size
         buffer = self._buffer
         if len(buffer) >= size:
@@ -437,3 +490,334 @@ class RunReader:
                 block_ids[index], self._category, stream=self._stream
             )
         self._block_index = index
+
+
+class CompressedRunWriter:
+    """Appends records to a new *compressed* run (ISSUE 10).
+
+    Drop-in for :class:`RunWriter`: same interface, same logical stream
+    semantics (``stream_bytes`` counts framed bytes as if uncompressed).
+    Records buffer until roughly ``segment_blocks`` raw blocks are
+    pending, then the whole group is container-split, encoded, and
+    written as one vectored extent of ``ceil(blob/block_size)`` blocks.
+    Compression CPU is charged per raw byte via
+    :meth:`~repro.io.stats.IOStats.record_compression`.
+    """
+
+    def __init__(self, store: RunStore, category: str, config):
+        self._store = store
+        self._device = store.io_target
+        self._stats = store.device.stats
+        self._category = category
+        self._config = config
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0  # framed bytes of pending records
+        self._block_ids: list[int] = []
+        self._segments: list[RunSegment] = []
+        self._logical_written = 0
+        self._stream_bytes = 0
+        self._payload_bytes = 0
+        self._record_count = 0
+        self._finished = False
+        self._segment_bytes = (
+            config.segment_blocks * store.device.block_size
+        )
+
+    def write_record(self, payload: bytes) -> None:
+        self._append((payload,))
+
+    def write_records(self, payloads: Iterable[bytes]) -> None:
+        payloads = (
+            payloads if isinstance(payloads, list) else list(payloads)
+        )
+        if self._finished:
+            raise RunError("write to a finished run")
+        if not payloads:
+            return
+        self._append(payloads)
+
+    def _append(self, payloads) -> None:
+        if self._finished:
+            raise RunError("write to a finished run")
+        header = _LEN.size
+        for payload in payloads:
+            self._pending.append(payload)
+            self._pending_bytes += header + len(payload)
+            self._stream_bytes += header + len(payload)
+            self._payload_bytes += len(payload)
+            self._record_count += 1
+        while self._pending_bytes >= self._segment_bytes:
+            self._close_segment()
+
+    def _close_segment(self, final: bool = False) -> None:
+        """Encode a prefix of pending records into one stored segment."""
+        header = _LEN.size
+        take_bytes = 0
+        count = 0
+        for payload in self._pending:
+            take_bytes += header + len(payload)
+            count += 1
+            if take_bytes >= self._segment_bytes:
+                break
+        if not final and take_bytes < self._segment_bytes:
+            return
+        records = self._pending[:count]
+        del self._pending[:count]
+        self._pending_bytes -= take_bytes
+
+        blob = encode_records(
+            records, self._config.embedded_keys, self._config.codec
+        )
+        self._stats.record_compression(take_bytes, len(blob))
+        size = self._store.device.block_size
+        block_count = -(-len(blob) // size)
+        padded = blob + b"\x00" * (block_count * size - len(blob))
+        first = self._device.allocate(block_count, pool=self._category)
+        block_ids = list(range(first, first + block_count))
+        self._device.write_blocks(
+            block_ids,
+            [padded[i * size : (i + 1) * size] for i in range(block_count)],
+            self._category,
+        )
+        self._segments.append(
+            RunSegment(
+                logical_start=self._logical_written,
+                logical_bytes=take_bytes,
+                block_start=len(self._block_ids),
+                block_count=block_count,
+                stored_bytes=len(blob),
+                record_count=len(records),
+            )
+        )
+        self._block_ids.extend(block_ids)
+        self._logical_written += take_bytes
+
+    def finish(self) -> RunHandle:
+        """Flush the tail segment and register the run."""
+        if self._finished:
+            raise RunError("run already finished")
+        self._finished = True
+        if self._pending:
+            self._close_segment(final=True)
+        return self._store._register(
+            self._block_ids,
+            self._stream_bytes,
+            self._payload_bytes,
+            self._record_count,
+            codec=self._config.codec,
+            segments=tuple(self._segments),
+        )
+
+    def abandon(self) -> None:
+        """Discard a partially written run (fault-recovery cleanup)."""
+        if self._finished:
+            raise RunError("run already finished")
+        self._finished = True
+        self._pending.clear()
+        self._pending_bytes = 0
+        if self._block_ids:
+            self._device.free_blocks(self._block_ids)
+        self._block_ids = []
+
+    @property
+    def stream_bytes(self) -> int:
+        """Logical framed bytes appended so far (pending included)."""
+        return self._stream_bytes
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+
+class CompressedRunReader:
+    """Sequential reader over a compressed run, resumable at any record.
+
+    Decodes one whole segment at a time: any logical offset binary-maps
+    to its covering segment, whose blocks are read in one vectored
+    extent (honest, `stream`-aware accounting) and decoded into the
+    framed byte range [``logical_start``, ``logical_end``).  Positions,
+    ``tell()`` and ``exhausted`` all speak logical framed-stream
+    offsets, exactly like :class:`RunReader`, so resume points are
+    interchangeable between plain and compressed runs.
+
+    Corrupt or truncated segments surface as
+    :class:`~repro.errors.RunCodecError` naming the run id and the first
+    physical block of the bad segment.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        handle: RunHandle,
+        stats,
+        offset: int = 0,
+        category: str = "run_read",
+        stream: str | None = None,
+    ):
+        if offset < 0 or offset > handle.stream_bytes:
+            raise RunError(
+                f"offset {offset} outside run of {handle.stream_bytes} bytes"
+            )
+        self._device = device
+        self._handle = handle
+        self._stats = stats
+        self._category = category
+        self._stream = stream
+        self._pos = offset
+        self._segment_index = -1
+        self._buffer = b""
+        self._buffer_start = 0
+        self._block_index = -1
+
+    @property
+    def handle(self) -> RunHandle:
+        return self._handle
+
+    @property
+    def block_index(self) -> int:
+        """Physical read frontier (last block of the decoded segment).
+
+        Keeps the merge prefetcher's contract: ``block_index + 1`` is
+        the next *device block* this reader will demand - the first
+        block of the following segment.
+        """
+        return self._block_index
+
+    def tell(self) -> int:
+        """Logical framed-stream offset of the next record."""
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._handle.stream_bytes
+
+    def read_record(self) -> bytes | None:
+        """Return the next record payload, or None at end of run."""
+        if self.exhausted:
+            return None
+        header = self._read_bytes(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        return self._read_bytes(length)
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            record = self.read_record()
+            if record is None:
+                return
+            yield record
+
+    def read_available_records(self) -> list[bytes]:
+        """Every record servable from the decoded segment without new I/O.
+
+        The batch-drain contract of :meth:`RunReader.read_available_records`
+        at segment granularity: records never span segments, so the
+        decoded buffer always ends on a record boundary.
+        """
+        out: list[bytes] = []
+        if self.exhausted or self._segment_index < 0:
+            return out
+        buffer = self._buffer
+        intra = self._pos - self._buffer_start
+        if intra < 0 or intra >= len(buffer):
+            return out
+        unpack_from = _LEN.unpack_from
+        header = _LEN.size
+        limit = len(buffer)
+        while intra + header <= limit:
+            (length,) = unpack_from(buffer, intra)
+            record_end = intra + header + length
+            if record_end > limit:
+                break
+            out.append(buffer[intra + header : record_end])
+            intra = record_end
+        self._pos = self._buffer_start + intra
+        return out
+
+    def _read_bytes(self, count: int) -> bytes:
+        if self._pos + count > self._handle.stream_bytes:
+            raise RunError(
+                f"truncated run {self._handle.run_id}: wanted {count} bytes "
+                f"at offset {self._pos}"
+            )
+        buffer = self._buffer
+        intra = self._pos - self._buffer_start
+        if (
+            self._segment_index >= 0
+            and 0 <= intra
+            and intra + count <= len(buffer)
+        ):
+            # Fast path: the whole read lies inside the decoded segment.
+            self._pos += count
+            return buffer[intra : intra + count]
+        parts = []
+        remaining = count
+        while remaining:
+            intra = self._pos - self._buffer_start
+            if (
+                self._segment_index < 0
+                or intra < 0
+                or intra >= len(self._buffer)
+            ):
+                self._load_segment(self._segment_at(self._pos))
+                intra = self._pos - self._buffer_start
+            take = min(remaining, len(self._buffer) - intra)
+            parts.append(self._buffer[intra : intra + take])
+            self._pos += take
+            remaining -= take
+        return b"".join(parts)
+
+    def _segment_at(self, pos: int) -> int:
+        segments = self._handle.segments
+        lo, hi = 0, len(segments) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if segments[mid].logical_end <= pos:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(segments) or not (
+            segments[lo].logical_start <= pos < segments[lo].logical_end
+        ):
+            raise RunError(
+                f"offset {pos} outside the segments of run "
+                f"{self._handle.run_id}"
+            )
+        return lo
+
+    def _load_segment(self, index: int) -> None:
+        segment = self._handle.segments[index]
+        block_ids = self._handle.block_ids[
+            segment.block_start : segment.block_start + segment.block_count
+        ]
+        blocks = self._device.read_blocks(
+            block_ids, self._category, stream=self._stream
+        )
+        blob = b"".join(blocks)[: segment.stored_bytes]
+        try:
+            records = decode_records(blob)
+        except RunCodecError as exc:
+            raise RunCodecError(
+                f"run {self._handle.run_id}: corrupt compressed segment "
+                f"at block {block_ids[0]}: {exc}",
+                run_id=self._handle.run_id,
+                block=block_ids[0],
+            ) from exc
+        pack = _LEN.pack
+        framed = b"".join(
+            pack(len(record)) + record for record in records
+        )
+        if len(framed) != segment.logical_bytes:
+            raise RunCodecError(
+                f"run {self._handle.run_id}: segment at block "
+                f"{block_ids[0]} decoded to {len(framed)} framed bytes, "
+                f"expected {segment.logical_bytes}",
+                run_id=self._handle.run_id,
+                block=block_ids[0],
+            )
+        self._stats.record_decompression(
+            segment.stored_bytes, segment.logical_bytes
+        )
+        self._buffer = framed
+        self._buffer_start = segment.logical_start
+        self._segment_index = index
+        self._block_index = segment.block_start + segment.block_count - 1

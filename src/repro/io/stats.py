@@ -29,12 +29,19 @@ class CostModel:
         transfer_seconds: charged for every block access (data movement).
         compare_seconds: charged per key comparison.
         token_seconds: charged per token parsed/encoded/moved.
+        compress_byte_seconds: charged per *raw* byte fed to a run
+            compressor (ISSUE 10).
+        decompress_byte_seconds: charged per raw byte produced by a run
+            decompressor.  Decompression is cheaper than compression for
+            every real codec family, hence the asymmetry.
     """
 
     seek_seconds: float = 8e-3
     transfer_seconds: float = 1e-3
     compare_seconds: float = 2e-6
     token_seconds: float = 1e-6
+    compress_byte_seconds: float = 6e-8
+    decompress_byte_seconds: float = 3e-8
 
     def io_seconds(self, sequential: int, random: int) -> float:
         """Simulated time for the given numbers of block accesses."""
@@ -50,6 +57,15 @@ class CostModel:
     def cpu_seconds(self, comparisons: int, tokens: int) -> float:
         """Simulated CPU time for the given operation counts."""
         return comparisons * self.compare_seconds + tokens * self.token_seconds
+
+    def compress_seconds(
+        self, compressed_raw: int, decompressed_raw: int
+    ) -> float:
+        """Simulated CPU time for codec work, in raw bytes each way."""
+        return (
+            compressed_raw * self.compress_byte_seconds
+            + decompressed_raw * self.decompress_byte_seconds
+        )
 
 
 def is_sequential_access(last: int | None, block_id: int) -> bool:
@@ -143,6 +159,13 @@ class IOStats:
         # serial device, keeping its serialization bit-identical.
         self.disk_busy: dict[int, float] = {}
         self.stall_seconds = 0.0
+        # Run-compression accounting (ISSUE 10): bytes before/after each
+        # way through the codec.  All four stay zero with compression
+        # off, keeping uncompressed serialization bit-identical.
+        self.compress_raw_bytes = 0
+        self.compress_stored_bytes = 0
+        self.decompress_stored_bytes = 0
+        self.decompress_raw_bytes = 0
 
     # -- recording -------------------------------------------------------
 
@@ -199,6 +222,16 @@ class IOStats:
 
     def record_tokens(self, count: int) -> None:
         self.tokens += count
+
+    def record_compression(self, raw_bytes: int, stored_bytes: int) -> None:
+        """One codec pass raw -> stored; CPU charged per raw byte."""
+        self.compress_raw_bytes += raw_bytes
+        self.compress_stored_bytes += stored_bytes
+
+    def record_decompression(self, stored_bytes: int, raw_bytes: int) -> None:
+        """One codec pass stored -> raw; CPU charged per raw byte."""
+        self.decompress_stored_bytes += stored_bytes
+        self.decompress_raw_bytes += raw_bytes
 
     def record_penalty(self, seconds: float) -> None:
         """Charge simulated wait time that is not modeled I/O or CPU.
@@ -277,7 +310,11 @@ class IOStats:
 
     def cpu_seconds(self) -> float:
         """Simulated CPU time for everything recorded so far."""
-        return self.cost_model.cpu_seconds(self.comparisons, self.tokens)
+        return self.cost_model.cpu_seconds(
+            self.comparisons, self.tokens
+        ) + self.cost_model.compress_seconds(
+            self.compress_raw_bytes, self.decompress_raw_bytes
+        )
 
     def elapsed_seconds(self) -> float:
         """Total simulated time (disk + CPU + fault-retry penalties)."""
@@ -332,6 +369,10 @@ class IOStats:
             penalty_seconds=self.penalty_seconds,
             disk_busy=dict(self.disk_busy),
             stall_seconds=self.stall_seconds,
+            compress_raw_bytes=self.compress_raw_bytes,
+            compress_stored_bytes=self.compress_stored_bytes,
+            decompress_stored_bytes=self.decompress_stored_bytes,
+            decompress_raw_bytes=self.decompress_raw_bytes,
             cost_model=self.cost_model,
         )
 
@@ -376,6 +417,10 @@ class StatsSnapshot:
     penalty_seconds: float = 0.0
     disk_busy: dict[int, float] = field(default_factory=dict)
     stall_seconds: float = 0.0
+    compress_raw_bytes: int = 0
+    compress_stored_bytes: int = 0
+    decompress_stored_bytes: int = 0
+    decompress_raw_bytes: int = 0
     cost_model: CostModel = field(default_factory=CostModel)
 
     def minus(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
@@ -419,6 +464,14 @@ class StatsSnapshot:
             penalty_seconds=self.penalty_seconds - earlier.penalty_seconds,
             disk_busy=busy,
             stall_seconds=self.stall_seconds - earlier.stall_seconds,
+            compress_raw_bytes=self.compress_raw_bytes
+            - earlier.compress_raw_bytes,
+            compress_stored_bytes=self.compress_stored_bytes
+            - earlier.compress_stored_bytes,
+            decompress_stored_bytes=self.decompress_stored_bytes
+            - earlier.decompress_stored_bytes,
+            decompress_raw_bytes=self.decompress_raw_bytes
+            - earlier.decompress_raw_bytes,
             cost_model=self.cost_model,
         )
 
@@ -500,6 +553,14 @@ class StatsSnapshot:
             penalty_seconds=self.penalty_seconds + other.penalty_seconds,
             disk_busy=busy,
             stall_seconds=self.stall_seconds + other.stall_seconds,
+            compress_raw_bytes=self.compress_raw_bytes
+            + other.compress_raw_bytes,
+            compress_stored_bytes=self.compress_stored_bytes
+            + other.compress_stored_bytes,
+            decompress_stored_bytes=self.decompress_stored_bytes
+            + other.decompress_stored_bytes,
+            decompress_raw_bytes=self.decompress_raw_bytes
+            + other.decompress_raw_bytes,
             cost_model=self.cost_model,
         )
 
@@ -522,7 +583,11 @@ class StatsSnapshot:
 
     def cpu_seconds(self) -> float:
         """Simulated CPU time for the counters in this snapshot."""
-        return self.cost_model.cpu_seconds(self.comparisons, self.tokens)
+        return self.cost_model.cpu_seconds(
+            self.comparisons, self.tokens
+        ) + self.cost_model.compress_seconds(
+            self.compress_raw_bytes, self.decompress_raw_bytes
+        )
 
     def elapsed_seconds(self) -> float:
         return self.io_seconds() + self.cpu_seconds() + self.penalty_seconds
@@ -568,7 +633,9 @@ class StatsSnapshot:
         separately as ``penalty_seconds`` (which the diff tool ignores).
         The parallel-disk keys appear only when a striped device recorded
         per-disk busy time, so serial-device traces stay bit-identical to
-        pre-striping output.
+        pre-striping output.  Likewise the compression byte counters
+        appear only when a codec actually ran, so uncompressed traces
+        stay bit-identical to pre-compression output.
         """
         totals = {
             "reads": self.total_reads,
@@ -595,4 +662,14 @@ class StatsSnapshot:
             totals["disk_seconds"] = self.disk_seconds()
             totals["overlap_seconds"] = self.overlap_seconds()
             totals["stall_seconds"] = self.stall_seconds
+        if (
+            self.compress_raw_bytes
+            or self.compress_stored_bytes
+            or self.decompress_stored_bytes
+            or self.decompress_raw_bytes
+        ):
+            totals["compress_raw_bytes"] = self.compress_raw_bytes
+            totals["compress_stored_bytes"] = self.compress_stored_bytes
+            totals["decompress_stored_bytes"] = self.decompress_stored_bytes
+            totals["decompress_raw_bytes"] = self.decompress_raw_bytes
         return totals

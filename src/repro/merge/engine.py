@@ -39,6 +39,7 @@ from math import ceil, log2
 from typing import Callable, Iterable, Iterator
 
 from ..errors import SortSpecError
+from ..io.compress import CODEC_NAMES, decode_records, encode_records
 from ..xml.codec import read_varint, write_varint
 from ..xml.tokens import KEY_MISSING, KEY_NUMBER, KEY_STRING
 
@@ -111,6 +112,15 @@ class MergeOptions:
             *implementation* knob: every I/O, comparison, and token counter
             stays bit-identical between the two.
         keys: normalized-key layout knobs (:class:`KeyOptions`).
+        compress: run-compression codec (``container`` or ``zlib``), or
+            None to store runs uncompressed.  Compression alone changes
+            only byte and CPU counters: the records, comparisons, and
+            pass structure stay bit-identical.
+        compress_capacity: also compress *pending* run-formation batches,
+            so a memory budget holds more records and initial runs get
+            longer - fewer runs, potentially fewer merge passes.  This
+            legitimately changes comparison counts (bigger in-memory
+            sorts), so it is a separate opt-in on top of ``compress``.
     """
 
     run_formation: str = "load-sort"
@@ -118,6 +128,8 @@ class MergeOptions:
     embedded_keys: bool = False
     kernel: str = "scalar"
     keys: KeyOptions = field(default_factory=KeyOptions)
+    compress: str | None = None
+    compress_capacity: bool = False
 
     def __post_init__(self):
         if self.run_formation not in RUN_FORMATION_MODES:
@@ -134,6 +146,16 @@ class MergeOptions:
             raise SortSpecError(
                 f"unknown sort kernel {self.kernel!r}; "
                 f"choose from {SORT_KERNELS}"
+            )
+        if self.compress is not None and self.compress not in CODEC_NAMES:
+            raise SortSpecError(
+                f"unknown run compression codec {self.compress!r}; "
+                f"choose from {CODEC_NAMES}"
+            )
+        if self.compress_capacity and self.compress is None:
+            raise SortSpecError(
+                "compress_capacity requires a compression codec "
+                "(set compress='container' or 'zlib')"
             )
 
     @property
@@ -410,6 +432,16 @@ class RunFormer:
         # load-sort state
         self._batch: list[tuple[object, bytes]] = []
         self._batch_bytes = 0
+        # capacity-compression state (compress_capacity): pending batch
+        # chunks are container-encoded in memory, so the byte budget is
+        # charged the *compressed* footprint and runs grow by roughly the
+        # compression ratio.  Keys stay raw (they drive the flush sort).
+        self._capacity_mode = bool(
+            options.compress_capacity and not options.replacement_selection
+        )
+        self._chunks: list[tuple[list, bytes, int]] = []
+        self._chunk_bytes = 0
+        self._chunk_trigger = max(1, self.capacity_bytes // 4)
         # replacement-selection state
         self._heap: list[tuple] = []
         self._heap_bytes = 0
@@ -423,6 +455,13 @@ class RunFormer:
             payload = embed_key(key, payload)
         if self.options.replacement_selection:
             self._add_replacement(key, payload)
+        elif self._capacity_mode:
+            self._batch.append((key, payload))
+            self._batch_bytes += len(payload)
+            if self._batch_bytes >= self._chunk_trigger:
+                self._compress_chunk()
+            if self._chunk_bytes + self._batch_bytes >= self.capacity_bytes:
+                self._flush_batch()
         else:
             self._batch.append((key, payload))
             self._batch_bytes += len(payload)
@@ -449,6 +488,22 @@ class RunFormer:
 
             return add_embedded_replacement
         embedded = self.options.embedded_keys
+        if self._capacity_mode:
+
+            def add_capacity(key, payload: bytes) -> None:
+                if embedded:
+                    payload = embed_key(key, payload)
+                self._batch.append((key, payload))
+                self._batch_bytes += len(payload)
+                if self._batch_bytes >= self._chunk_trigger:
+                    self._compress_chunk()
+                if (
+                    self._chunk_bytes + self._batch_bytes
+                    >= self.capacity_bytes
+                ):
+                    self._flush_batch()
+
+            return add_capacity
         capacity = self.capacity_bytes
         batch_append = self._batch.append
 
@@ -470,14 +525,47 @@ class RunFormer:
         if self._finished:
             return self._runs
         self._finished = True
-        if self._batch:
+        if self._batch or self._chunks:
             self._flush_batch()
         self._drain_heap()
         return self._runs
 
     # -- load-sort ----------------------------------------------------------
 
+    def _compress_chunk(self) -> None:
+        """Container-encode the pending batch; keep only keys raw."""
+        if not self._batch:
+            return
+        stats = self.store.device.stats
+        keys = [key for key, _payload in self._batch]
+        payloads = [payload for _key, payload in self._batch]
+        raw_bytes = sum(4 + len(payload) for payload in payloads)
+        blob = encode_records(payloads, False, self.options.compress)
+        stats.record_compression(raw_bytes, len(blob))
+        self._chunks.append((keys, blob, raw_bytes))
+        self._chunk_bytes += len(blob)
+        self._batch = []
+        self._batch_bytes = 0
+
+    def _rehydrate_chunks(self) -> None:
+        """Decode compressed pending chunks back into the raw batch."""
+        if not self._chunks:
+            return
+        stats = self.store.device.stats
+        restored: list[tuple[object, bytes]] = []
+        for keys, blob, raw_bytes in self._chunks:
+            payloads = decode_records(blob)
+            stats.record_decompression(len(blob), raw_bytes)
+            restored.extend(zip(keys, payloads))
+        self._chunks = []
+        self._chunk_bytes = 0
+        self._batch = restored + self._batch
+        self._batch_bytes = sum(
+            len(payload) for _key, payload in self._batch
+        )
+
     def _flush_batch(self) -> None:
+        self._rehydrate_chunks()
         batch = self._batch
         stats = self.store.device.stats
         if (

@@ -30,6 +30,10 @@ COMPARED_KEYS = (
     "comparisons",
     "merge_comparisons",
     "tokens",
+    "compress_raw_bytes",
+    "compress_stored_bytes",
+    "decompress_stored_bytes",
+    "decompress_raw_bytes",
     "seconds",
 )
 
@@ -200,9 +204,11 @@ def _fmt(value) -> str:
     return f"{value:+d}"
 
 
-def _io_delta(a: dict, b: dict) -> dict:
+def _io_delta(a: dict, b: dict, ignore_counters=()) -> dict:
     deltas: dict = {}
     for key in COMPARED_KEYS:
+        if key in ignore_counters:
+            continue
         before = a.get(key, 0)
         after = b.get(key, 0)
         if isinstance(before, float) or isinstance(after, float):
@@ -228,16 +234,23 @@ def _filter_ignored(spans: list[SpanRow], ignore) -> list[SpanRow]:
     ]
 
 
-def diff_traces(a: LoadedTrace, b: LoadedTrace, ignore=()) -> TraceDiff:
+def diff_traces(
+    a: LoadedTrace, b: LoadedTrace, ignore=(), ignore_counters=()
+) -> TraceDiff:
     """Align spans by (path, occurrence) and compute counter deltas.
 
     ``ignore`` names span path segments excluded from the comparison -
     e.g. synthetic fault/retry event spans that only one of the traces
-    has by design.  Totals are always compared.
+    has by design.  ``ignore_counters`` names counter keys excluded from
+    every span and the totals - e.g. the byte/time counters run
+    compression legitimately moves, when the point of the diff is that
+    everything *else* (comparisons, tokens, cache behaviour) is
+    identical.  Totals are always compared over the remaining keys.
     """
     result = TraceDiff(a=a, b=b)
     a_spans = _filter_ignored(a.spans, ignore) if ignore else a.spans
     b_spans = _filter_ignored(b.spans, ignore) if ignore else b.spans
+    ignored_keys = frozenset(ignore_counters)
     b_index = {row.key: row for row in b_spans}
     matched: set[tuple[str, int]] = set()
     for row in a_spans:
@@ -246,7 +259,7 @@ def diff_traces(a: LoadedTrace, b: LoadedTrace, ignore=()) -> TraceDiff:
             result.only_a.append(row)
             continue
         matched.add(row.key)
-        deltas = _io_delta(row.io, other.io)
+        deltas = _io_delta(row.io, other.io, ignored_keys)
         if deltas:
             result.changed.append(
                 SpanDelta(row.path, row.occurrence, deltas)
@@ -254,10 +267,17 @@ def diff_traces(a: LoadedTrace, b: LoadedTrace, ignore=()) -> TraceDiff:
     for row in b_spans:
         if row.key not in matched:
             result.only_b.append(row)
-    result.totals_delta = _io_delta(a.totals, b.totals)
+    result.totals_delta = _io_delta(a.totals, b.totals, ignored_keys)
     return result
 
 
-def diff_files(path_a: str, path_b: str, ignore=()) -> TraceDiff:
+def diff_files(
+    path_a: str, path_b: str, ignore=(), ignore_counters=()
+) -> TraceDiff:
     """Convenience wrapper: load both files and diff them."""
-    return diff_traces(load_trace(path_a), load_trace(path_b), ignore=ignore)
+    return diff_traces(
+        load_trace(path_a),
+        load_trace(path_b),
+        ignore=ignore,
+        ignore_counters=ignore_counters,
+    )

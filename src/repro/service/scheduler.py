@@ -45,6 +45,7 @@ from ..analysis.advisor import nearest_rank_percentile
 from ..baselines.merge_sort import external_merge_sort
 from ..core.nexsort import nexsort
 from ..errors import ServiceError
+from ..io.compress import decode_document_wire, encode_document_wire
 from ..io.lease import ResourceLease, ResourcePool
 from ..io.parallel import DiskTimeline
 from ..keys import ByAttribute, SortSpec
@@ -76,6 +77,8 @@ class JobResult:
     counters: dict = field(default_factory=dict)
     phases: dict = field(default_factory=dict)
     service_seconds: float = 0.0
+    wire_bytes: int | None = None
+    wire_raw_bytes: int | None = None
     trace: object | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -264,7 +267,7 @@ class Scheduler:
             retries=self.retries,
             trace=self.keep_traces,
         )
-        document = Document.from_events(lease.store, spec.events())
+        document = self._stage(result, lease)
         # A decision-carried plan (planner-enabled admission) overrides
         # the service-wide merge options for this job only; the grant
         # split already lives in decision.memory/cache_blocks.
@@ -303,6 +306,31 @@ class Scheduler:
             result.trace = trace
             self.traces[spec.tenant] = trace
         return lease
+
+    def _stage(self, result: JobResult, lease: ResourceLease):
+        """Stage the job's input document onto the lease's store.
+
+        Plain jobs hand their event stream straight to
+        :meth:`Document.from_events`.  Wire jobs (``spec.wire``) travel
+        as a compact container-codec blob: the scheduler encodes the
+        submission (standing in for the tenant's client), decodes it on
+        ingest, and charges the decode CPU against the lease so the
+        smaller footprint is honestly paid for.  The decoded token list
+        is exact, so the staged document - and everything downstream:
+        digest, comparisons, trace spans - is bit-identical to a plain
+        submission of the same job.
+        """
+        spec = result.spec
+        if not spec.wire:
+            return Document.from_events(lease.store, spec.events())
+        blob = encode_document_wire(spec.events())
+        tokens = decode_document_wire(blob)
+        document = Document.from_events(lease.store, tokens)
+        raw = document.handle.stream_bytes
+        lease.store.device.stats.record_decompression(len(blob), raw)
+        result.wire_bytes = len(blob)
+        result.wire_raw_bytes = raw
+        return document
 
     # -- policy picks ----------------------------------------------------
 
@@ -477,6 +505,7 @@ def run_solo(
         memory_blocks=grant,
         cache_blocks=cache,
         pad_bytes=spec.pad_bytes,
+        wire=spec.wire,
     )
     report = scheduler.run([solo_spec])
     return report.results[0]

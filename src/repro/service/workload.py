@@ -44,6 +44,10 @@ class JobSpec:
         memory_blocks: requested lease size, cache included.
         cache_blocks: requested buffer-pool blocks within the lease.
         pad_bytes: generator padding per element.
+        wire: submit the document in the compact container wire format
+            (``repro.io.compress.encode_document_wire``); the scheduler
+            decodes it on ingest and charges the decode CPU, but the
+            sort itself - and its digest - is unchanged.
     """
 
     tenant: str
@@ -55,6 +59,7 @@ class JobSpec:
     memory_blocks: int = 24
     cache_blocks: int = 0
     pad_bytes: int | None = None
+    wire: bool = False
 
     def events(self):
         """The job's input document as a generated event stream."""
@@ -77,6 +82,7 @@ class WorkloadSpec:
     algorithm: str = "nexsort"
     priority_range: tuple[int, int] = (0, 0)
     pad_bytes: int | None = None
+    wire: bool = False
 
     @classmethod
     def parse(cls, text: str) -> "WorkloadSpec":
@@ -95,6 +101,8 @@ class WorkloadSpec:
         * ``priority=2`` or ``priority=0-3`` - fixed priority, or a
           seeded uniform draw per job from the inclusive range.
         * ``pad=64`` - generator pad bytes per element.
+        * ``wire=1`` - submit each job's document in the compact
+          container wire format (default 0: plain event submission).
         """
         spec = {}
         for raw in re.split(r"[;,]", text):
@@ -143,6 +151,12 @@ class WorkloadSpec:
                     spec["priority_range"] = (lo, hi)
                 elif key == "pad":
                     spec["pad_bytes"] = int(value)
+                elif key == "wire":
+                    if value not in ("0", "1", "on", "off"):
+                        raise ServiceError(
+                            f"bad wire flag {value!r} (expected 0/1/on/off)"
+                        )
+                    spec["wire"] = value in ("1", "on")
                 else:
                     raise ServiceError(
                         f"unknown workload key {key!r} in {clause!r}"
@@ -186,6 +200,7 @@ class WorkloadSpec:
                     memory_blocks=self.memory_blocks,
                     cache_blocks=self.cache_blocks,
                     pad_bytes=self.pad_bytes,
+                    wire=self.wire,
                 )
             )
         return jobs

@@ -93,6 +93,18 @@ def read_varint(data: bytes, pos: int) -> tuple[int, int]:
         shift += 7
 
 
+def encode_varint(value: int) -> bytes:
+    """The LEB128 frame of ``value`` as standalone bytes.
+
+    The one varint implementation in the package: callers that used to
+    carry private copies (:mod:`repro.xml.compact`'s frame cache, the
+    run-compression layer) all frame through here.
+    """
+    out = bytearray()
+    write_varint(out, value)
+    return bytes(out)
+
+
 def _write_string(out: bytearray, value: str) -> None:
     encoded = value.encode("utf-8")
     write_varint(out, len(encoded))

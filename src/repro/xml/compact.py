@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..errors import CodecError
+from .codec import encode_varint as _varint  # re-export; one impl (ISSUE 10)
 from .tokens import EndTag, RunPointer, StartTag, Text, Token
 
 
@@ -87,18 +88,6 @@ class NameDictionary:
 
     def __contains__(self, name: str) -> bool:
         return name in self._by_name
-
-
-def _varint(value: int) -> bytes:
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
 
 
 @dataclass

@@ -110,6 +110,59 @@ class TestBenchRegression:
             f"runformation/{workload}", planner, configs, measured
         )
 
+    def test_compress_grid(self):
+        # ISSUE 10: the planner's compress knob against the recorded
+        # codec x memory sweep - its pick per memory grant must measure
+        # within tolerance of that grant's best codec row.
+        data = bench("compress")
+        profile = DocumentProfile.from_fanouts(
+            [11, 11, 11, 5], block_size=512,
+            element_bytes=SMALL_BLOCK_ELEMENT_BYTES,
+        )
+        for memory in sorted(
+            {row["memory_blocks"] for row in data["codec_sweep"]}
+        ):
+            planner = Planner(
+                profile, memory_blocks=memory, block_size=512
+            )
+            configs, measured = {}, {}
+            for row in data["codec_sweep"]:
+                if row["memory_blocks"] != memory:
+                    continue
+                codec = (
+                    None if row["codec"] == "off" else row["codec"]
+                )
+                configs[row["codec"]] = PlanConfig(
+                    algorithm="merge_sort",
+                    memory_blocks=memory,
+                    compress=codec,
+                )
+                measured[row["codec"]] = row["simulated_seconds"]
+            assert_pick_near_optimum(
+                f"compress/M={memory}", planner, configs, measured
+            )
+
+    def test_compress_chosen_iff_model_predicts_win(self):
+        # The crossover contract: at small blocks the constant per-block
+        # transfer charge dwarfs the per-byte codec CPU, so compression
+        # wins; at paper-scale 64 KB blocks the CPU dominates and the
+        # planner must leave compression off.
+        for block_size, expect_on in ((512, True), (65536, False)):
+            profile = DocumentProfile.from_fanouts(
+                [11, 11, 11, 5], block_size=block_size,
+                element_bytes=SMALL_BLOCK_ELEMENT_BYTES,
+            )
+            planner = Planner(
+                profile, memory_blocks=24, block_size=block_size
+            )
+            plan = planner.choose()
+            chosen = plan.config.compress is not None
+            assert chosen == expect_on, (
+                f"block_size={block_size}: compress="
+                f"{plan.config.compress!r}, expected "
+                f"{'on' if expect_on else 'off'}"
+            )
+
     def test_kernel_algorithm_choice(self):
         data = bench("kernel")
         rows = [r for r in data["rows"] if r["workload"] == "fig5-1e5"]
